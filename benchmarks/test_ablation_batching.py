@@ -1,0 +1,63 @@
+"""Ablation: Append batching — throughput gain vs ASIC resource cost.
+
+Section 5.3/6: batching is "a worthwhile tradeoff" — up to a tenfold
+collection increase for ~31% of the stateful ALUs; wide entries halve
+the feasible batch size for the same footprint.
+"""
+
+import pytest
+
+from conftest import fmt_rate, format_table
+from repro.rdma.nic import modelled_collection_rate
+from repro.switch.programs import batching_feature, translator_program
+from repro.switch.resources import Resource
+
+BATCHES = (1, 2, 4, 8, 16, 32)
+
+
+def test_ablation_batching_tradeoff(benchmark, record):
+    def sweep():
+        out = {}
+        for batch in BATCHES:
+            rate = modelled_collection_rate(batch * 4, batch)
+            salu = batching_feature(batch).get(Resource.SALU)
+            out[batch] = (rate, salu)
+        return out
+
+    grid = benchmark(sweep)
+
+    base_rate = grid[1][0]
+    rows = [(batch, fmt_rate(rate), f"{rate / base_rate:.1f}x",
+             int(salu), f"{salu / 48 * 100:.1f}%")
+            for batch, (rate, salu) in grid.items()]
+    record("ablation_batching", format_table(
+        ["Batch", "Rate", "Speedup", "sALUs", "sALU %"], rows)
+        + "\n\nPaper: ~10x collection for +31.3% sALU at B=16; batch "
+        "size trades linearly against memory logic.")
+
+    # Throughput: order-of-magnitude gain by 16 (paper: "tenfold").
+    assert 9 <= grid[16][0] / base_rate <= 16
+    # Resources scale linearly with B-1.
+    for batch in BATCHES:
+        assert grid[batch][1] == batch - 1
+    # A batch-32 deployment would exceed half the sALU budget on
+    # batching alone — the "reduce batch sizes to free memory logic"
+    # compromise the paper discusses.
+    assert grid[32][1] / 48 > 0.5
+
+
+def test_ablation_wide_entries_halve_batch(benchmark, record):
+    """Section 6: 8B entries need double the memory ops, so a same-
+    footprint deployment halves the batch size."""
+    narrow = benchmark(lambda: batching_feature(16, entry_bytes=4))
+    wide_half = batching_feature(8, entry_bytes=8)
+    assert wide_half.get(Resource.SALU) == pytest.approx(
+        narrow.get(Resource.SALU), abs=1)
+
+    full = translator_program(batching=16)
+    assert full.fits()
+    record("ablation_batching_width", format_table(
+        ["Config", "sALUs"],
+        [("16 x 4B", int(narrow.get(Resource.SALU))),
+         ("8 x 8B", int(wide_half.get(Resource.SALU)))])
+        + "\n\nEqual memory-logic budgets.")

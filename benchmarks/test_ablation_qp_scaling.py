@@ -1,0 +1,88 @@
+"""Ablation: translator aggregation vs per-switch RDMA connections.
+
+The strawman DTA rejects (Section 2.2(2)): every reporter switch opens
+its own queue pair to the collector.  RDMA NICs degrade up to 5x once
+the QP working set outgrows the connection cache, so collection
+throughput collapses exactly when the network grows — the architectural
+argument for the translator owning a single connection.
+"""
+
+import pytest
+
+from conftest import fmt_rate, format_table
+from repro import calibration
+from repro.rdma.nic import Nic, modelled_collection_rate
+
+REPORTER_COUNTS = (1, 16, 64, 256, 1024)
+
+
+def test_ablation_qp_scaling(benchmark, record):
+    def sweep():
+        rates = {}
+        for reporters in REPORTER_COUNTS:
+            # Strawman: one QP per reporter switch.
+            rates[("per-switch", reporters)] = modelled_collection_rate(
+                8, 1, active_qps=reporters)
+            # DTA: the translator is the single writer.
+            rates[("translator", reporters)] = modelled_collection_rate(
+                8, 1, active_qps=1)
+        return rates
+
+    rates = benchmark(sweep)
+
+    rows = [(n, fmt_rate(rates[("per-switch", n)]),
+             fmt_rate(rates[("translator", n)]),
+             f"{rates[('translator', n)] / rates[('per-switch', n)]:.1f}x")
+            for n in REPORTER_COUNTS]
+    record("ablation_qp_scaling", format_table(
+        ["Reporters", "Per-switch RDMA", "DTA translator",
+         "DTA advantage"], rows)
+        + "\n\nSection 2.2(2): QP growth degrades RDMA up to 5x; the "
+        "translator architecture keeps one QP regardless of scale.")
+
+    # Translator rate is scale-invariant.
+    translator_rates = {rates[("translator", n)]
+                        for n in REPORTER_COUNTS}
+    assert len(translator_rates) == 1
+    # Per-switch collapses monotonically, bottoming out at ~5x worse.
+    per_switch = [rates[("per-switch", n)] for n in REPORTER_COUNTS]
+    assert per_switch == sorted(per_switch, reverse=True)
+    worst = rates[("per-switch", 1024)]
+    assert rates[("translator", 1024)] / worst == pytest.approx(
+        calibration.NIC_QP_MAX_DEGRADATION)
+
+
+def test_ablation_qp_scaling_functional(benchmark, record):
+    """The functional NIC model shows the same effect: executing the
+    same writes with many connected QPs costs more modelled time."""
+    def run(qps):
+        nic = Nic()
+        region = nic.register_memory(1024)
+        client_qps = []
+        from repro.rdma.qp import QueuePair
+        from repro.rdma.memory import ProtectionDomain
+
+        for i in range(qps):
+            server = nic.create_qp()
+            client = QueuePair(10_000 + i, ProtectionDomain())
+            nic.connect_qp(server, client.qpn)
+            from repro.rdma.qp import QpState
+
+            client.modify(QpState.INIT)
+            client.modify(QpState.RTR, dest_qpn=server.qpn,
+                          expected_psn=0)
+            client.modify(QpState.RTS, send_psn=0)
+            client_qps.append(client)
+        from repro.rdma.verbs import Opcode, WorkRequest
+
+        for i in range(200):
+            client = client_qps[i % qps]
+            raw = client.post_send(WorkRequest(
+                opcode=Opcode.WRITE, remote_addr=region.addr,
+                rkey=region.rkey, data=b"\x00" * 8))
+            nic.receive(raw)
+        return nic.stats.busy_ns
+
+    busy_one = benchmark.pedantic(lambda: run(1), rounds=1, iterations=1)
+    busy_many = run(256)
+    assert busy_many > busy_one * 2

@@ -1,0 +1,74 @@
+"""Figure 18 (A.8.1): Key-Write query success vs load factor and N.
+
+Paper findings: at low load factors higher redundancy wins (N=4 best),
+in a middle band N=2 wins, and past a crossover N=1 is optimal because
+every key's extra copies evict other keys.  "Increasing the redundancy
+of all keys does not always improve the query success rate."
+"""
+
+import pytest
+
+from conftest import format_table
+from repro.core import analysis
+from repro.core.simulate import simulate_keywrite
+
+SLOTS = 40_000
+LOADS = (0.05, 0.2, 0.5, 1.0, 2.0, 4.0)
+REDUNDANCIES = (1, 2, 4)
+
+
+def test_fig18_redundancy_crossover(benchmark, record):
+    def sweep():
+        grid = {}
+        for load in LOADS:
+            keys = int(load * SLOTS)
+            for n in REDUNDANCIES:
+                grid[(load, n)] = simulate_keywrite(
+                    SLOTS, keys, n, seed=int(load * 100) + n
+                ).success_rate
+        return grid
+
+    grid = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for load in LOADS:
+        best = max(REDUNDANCIES, key=lambda n: grid[(load, n)])
+        rows.append((load,
+                     *(f"{grid[(load, n)] * 100:.1f}%"
+                       for n in REDUNDANCIES),
+                     f"N={best}"))
+    record("fig18_redundancy", format_table(
+        ["Load factor", "N=1", "N=2", "N=4", "Best"], rows)
+        + "\n\nPaper: optimal N shifts 4 -> 2 -> 1 as load grows.")
+
+    # Low load: more redundancy is better.
+    assert grid[(0.05, 4)] > grid[(0.05, 2)] > grid[(0.05, 1)]
+    # High load: the ordering flips.
+    assert grid[(4.0, 1)] > grid[(4.0, 2)] > grid[(4.0, 4)]
+    # Somewhere in between N=2 takes the lead.
+    assert any(
+        grid[(load, 2)] >= max(grid[(load, 1)], grid[(load, 4)])
+        for load in LOADS)
+    # Success decreases monotonically with load for every N.
+    for n in REDUNDANCIES:
+        series = [grid[(load, n)] for load in LOADS]
+        assert series == sorted(series, reverse=True)
+
+
+def test_fig18_simulation_matches_analysis(benchmark, record):
+    """Monte Carlo agrees with the closed-form averages within 2 pts."""
+    rows = []
+
+    def compare():
+        for load in (0.2, 1.0, 2.0):
+            for n in REDUNDANCIES:
+                simulated = simulate_keywrite(
+                    SLOTS, int(load * SLOTS), n, seed=7).success_rate
+                predicted = analysis.average_success_at_load(load, n)
+                rows.append((load, n, f"{simulated:.3f}",
+                             f"{predicted:.3f}"))
+                assert simulated == pytest.approx(predicted, abs=0.02)
+
+    benchmark.pedantic(compare, rounds=1, iterations=1)
+    record("fig18_sim_vs_analysis", format_table(
+        ["Load", "N", "Simulated", "Closed form"], rows))

@@ -1,0 +1,42 @@
+"""Figure 2: Confluo's collection work breakdown on 100K reports.
+
+Paper finding: data wrangling + storing consume ~86% of CPU cycles,
+"almost 11x the cost of its I/O"; parsing and I/O are minor.
+"""
+
+import struct
+
+import pytest
+
+from conftest import format_table
+from repro.baselines.confluo import ConfluoCollector
+
+REPORTS = 100_000  # the paper's measurement size
+
+
+def test_fig2_cpu_breakdown(benchmark, record):
+    collector = ConfluoCollector()
+    reports = [struct.pack(">II", i % 64, i) for i in range(REPORTS)]
+
+    def ingest_all():
+        col = ConfluoCollector()
+        for raw in reports:
+            col.ingest(raw)
+        return col
+
+    collector = benchmark.pedantic(ingest_all, rounds=1, iterations=1)
+    breakdown = collector.modelled_breakdown()
+
+    rows = [(stage, f"{share * 100:.1f}%")
+            for stage, share in breakdown.items()]
+    record("fig2_cpu_breakdown", format_table(
+        ["Stage", "Cycle share"], rows)
+        + f"\n\n(wrangling+storing)/io = "
+        f"{(breakdown['wrangling'] + breakdown['storing']) / breakdown['io']:.1f}x"
+        f" — paper: ~11x, 86% combined")
+
+    assert collector.reports_ingested == REPORTS
+    combined = breakdown["wrangling"] + breakdown["storing"]
+    assert combined == pytest.approx(0.86, abs=0.01)
+    assert combined / breakdown["io"] == pytest.approx(10.75, abs=0.5)
+    assert breakdown["parsing"] < 0.10

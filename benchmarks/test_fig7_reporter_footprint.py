@@ -1,0 +1,42 @@
+"""Figure 7: reporter hardware cost — DTA vs RDMA vs plain UDP.
+
+Paper takeaways: "DTA is as lightweight as UDP, while pure
+RDMA-generation is much more expensive" / "DTA halves the resource
+footprint of reporters compared with RDMA-generating alternatives".
+"""
+
+import pytest
+
+from conftest import format_table
+from repro.switch.programs import (
+    dta_reporter,
+    rdma_reporter,
+    udp_reporter,
+)
+from repro.switch.resources import Resource
+
+
+def test_fig7_reporter_footprint(benchmark, record):
+    programs = benchmark(lambda: {
+        "UDP": udp_reporter(),
+        "DTA": dta_reporter(),
+        "RDMA": rdma_reporter(),
+    })
+
+    rows = []
+    for res in Resource:
+        rows.append((res.value,
+                     *(f"{programs[p].percent(res):.1f}%"
+                       for p in ("UDP", "DTA", "RDMA"))))
+    record("fig7_reporter_footprint", format_table(
+        ["Resource", "UDP", "DTA", "RDMA"], rows)
+        + "\n\nPaper: DTA ~= UDP; RDMA ~= 2x DTA.")
+
+    udp, dta, rdma = (programs[p] for p in ("UDP", "DTA", "RDMA"))
+    for res in Resource:
+        # DTA within ~1.1 percentage points of UDP on every resource.
+        assert dta.percent(res) - udp.percent(res) <= 1.1, res
+        # RDMA roughly doubles DTA.
+        assert rdma.get(res) / dta.get(res) >= 1.7, res
+    # Everything fits first-generation hardware.
+    assert all(p.fits() for p in programs.values())

@@ -1,0 +1,90 @@
+"""Honest wall-clock throughput of the Python implementation itself.
+
+Everything else in this harness reports *modelled* hardware rates; this
+file measures what the simulator actually sustains on the host CPU
+(pytest-benchmark timings), so users know what to expect when driving
+large experiments.  No paper claims here — just engineering numbers.
+"""
+
+import struct
+
+import pytest
+
+from repro.core.collector import Collector
+from repro.core.packets import Append, KeyWrite, Postcard, make_report
+from repro.core.translator import Translator
+
+REPORTS = 2000
+
+
+def deploy():
+    col = Collector()
+    col.serve_keywrite(slots=1 << 14, data_bytes=4)
+    col.serve_postcarding(chunks=1 << 12, value_set=range(64),
+                          cache_slots=1 << 10)
+    col.serve_append(lists=4, capacity=1 << 12, data_bytes=4,
+                     batch_size=16)
+    tr = Translator()
+    col.connect_translator(tr)
+    return col, tr
+
+
+def test_throughput_keywrite_pipeline(benchmark):
+    col, tr = deploy()
+    raws = [make_report(KeyWrite(key=struct.pack(">I", i),
+                                 data=struct.pack(">I", i),
+                                 redundancy=1))
+            for i in range(REPORTS)]
+
+    def drive():
+        for raw in raws:
+            tr.handle_report(raw)
+
+    benchmark(drive)
+    assert tr.stats.keywrites >= REPORTS
+
+
+def test_throughput_append_pipeline(benchmark):
+    col, tr = deploy()
+    raws = [make_report(Append(list_id=i % 4, data=struct.pack(">I", i)))
+            for i in range(REPORTS)]
+
+    def drive():
+        for raw in raws:
+            tr.handle_report(raw)
+        tr.flush_appends()
+
+    benchmark(drive)
+    assert tr.stats.appends >= REPORTS
+
+
+def test_throughput_postcard_pipeline(benchmark):
+    col, tr = deploy()
+    raws = [make_report(Postcard(key=struct.pack(">I", i // 5),
+                                 hop=i % 5, value=i % 64, path_length=5))
+            for i in range(REPORTS)]
+
+    def drive():
+        for raw in raws:
+            tr.handle_report(raw)
+
+    benchmark(drive)
+    assert tr.stats.postcards >= REPORTS
+
+
+def test_throughput_keywrite_queries(benchmark):
+    col, tr = deploy()
+    for i in range(REPORTS):
+        tr.handle_report(make_report(KeyWrite(
+            key=struct.pack(">I", i), data=struct.pack(">I", i),
+            redundancy=2)))
+
+    def drive():
+        hits = 0
+        for i in range(REPORTS):
+            if col.query_value(struct.pack(">I", i), redundancy=2).found:
+                hits += 1
+        return hits
+
+    hits = benchmark(drive)
+    assert hits > REPORTS * 0.95

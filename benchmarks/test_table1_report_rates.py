@@ -1,0 +1,32 @@
+"""Table 1: per-reporter data generation rates of monitoring systems.
+
+Paper values (6.4 Tbps switches): INT Postcards 19 Mpps, Marple TCP
+out-of-sequence 6.72 Mpps, Marple packet counters 4.29 Mpps, NetSeer
+flow events 0.95 Mpps.
+"""
+
+import pytest
+
+from conftest import format_table
+from repro.workloads.report_rates import table1_rows
+
+PAPER_MPPS = {
+    ("INT Postcards", "Per-hop latency, 0.5% sampling"): 19.0,
+    ("Marple", "TCP out-of-sequence"): 6.72,
+    ("Marple", "Packet counters"): 4.29,
+    ("NetSeer", "Flow events"): 0.95,
+}
+
+
+def test_table1_report_rates(benchmark, record):
+    rows = benchmark(table1_rows)
+
+    reproduced = [(r.system, r.scenario, f"{r.mpps:.2f} Mpps",
+                   f"{PAPER_MPPS[(r.system, r.scenario)]:.2f} Mpps")
+                  for r in rows]
+    record("table1_report_rates", format_table(
+        ["System", "Scenario", "Reproduced", "Paper"], reproduced))
+
+    for row in rows:
+        paper = PAPER_MPPS[(row.system, row.scenario)]
+        assert row.mpps == pytest.approx(paper, rel=0.02), row.system

@@ -1,0 +1,68 @@
+"""Table 3: translator resource costs (base / +batching / +retx).
+
+Paper values (percent of ASIC budget):
+                 SRAM  Crossbar  TableIDs  Ternary  sALU
+Base             13.2    10.6      49.0     30.7    25.0
++Batching (16x4B) 3.2     7.2       7.8      0.0    31.3
++Retransmission   0.6     0.3       1.0      1.1     2.1
+"""
+
+import pytest
+
+from conftest import format_table
+from repro.switch.programs import translator_program
+from repro.switch.resources import Resource
+
+PAPER = {
+    "base": {Resource.SRAM: 13.2, Resource.CROSSBAR: 10.6,
+             Resource.TABLE_IDS: 49.0, Resource.TERNARY_BUS: 30.7,
+             Resource.SALU: 25.0},
+    "batching": {Resource.SRAM: 3.2, Resource.CROSSBAR: 7.2,
+                 Resource.TABLE_IDS: 7.8, Resource.TERNARY_BUS: 0.0,
+                 Resource.SALU: 31.3},
+    "retransmission": {Resource.SRAM: 0.6, Resource.CROSSBAR: 0.3,
+                       Resource.TABLE_IDS: 1.0, Resource.TERNARY_BUS: 1.1,
+                       Resource.SALU: 2.1},
+}
+
+
+def test_table3_translator_footprint(benchmark, record):
+    def build():
+        base = translator_program()
+        batching = translator_program(batching=16)
+        retx = translator_program(retransmission_reporters=65536)
+        return base, batching, retx
+
+    base, batching, retx = benchmark(build)
+    base_pct = base.percentages()
+    batch_delta = {r: batching.percent(r) - base_pct[r]
+                   for r in Resource}
+    retx_delta = {r: retx.percent(r) - base_pct[r] for r in Resource}
+
+    rows = []
+    for label, ours, paper in (
+            ("Base footprint", base_pct, PAPER["base"]),
+            ("+Batching", batch_delta, PAPER["batching"]),
+            ("+Retransmission", retx_delta, PAPER["retransmission"])):
+        for res in Resource:
+            rows.append((label, res.value, f"{ours[res]:.1f}%",
+                         f"{paper[res]:.1f}%"))
+    record("table3_translator_footprint", format_table(
+        ["Row", "Resource", "Reproduced", "Paper"], rows))
+
+    for res in Resource:
+        assert base_pct[res] == pytest.approx(PAPER["base"][res],
+                                              abs=0.15)
+        assert batch_delta[res] == pytest.approx(
+            PAPER["batching"][res], abs=0.15)
+        assert retx_delta[res] == pytest.approx(
+            PAPER["retransmission"][res], abs=0.15)
+
+    # Takeaway assertions: everything together fits and leaves a
+    # majority of most resources free.
+    everything = translator_program(batching=16,
+                                    retransmission_reporters=65536)
+    assert everything.fits()
+    pct = everything.percentages()
+    assert pct[Resource.SRAM] < 50
+    assert pct[Resource.CROSSBAR] < 50

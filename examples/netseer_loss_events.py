@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""NetSeer loss events over a lossy fabric — flow control in action.
+
+Loss-event records are *essential* telemetry: losing the report about a
+loss is exactly what an operator cannot afford.  This example runs
+NetSeer-style switches over simulated links that drop 10% of packets
+and shows DTA's NACK-based retransmission (Fig. 5) recovering them.
+
+Run: python examples/netseer_loss_events.py
+"""
+
+import random
+
+from repro import Collector, Reporter, Translator
+from repro.fabric.topology import Topology
+from repro.telemetry.netseer import DropReason, LossEvent, NetSeerSwitch
+from repro.workloads.flows import FlowGenerator
+
+
+def main() -> None:
+    collector = Collector()
+    collector.serve_append(lists=1, capacity=1 << 13,
+                           data_bytes=LossEvent.RECORD_BYTES,
+                           batch_size=1)
+    translator = Translator()
+    reporters = [Reporter(f"r{i}", i, translator="translator")
+                 for i in range(4)]
+    topo = Topology.dta_star(reporters, translator, collector,
+                             reporter_loss=0.10, seed=99)
+    collector.connect_translator(translator, fabric=True)
+
+    switches = [NetSeerSwitch(rep, switch_id=10 + i, coalesce=4)
+                for i, rep in enumerate(reporters)]
+
+    # Simulate drops observed on the data plane.
+    rng = random.Random(42)
+    flows = FlowGenerator(seed=3).keys(50)
+    total_exported = 0
+    for round_no in range(100):
+        switch = rng.choice(switches)
+        flow = rng.choice(flows)
+        reason = rng.choice(list(DropReason))
+        for _ in range(4):          # a burst of drops (coalesced)
+            switch.observe_drop(flow, reason)
+        if round_no % 10 == 9:
+            topo.sim.run()          # let NACKs and retransmits flow
+    for switch in switches:
+        switch.flush()
+    topo.sim.run()
+
+    total_exported = sum(s.events_exported for s in switches)
+    records = collector.list_poller(0).poll()
+    print(f"Exported {total_exported} coalesced loss events over a "
+          f"10%-lossy fabric; collector holds {len(records)}")
+
+    nacks = sum(r.stats.nacks_received for r in reporters)
+    retx = sum(r.stats.retransmitted for r in reporters)
+    print(f"Recovery: {translator.stats.nacks_sent} NACKs sent, "
+          f"{nacks} received, {retx} reports retransmitted")
+
+    by_reason: dict = {}
+    for raw in records:
+        event = LossEvent.unpack(raw)
+        by_reason[event.reason.name] = \
+            by_reason.get(event.reason.name, 0) + event.count
+    print("\nNetwork-wide drop census (from collector memory):")
+    for reason, drops in sorted(by_reason.items(), key=lambda kv: -kv[1]):
+        print(f"  {reason:<16} {drops} packets")
+
+
+if __name__ == "__main__":
+    main()

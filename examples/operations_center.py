@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""An operations-center session: investigate an incident with DTA data.
+
+The scenario: a pod's applications report elevated tail latency.  The
+operator investigates using only what landed in collector memory —
+loss-event lists, path chunks, network-wide sketches, and per-flow
+counters — without ever touching a switch.
+
+Run: python examples/operations_center.py
+"""
+
+import random
+
+from repro import Collector, Reporter, Translator
+from repro.queries import (
+    FlowHealthReport,
+    HeavyHitterScan,
+    LossLedger,
+    PathTracer,
+)
+from repro.sketches.countmin import CountMinSketch
+from repro.telemetry.netseer import DropReason, LossEvent, NetSeerSwitch
+from repro.workloads.flows import FlowGenerator
+
+SWITCHES = list(range(30, 38))
+BAD_SWITCH = 33       # the culprit: a failing linecard dropping traffic
+
+
+def build_incident():
+    """Generate the telemetry an incident would leave behind."""
+    col = Collector()
+    col.serve_keywrite(slots=1 << 14, data_bytes=20)
+    col.serve_postcarding(chunks=1 << 13, value_set=SWITCHES,
+                          cache_slots=1 << 11)
+    col.serve_append(lists=1, capacity=1 << 12,
+                     data_bytes=LossEvent.RECORD_BYTES, batch_size=1)
+    col.serve_keyincrement(slots_per_row=1 << 12, rows=4)
+    col.serve_sketch(width=256, depth=4, expected_reporters=1,
+                     batch_columns=64)
+    tr = Translator()
+    col.connect_translator(tr)
+    rep = Reporter("fabric", 1, transmit=tr.handle_report)
+
+    rng = random.Random(31)
+    flows = FlowGenerator(seed=13).flows(150)
+    netseer = {sid: NetSeerSwitch(rep, switch_id=sid, coalesce=2)
+               for sid in SWITCHES}
+    sketch = CountMinSketch(width=256, depth=4)
+
+    for flow in flows:
+        # Every flow takes a 3-hop path through the pod.
+        path = rng.sample(SWITCHES, 3)
+        for hop, sid in enumerate(path):
+            rep.postcard(flow.key, hop, sid, path_length=3)
+        # Traffic volume lands in the sketch + per-flow counters.
+        for _ in range(min(flow.packets, 50)):
+            sketch.update(flow.key)
+        rep.key_increment(flow.key, min(flow.packets, 50), redundancy=4)
+        # The failing switch drops packets of flows that cross it.
+        if BAD_SWITCH in path and flow.packets > 5:
+            for _ in range(rng.randint(2, 6)):
+                netseer[BAD_SWITCH].observe_drop(
+                    flow.key, DropReason.QUEUE_OVERFLOW)
+    for switch in netseer.values():
+        switch.flush()
+    for index, column in sketch.columns():
+        rep.sketch_column(0, index, column)
+    return col, [f.key for f in flows]
+
+
+def main() -> None:
+    collector, flow_keys = build_incident()
+    print("=== Incident: elevated tail latency in pod 4 ===\n")
+
+    # Step 1: what is the network dropping, and where?
+    ledger = LossLedger(collector, list_id=0)
+    ledger.refresh()
+    summary = ledger.summary
+    print(f"Step 1 — loss ledger: {summary.total_drops} drops recorded")
+    for switch_id, drops in summary.top_switches(3):
+        marker = "  <-- anomalous" if switch_id == BAD_SWITCH else ""
+        print(f"    switch {switch_id}: {drops} drops{marker}")
+    culprit = summary.top_switches(1)[0][0]
+    print(f"    dominant reason: "
+          f"{summary.by_reason.most_common(1)[0][0]}\n")
+
+    # Step 2: which flows are suffering, and do their paths explain it?
+    tracer = PathTracer(collector, hops=5)
+    victims = [flow for flow, _ in summary.top_flows(5)]
+    crossing = 0
+    for flow in victims:
+        trace = tracer.trace(flow)
+        if trace.found and culprit in trace.path:
+            crossing += 1
+    print(f"Step 2 — path tracing: {crossing}/{len(victims)} of the "
+          f"lossiest flows traverse switch {culprit}\n")
+
+    # Step 3: is the culprit just overloaded?  Check heavy hitters.
+    scan = HeavyHitterScan(collector)
+    heavy = scan.heavy_hitters(flow_keys, threshold=40)
+    heavy_through_culprit = sum(
+        1 for key, _ in heavy
+        if (t := tracer.trace(key)).found and culprit in t.path)
+    print(f"Step 3 — sketch scan: {len(heavy)} heavy flows network-wide,"
+          f" {heavy_through_culprit} of them through switch {culprit}\n")
+
+    # Step 4: full health report for the worst victim.
+    worst = victims[0]
+    report = FlowHealthReport(collector).report(worst)
+    print("Step 4 — worst victim flow:")
+    print(f"    path:    {report['path']} (via {report['path_source']})")
+    print(f"    packets: {report['counter']} (network-wide counter)")
+    print(f"    drops:   {summary.lossiest_flows[worst]}")
+
+    print(f"\nConclusion: switch {culprit} is shedding queue-overflow "
+          "drops on flows that cross it; open a ticket for the "
+          "linecard.  Zero switch logins required.")
+
+
+if __name__ == "__main__":
+    main()

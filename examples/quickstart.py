@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Quickstart: stand up a DTA deployment and collect your first reports.
+
+The minimal pipeline is three components:
+
+    reporter (any switch) --DTA--> translator (ToR) --RDMA--> collector
+
+The collector CPU provisions memory and answers queries; it never
+touches a report in flight.  Run:
+
+    python examples/quickstart.py
+"""
+
+import struct
+
+from repro import Collector, Reporter, Translator
+
+
+def main() -> None:
+    # 1. The collector provisions primitive stores in RDMA-registered
+    #    memory and advertises them over RDMA_CM.
+    collector = Collector()
+    collector.serve_keywrite(slots=1 << 16, data_bytes=4)
+    collector.serve_append(lists=4, capacity=1 << 12, data_bytes=4,
+                           batch_size=16)
+
+    # 2. The translator connects (one queue pair for everything) and
+    #    learns each store's layout from the advertisements.
+    translator = Translator()
+    collector.connect_translator(translator)
+
+    # 3. Reporters fire DTA reports at the translator.  Here we wire
+    #    the reporter straight in; examples/netseer_loss_events.py
+    #    shows the same roles over a simulated lossy fabric.
+    reporter = Reporter("tor-1", reporter_id=1,
+                        transmit=translator.handle_report)
+
+    # --- Key-Write: per-flow values, queryable by key ----------------
+    flow = b"10.0.0.1->10.0.0.2:443"
+    reporter.key_write(flow, struct.pack(">I", 1234), redundancy=2)
+    result = collector.query_value(flow, redundancy=2)
+    print(f"Key-Write:  {flow!r} -> "
+          f"{struct.unpack('>I', result.value)[0]}")
+
+    # --- Append: event streams, drained in order ---------------------
+    for sequence in range(40):
+        reporter.append(0, struct.pack(">I", sequence))
+    translator.flush_appends()          # epoch end: flush partials
+    events = collector.list_poller(0).poll()
+    print(f"Append:     {len(events)} events, first 5 = "
+          f"{[struct.unpack('>I', e)[0] for e in events[:5]]}")
+
+    # --- What it cost -------------------------------------------------
+    stats = translator.stats
+    nic = collector.nic.stats
+    print(f"Translator: {stats.reports_in} DTA reports in, "
+          f"{stats.rdma_messages} RDMA messages out "
+          f"(batching folded {stats.appends} appends into "
+          f"{stats.append_batches} writes)")
+    print(f"Collector NIC model: {nic.message_rate() / 1e6:.0f}M msg/s "
+          f"achievable at this payload mix, zero CPU ingest")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""Direct Telemetry Access (SIGCOMM 2023) — a full software reproduction.
+
+DTA moves telemetry reports from switches into queryable collector
+memory over RDMA, with zero collector-CPU involvement.  This package
+reimplements the complete system in Python: the DTA protocol with its
+five primitives (Key-Write, Postcarding, Append, Sketch-Merge,
+Key-Increment), the translator/reporter/collector roles, and software
+models of every hardware substrate the paper runs on (RoCEv2 NICs,
+Tofino-class switches, 100G links), plus the baseline CPU collectors
+and telemetry systems it is evaluated against.
+
+Quickstart::
+
+    from repro import Collector, Translator, Reporter
+
+    collector = Collector()
+    collector.serve_keywrite(slots=1 << 20, data_bytes=4)
+    translator = Translator()
+    collector.connect_translator(translator)
+    reporter = Reporter("tor-1", 1, transmit=translator.handle_report)
+
+    reporter.key_write(b"flow", b"\\x2a\\x00\\x00\\x00", redundancy=2)
+    print(collector.query_value(b"flow", redundancy=2).value)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-reproduction results of every table and figure.
+"""
+
+from repro import calibration
+from repro.core.collector import Collector
+from repro.core.reporter import Reporter
+from repro.core.translator import Translator
+
+__version__ = "1.0.0"
+
+__all__ = ["calibration", "Collector", "Reporter", "Translator",
+           "__version__"]

@@ -1,0 +1,27 @@
+"""Baseline CPU collectors the paper compares against (Section 5.1).
+
+Each baseline implements the same job as a DTA collector — ingest
+telemetry report packets into queryable structures — but does it on the
+host CPU, paying for I/O, parsing, data wrangling, and storing
+(Fig. 2).  Functional behaviour is real (reports are parsed and land in
+queryable structures); throughput comes from the per-stage cycle model
+in :mod:`repro.baselines.cpu_model`, calibrated to the ingest rates the
+paper measured with 16 cores.
+"""
+
+from repro.baselines.btrdb import BtrdbCollector
+from repro.baselines.confluo import ConfluoCollector
+from repro.baselines.cpu_model import CpuCollector, StageBreakdown
+from repro.baselines.intcollector import (
+    IntCollectorInflux,
+    IntCollectorPrometheus,
+)
+
+__all__ = [
+    "BtrdbCollector",
+    "ConfluoCollector",
+    "CpuCollector",
+    "StageBreakdown",
+    "IntCollectorInflux",
+    "IntCollectorPrometheus",
+]

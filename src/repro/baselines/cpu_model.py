@@ -1,0 +1,118 @@
+"""The CPU collector cost model: I/O, parsing, wrangling, storing.
+
+Section 2.1 / Fig. 2: for every received report a CPU collector spends
+cycles receiving it (I/O), extracting fields (*parsing*), massaging
+them for insertion (*data wrangling* — filtering, hashing into fixed
+keys), and placing them in a queryable structure (*storing* — batching,
+indexing, inserting).  Confluo's measured split is ~8 / 6 / 40 / 46 %,
+i.e. wrangling+storing ≈ 86 %, "almost 11x the cost of its I/O".
+
+Every baseline subclass declares its total per-report cycle budget
+(implied by its calibrated 16-core ingest rate) and its stage shares;
+the functional ``ingest`` path tallies real per-stage work counts so
+Fig. 2 can be *measured* from instrumentation rather than asserted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import calibration
+
+
+@dataclass
+class StageBreakdown:
+    """Per-stage work counters (one unit = one report through a stage)."""
+
+    io: int = 0
+    parsing: int = 0
+    wrangling: int = 0
+    storing: int = 0
+
+    def as_shares(self, weights: dict) -> dict:
+        """Cycle shares given per-stage cycle weights."""
+        cycles = {stage: getattr(self, stage) * weights[stage]
+                  for stage in ("io", "parsing", "wrangling", "storing")}
+        total = sum(cycles.values())
+        if total == 0:
+            return {stage: 0.0 for stage in cycles}
+        return {stage: value / total for stage, value in cycles.items()}
+
+
+class CpuCollector:
+    """Base CPU-bound collector.
+
+    Args:
+        name: Label for reports.
+        rate_16_cores: Calibrated ingest rate (reports/s) at 16 cores.
+        stage_shares: Fractional cycle split across the four stages.
+        cores: Ingest cores allocated (baselines get 16 in Fig. 6).
+    """
+
+    def __init__(self, name: str, rate_16_cores: float,
+                 stage_shares: dict | None = None,
+                 cores: int = calibration.BASELINE_CORES) -> None:
+        self.name = name
+        self.cores = cores
+        self._rate_16 = rate_16_cores
+        self.stage_shares = stage_shares or calibration.CONFLUO_CYCLE_SHARES
+        if abs(sum(self.stage_shares.values()) - 1.0) > 1e-9:
+            raise ValueError("stage shares must sum to 1")
+        self.breakdown = StageBreakdown()
+        self.reports_ingested = 0
+
+    # -- performance model --------------------------------------------------
+
+    def modelled_rate(self, cores: int | None = None) -> float:
+        """Ingest rate (reports/s) at ``cores`` cores (linear scaling)."""
+        cores = cores if cores is not None else self.cores
+        return self._rate_16 * cores / 16.0
+
+    def per_report_cycles(self) -> float:
+        """Total CPU cycles per report implied by the calibrated rate."""
+        total_hz = calibration.CPU_GHZ * 1e9 * 16
+        return total_hz / self._rate_16
+
+    def stage_cycle_weights(self) -> dict:
+        """Cycles per report per stage."""
+        per_report = self.per_report_cycles()
+        return {stage: share * per_report
+                for stage, share in self.stage_shares.items()}
+
+    def modelled_breakdown(self) -> dict:
+        """Fig. 2: share of cycles per stage for the work done so far."""
+        return self.breakdown.as_shares(self.stage_cycle_weights())
+
+    def max_reporters(self, per_reporter_rate: float) -> int:
+        """How many reporters this collector sustains (Fig. 6b)."""
+        if per_reporter_rate <= 0:
+            raise ValueError("per-reporter rate must be positive")
+        return int(self.modelled_rate() // per_reporter_rate)
+
+    # -- functional path ------------------------------------------------------
+
+    def ingest(self, raw: bytes) -> None:
+        """Receive one report packet: io -> parse -> wrangle -> store."""
+        self.breakdown.io += 1
+        record = self._parse(raw)
+        self.breakdown.parsing += 1
+        wrangled = self._wrangle(record)
+        self.breakdown.wrangling += 1
+        self._store(wrangled)
+        self.breakdown.storing += 1
+        self.reports_ingested += 1
+
+    # Subclass hooks -----------------------------------------------------
+
+    def _parse(self, raw: bytes):
+        """Extract content from the packet; default: (key, payload)."""
+        if len(raw) < 4:
+            raise ValueError("report too short")
+        return raw[:4], raw[4:]
+
+    def _wrangle(self, record):
+        """Make the record insertable; default: pass through."""
+        return record
+
+    def _store(self, record) -> None:
+        raise NotImplementedError

@@ -1,0 +1,74 @@
+"""INTCollector-like baselines (Van Tu et al., CNSM'18).
+
+INTCollector parses INT telemetry reports, detects per-flow metric
+*events* (latency change, new path, ...) and pushes them into an
+external time-series database — Prometheus or InfluxDB in the paper's
+Fig. 6a.  The database write path dominates, which is why these are the
+slowest baselines by two to three orders of magnitude.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import defaultdict
+
+from repro import calibration
+from repro.baselines.cpu_model import CpuCollector
+
+# INTCollector's pipeline leans even harder on storing (the TSDB push).
+_TSDB_SHARES = {"io": 0.03, "parsing": 0.05, "wrangling": 0.12,
+                "storing": 0.80}
+
+
+class _IntCollectorBase(CpuCollector):
+    """Shared event-detection + TSDB-push structure."""
+
+    def __init__(self, name: str, rate_16_cores: float,
+                 cores: int = calibration.BASELINE_CORES) -> None:
+        super().__init__(name=name, rate_16_cores=rate_16_cores,
+                         stage_shares=_TSDB_SHARES, cores=cores)
+        self.tsdb: dict[bytes, list] = defaultdict(list)
+        self.last_value: dict[bytes, int] = {}
+        self.events = 0
+        self._clock = 0
+
+    def _parse(self, raw: bytes):
+        if len(raw) < 8:
+            raise ValueError("INT report too short")
+        return raw[:4], struct.unpack(">I", raw[4:8])[0]
+
+    def _wrangle(self, record):
+        key, value = record
+        # Event detection: only meaningful changes become TSDB points,
+        # but every report costs the comparison.
+        previous = self.last_value.get(key)
+        is_event = previous is None or value != previous
+        self.last_value[key] = value
+        return key, value, is_event
+
+    def _store(self, record) -> None:
+        key, value, is_event = record
+        self._clock += 1
+        if is_event:
+            self.events += 1
+            self.tsdb[key].append((self._clock, value))
+
+    def series(self, key: bytes) -> list:
+        """The stored (time, value) series for a flow key."""
+        return list(self.tsdb.get(key, []))
+
+
+class IntCollectorPrometheus(_IntCollectorBase):
+    """INTCollector pushing to Prometheus (pull-model scrape overhead)."""
+
+    def __init__(self, cores: int = calibration.BASELINE_CORES) -> None:
+        super().__init__("intcollector-prometheus",
+                         calibration.INTCOLLECTOR_PROMETHEUS_RATE, cores)
+
+
+class IntCollectorInflux(_IntCollectorBase):
+    """INTCollector pushing to InfluxDB (batched line-protocol writes)."""
+
+    def __init__(self, cores: int = calibration.BASELINE_CORES) -> None:
+        super().__init__("intcollector-influxdb",
+                         calibration.INTCOLLECTOR_INFLUX_RATE, cores)

@@ -1,0 +1,217 @@
+"""Command-line interface: explore the models without writing code.
+
+    python -m repro info                     # system inventory
+    python -m repro demo                     # run the mini pipeline
+    python -m repro capacity --payload 8     # NIC model explorer
+    python -m repro bounds --alpha 0.1 --n 2 # Key-Write error bounds
+    python -m repro longevity --gib 30       # Fig. 20 curve
+    python -m repro redundancy --load 0.5    # optimal N at a load
+    python -m repro footprint                # Table 3 / Fig. 7 tables
+    python -m repro rates                    # Table 1 report rates
+"""
+
+from __future__ import annotations
+
+import argparse
+import struct
+import sys
+
+from repro import __version__
+from repro.core import analysis
+
+
+def _cmd_info(args) -> int:
+    print(f"Direct Telemetry Access reproduction v{__version__}")
+    print(__doc__)
+    print("Primitives: Key-Write, Postcarding, Append, Sketch-Merge, "
+          "Key-Increment (+ Section 6 cuckoo extension)")
+    print("Substrates: RoCEv2 NIC model, Tofino-class switch model, "
+          "event-driven fabric")
+    print("Baselines: Confluo-, BTrDB-, INTCollector-like collectors")
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    from repro import Collector, Reporter, Translator
+
+    collector = Collector()
+    collector.serve_keywrite(slots=1 << 14, data_bytes=4)
+    collector.serve_append(lists=2, capacity=1 << 10, data_bytes=4,
+                           batch_size=8)
+    translator = Translator()
+    collector.connect_translator(translator)
+    reporter = Reporter("demo-switch", 1,
+                        transmit=translator.handle_report)
+
+    for i in range(args.reports):
+        reporter.key_write(struct.pack(">I", i), struct.pack(">I", i * 2),
+                           redundancy=2)
+        reporter.append(0, struct.pack(">I", i))
+    translator.flush_appends()
+
+    hits = sum(
+        collector.query_value(struct.pack(">I", i), redundancy=2).value
+        == struct.pack(">I", i * 2) for i in range(args.reports))
+    drained = len(collector.list_poller(0).poll())
+    print(f"{args.reports} reports through reporter->translator->RDMA")
+    print(f"Key-Write queryable: {hits}/{args.reports}")
+    print(f"Append drained:      {drained}/{args.reports}")
+    print(f"RDMA messages:       {translator.stats.rdma_messages} "
+          f"(batching saved "
+          f"{args.reports - translator.stats.append_batches} "
+          "append writes)")
+    return 0
+
+
+def _cmd_capacity(args) -> int:
+    from repro.rdma.nic import modelled_collection_rate
+
+    rate = modelled_collection_rate(
+        args.payload, args.batch, writes_per_report=args.redundancy,
+        atomic=args.atomic, active_qps=args.qps)
+    print(f"payload={args.payload}B batch={args.batch} "
+          f"N={args.redundancy} qps={args.qps} atomic={args.atomic}")
+    print(f"-> {rate / 1e6:,.1f}M reports/s "
+          f"({rate * args.payload / args.batch * 8 / 1e9:.1f} Gbps "
+          "payload)")
+    return 0
+
+
+def _cmd_bounds(args) -> int:
+    empty = analysis.keywrite_empty_return(args.alpha, args.n, args.bits)
+    wrong = analysis.keywrite_wrong_output(args.alpha, args.n, args.bits)
+    print(f"Key-Write  (alpha={args.alpha}, N={args.n}, b={args.bits}):")
+    print(f"  empty return <= {empty:.4f}")
+    print(f"  wrong output <= {wrong:.3e}")
+    pc_empty = analysis.postcarding_empty_return(
+        args.alpha, args.n, args.values, args.bits, args.hops)
+    pc_wrong = analysis.postcarding_wrong_output(
+        args.alpha, args.n, args.values, args.bits, args.hops)
+    print(f"Postcarding (|V|={args.values}, B={args.hops}):")
+    print(f"  empty return <= {pc_empty:.4f}")
+    print(f"  wrong output <= {pc_wrong:.3e}")
+    return 0
+
+
+def _cmd_longevity(args) -> int:
+    storage = args.gib * 2 ** 30
+    print(f"Key-Write longevity at {args.gib} GiB "
+          f"(N={args.n}, {args.data}B values):")
+    for age in (1e6, 1e7, 1e8, 1e9):
+        success = analysis.longevity_success(
+            storage, age, data_bytes=args.data, redundancy=args.n)
+        print(f"  after {age:>12,.0f} newer reports: "
+              f"{success * 100:6.2f}% queryable")
+    return 0
+
+
+def _cmd_redundancy(args) -> int:
+    best = analysis.optimal_redundancy(args.load)
+    print(f"load factor {args.load}:")
+    for n in (1, 2, 4):
+        rate = analysis.average_success_at_load(args.load, n)
+        marker = "  <- optimal" if n == best else ""
+        print(f"  N={n}: {rate * 100:6.2f}% average success{marker}")
+    return 0
+
+
+def _cmd_footprint(args) -> int:
+    from repro.switch.programs import (
+        dta_reporter,
+        rdma_reporter,
+        translator_program,
+        udp_reporter,
+    )
+
+    print("Translator (Key-Write + Postcarding + Append, batch 16, "
+          "65K-reporter retransmission):")
+    print(translator_program(batching=16,
+                             retransmission_reporters=65536).table())
+    print("\nReporters (Fig. 7):")
+    for label, program in (("UDP", udp_reporter()),
+                           ("DTA", dta_reporter()),
+                           ("RDMA", rdma_reporter())):
+        print(f"\n[{label}]")
+        print(program.table())
+    return 0
+
+
+def _cmd_rates(args) -> int:
+    from repro.workloads.report_rates import network_report_rate, table1_rows
+
+    print(f"{'System':<16}{'Scenario':<40}{'Per switch':>12}")
+    for row in table1_rows():
+        print(f"{row.system:<16}{row.scenario:<40}"
+              f"{row.mpps:>9.2f} Mpps")
+    netseer = table1_rows()[-1]
+    total = network_report_rate(args.switches, netseer)
+    print(f"\n{args.switches:,} NetSeer switches -> "
+          f"{total / 1e9:.2f}B reports/s network-wide")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Direct Telemetry Access reproduction")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="package overview").set_defaults(
+        fn=_cmd_info)
+
+    demo = sub.add_parser("demo", help="run a miniature deployment")
+    demo.add_argument("--reports", type=int, default=100)
+    demo.set_defaults(fn=_cmd_demo)
+
+    cap = sub.add_parser("capacity", help="NIC collection-rate model")
+    cap.add_argument("--payload", type=int, default=8,
+                     help="RDMA payload bytes per message")
+    cap.add_argument("--batch", type=int, default=1,
+                     help="reports per message (Append batching)")
+    cap.add_argument("--redundancy", type=int, default=1,
+                     help="writes per report (Key-Write N)")
+    cap.add_argument("--qps", type=int, default=1,
+                     help="active queue pairs at the NIC")
+    cap.add_argument("--atomic", action="store_true",
+                     help="use Fetch-and-Add costing")
+    cap.set_defaults(fn=_cmd_capacity)
+
+    bounds = sub.add_parser("bounds", help="error-probability bounds")
+    bounds.add_argument("--alpha", type=float, default=0.1)
+    bounds.add_argument("--n", type=int, default=2)
+    bounds.add_argument("--bits", type=int, default=32)
+    bounds.add_argument("--values", type=int, default=2 ** 18,
+                        help="|V| for Postcarding")
+    bounds.add_argument("--hops", type=int, default=5)
+    bounds.set_defaults(fn=_cmd_bounds)
+
+    lon = sub.add_parser("longevity", help="Fig. 20 queryability curve")
+    lon.add_argument("--gib", type=float, default=30.0)
+    lon.add_argument("--n", type=int, default=2)
+    lon.add_argument("--data", type=int, default=20)
+    lon.set_defaults(fn=_cmd_longevity)
+
+    red = sub.add_parser("redundancy", help="optimal N at a load factor")
+    red.add_argument("--load", type=float, required=True)
+    red.set_defaults(fn=_cmd_redundancy)
+
+    sub.add_parser("footprint",
+                   help="ASIC resource tables (Fig. 7 / Table 3)"
+                   ).set_defaults(fn=_cmd_footprint)
+
+    rates = sub.add_parser("rates", help="Table 1 report rates")
+    rates.add_argument("--switches", type=int, default=200_000)
+    rates.set_defaults(fn=_cmd_rates)
+    return parser
+
+
+def main(argv: list | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

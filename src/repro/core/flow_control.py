@@ -1,0 +1,131 @@
+"""DTA telemetry flow control: loss detection, NACKs, report backup.
+
+Figure 5 / Section 3.3: every DTA report carries a counter of how many
+*essential* reports its reporter has sent toward the translator.  The
+translator compares the carried counter against its per-reporter state;
+a gap means essential reports were lost, triggering a NACK that asks
+the reporter to re-send from its local backup.  Reporters keep the most
+recent essential reports in a bounded backup buffer (switch SRAM or
+switch-CPU memory, Section 4.1) — reports evicted before a NACK arrives
+are permanently lost and counted as such.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.core.packets import Nack
+
+
+@dataclass
+class LossDetectorStats:
+    """Translator-side loss accounting."""
+
+    reports_checked: int = 0
+    losses_detected: int = 0
+    nacks_sent: int = 0
+    retransmits_accepted: int = 0
+
+
+class LossDetector:
+    """Per-reporter essential-sequence tracking at the translator.
+
+    Section 4.2: "Lost reports are detected through per-reporter
+    registers, detection of which will abort report processing and
+    instead generate a DTA NACK which is bounced back to the reporter."
+    """
+
+    def __init__(self, max_reporters: int = 65536) -> None:
+        self.max_reporters = max_reporters
+        self._expected: dict[int, int] = {}
+        self.stats = LossDetectorStats()
+
+    def check(self, reporter_id: int, seq: int,
+              *, retransmit: bool = False) -> Nack | None:
+        """Validate one essential report.
+
+        Returns None when the report should be processed, or a
+        :class:`Nack` when a gap was detected (in which case the
+        triggering report is aborted and must be re-sent too, matching
+        the hardware behaviour).
+        """
+        self.stats.reports_checked += 1
+        if retransmit:
+            # Re-sent reports bypass sequencing (they fill old gaps).
+            self.stats.retransmits_accepted += 1
+            return None
+        if reporter_id not in self._expected:
+            if len(self._expected) >= self.max_reporters:
+                raise OverflowError(
+                    f"loss detector provisioned for {self.max_reporters} "
+                    "reporters")
+            # First contact: accept whatever counter the reporter is at.
+            self._expected[reporter_id] = seq + 1
+            return None
+        expected = self._expected[reporter_id]
+        if seq == expected:
+            self._expected[reporter_id] = seq + 1
+            return None
+        if seq < expected:
+            # Stale duplicate (e.g. reordering); process it — the data
+            # structures tolerate re-writes.
+            return None
+        # Gap: [expected, seq] never arrived (seq itself is aborted).
+        missing = seq - expected + 1
+        self.stats.losses_detected += missing - 1
+        self.stats.nacks_sent += 1
+        self._expected[reporter_id] = seq + 1
+        return Nack(expected_seq=expected, missing=missing)
+
+    def expected_seq(self, reporter_id: int) -> int | None:
+        return self._expected.get(reporter_id)
+
+
+@dataclass
+class BackupStats:
+    """Reporter-side backup accounting."""
+
+    stored: int = 0
+    evicted: int = 0
+    retransmitted: int = 0
+    unavailable: int = 0
+
+
+class ReportBackup:
+    """Bounded store of recent essential reports, keyed by sequence.
+
+    Section 5.3 provisions "256 essential in-transit reports" per
+    reporter; older entries are evicted FIFO.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity <= 0:
+            raise ValueError("backup capacity must be positive")
+        self.capacity = capacity
+        self._buf: "OrderedDict[int, bytes]" = OrderedDict()
+        self.stats = BackupStats()
+
+    def store(self, seq: int, raw: bytes) -> None:
+        """Retain an essential report until it is presumed delivered."""
+        self._buf[seq] = raw
+        self.stats.stored += 1
+        while len(self._buf) > self.capacity:
+            self._buf.popitem(last=False)
+            self.stats.evicted += 1
+
+    def fetch(self, nack: Nack) -> list:
+        """Reports to re-send for a NACK; missing ones are counted lost."""
+        out = []
+        for seq in range(nack.expected_seq,
+                         nack.expected_seq + nack.missing):
+            raw = self._buf.get(seq)
+            if raw is None:
+                self.stats.unavailable += 1
+            else:
+                out.append((seq, raw))
+                self.stats.retransmitted += 1
+        return out
+
+    def __len__(self) -> int:
+        return len(self._buf)

@@ -1,0 +1,152 @@
+"""The translator's postcard-aggregation cache (Section 4.2).
+
+An SRAM hash table of ``slots`` rows; each row caches the postcards of
+one in-flight flow/packet until all of them (per the announced path
+length) have arrived, at which point the row is *emitted* as a single
+chunk write.  A different flow hashing into an occupied row evicts it —
+an **early emission**, written with blank tail slots and counted as a
+collection failure in Fig. 10 ("early emissions ... are counted as
+failures in this test despite being potentially useful").
+
+The cache is deliberately standalone (keys are opaque hashables) so the
+Fig. 10 Monte Carlo can drive it at millions of postcards without the
+packet codec in the loop; the translator wraps it with real flow keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import zlib
+
+
+@dataclass
+class Emission:
+    """A chunk leaving the cache toward collector memory."""
+
+    key: object
+    values: list            # length == hops; missing postcards are None
+    complete: bool          # all expected postcards present?
+    reason: str             # "complete" | "collision"
+
+
+@dataclass
+class CacheStats:
+    postcards: int = 0
+    emissions_complete: int = 0
+    emissions_early: int = 0
+    duplicates: int = 0
+
+    @property
+    def aggregated_fraction(self) -> float:
+        """Fraction of emissions that carried a full path."""
+        total = self.emissions_complete + self.emissions_early
+        return self.emissions_complete / total if total else 0.0
+
+
+class _Row:
+    __slots__ = ("key", "values", "count", "path_len")
+
+    def __init__(self, key, hops: int, path_len: int) -> None:
+        self.key = key
+        self.values = [None] * hops
+        self.count = 0
+        self.path_len = path_len
+
+
+class PostcardCache:
+    """A ``slots``-row direct-mapped aggregation cache.
+
+    Args:
+        slots: Row count (32K in the hardware implementation).
+        hops: B, the maximum postcards per flow.
+    """
+
+    def __init__(self, slots: int = 32 * 1024, hops: int = 5) -> None:
+        if slots <= 0 or hops <= 0:
+            raise ValueError("slots and hops must be positive")
+        self.slots = slots
+        self.hops = hops
+        self._rows: list[_Row | None] = [None] * slots
+        self.stats = CacheStats()
+        #: Collision emissions displaced by an insert whose new row
+        #: completed immediately; drained by the caller alongside the
+        #: returned emission.
+        self.pending_evicted: list[Emission] = []
+
+    def _index(self, key) -> int:
+        if isinstance(key, int):
+            # Mix the bits: sequential flow ids must spread like the
+            # hardware CRC does, not fall into consecutive rows.
+            from repro.switch.crc import _splitmix64
+
+            return _splitmix64(key) % self.slots
+        if isinstance(key, bytes):
+            return zlib.crc32(b"\x50\x43" + key) % self.slots
+        return hash(key) % self.slots
+
+    def insert(self, key, hop: int, value, *,
+               path_len: int | None = None) -> Emission | None:
+        """Add one postcard; returns an emission if a chunk left the cache.
+
+        A collision both evicts the old row (early emission) and starts
+        a new row for the incoming flow, so at most one emission results
+        per insert (collision-then-complete on a 1-hop path yields the
+        collision emission first; the new row emits on a later call or,
+        for single-postcard paths, immediately — in which case the
+        *complete* emission is returned and the collision one is
+        recorded in stats and :attr:`pending_evicted`).
+        """
+        if not 0 <= hop < self.hops:
+            raise IndexError(f"hop {hop} outside [0, {self.hops})")
+        self.stats.postcards += 1
+        expected = path_len if path_len else self.hops
+        index = self._index(key)
+        row = self._rows[index]
+
+        evicted: Emission | None = None
+        if row is not None and row.key != key:
+            evicted = self._emit(index, "collision")
+            row = None
+        if row is None:
+            row = _Row(key, self.hops, expected)
+            self._rows[index] = row
+        if path_len:
+            row.path_len = path_len
+        if row.values[hop] is None:
+            row.values[hop] = value
+            row.count += 1
+        else:
+            self.stats.duplicates += 1
+            row.values[hop] = value
+
+        if row.count >= min(row.path_len, self.hops):
+            completed = self._emit(index, "complete")
+            if evicted is not None:
+                self.pending_evicted.append(evicted)
+            return completed
+        return evicted
+
+    def _emit(self, index: int, reason: str) -> Emission:
+        row = self._rows[index]
+        assert row is not None
+        self._rows[index] = None
+        complete = reason == "complete"
+        if complete:
+            self.stats.emissions_complete += 1
+        else:
+            self.stats.emissions_early += 1
+        return Emission(key=row.key, values=list(row.values),
+                        complete=complete, reason=reason)
+
+    def flush(self) -> list:
+        """Evict every resident row (end of epoch / teardown)."""
+        out = []
+        for i, row in enumerate(self._rows):
+            if row is not None:
+                out.append(self._emit(i, "collision"))
+        return out
+
+    @property
+    def occupancy(self) -> int:
+        return sum(1 for row in self._rows if row is not None)

@@ -1,0 +1,201 @@
+"""The DTA reporter: a telemetry-generating switch.
+
+Reporters (Section 4.1) wrap monitoring-system output in the DTA
+protocol and fire it at the translator responsible for the target
+collector — stateless, connectionless, and as cheap as plain UDP
+(Fig. 7).  The only state a reporter keeps is flow-control related:
+the essential-report sequence counter, a bounded backup buffer for
+NACK-triggered retransmission, and the congestion level last signalled
+by the translator (low-priority reports are shed locally while it is
+raised).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import packets
+from repro.core.flow_control import ReportBackup
+from repro.core.packets import (
+    Append,
+    CongestionSignal,
+    DtaFlags,
+    DtaPrimitive,
+    KeyIncrement,
+    KeyWrite,
+    Nack,
+    Postcard,
+    SketchColumn,
+)
+from repro.core.transport import CtrlFrame, DtaFrame
+from repro.fabric.topology import Node
+
+
+@dataclass
+class ReporterStats:
+    reports_sent: int = 0
+    essential_sent: int = 0
+    shed_by_congestion: int = 0
+    nacks_received: int = 0
+    retransmitted: int = 0
+    lost_forever: int = 0
+
+
+class Reporter(Node):
+    """One telemetry-generating switch.
+
+    Args:
+        name: Node name (fabric addressing).
+        reporter_id: 16-bit identity carried in every DTA header.
+        translator: Name of the translator node (fabric mode), or None
+            when a ``transmit`` callable is injected (direct mode).
+        transmit: Optional ``callable(raw_bytes)`` used instead of a
+            fabric link — unit tests and benchmarks wire this straight
+            into ``Translator.handle_report``.
+        backup_capacity: Essential reports retained for retransmission
+            (Section 5.3 provisions 256).
+    """
+
+    def __init__(self, name: str, reporter_id: int, *,
+                 translator: str | None = None, transmit=None,
+                 backup_capacity: int = 256) -> None:
+        super().__init__(name)
+        if not 0 <= reporter_id < (1 << 16):
+            raise ValueError("reporter_id must fit 16 bits")
+        self.reporter_id = reporter_id
+        self.translator = translator
+        self.transmit = transmit
+        self.backup = ReportBackup(backup_capacity)
+        self.stats = ReporterStats()
+        self.congestion_level = 0
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # Emission API — one method per DTA primitive
+    # ------------------------------------------------------------------
+
+    def key_write(self, key: bytes, data: bytes, *, redundancy: int = 2,
+                  essential: bool = False, immediate: bool = False) -> bool:
+        """Report a key-value pair via Key-Write."""
+        return self._emit(KeyWrite(key=key, data=data,
+                                   redundancy=redundancy), essential,
+                          immediate)
+
+    def key_increment(self, key: bytes, value: int, *,
+                      redundancy: int = 2, essential: bool = False,
+                      immediate: bool = False) -> bool:
+        """Add ``value`` to the collector-side counter of ``key``."""
+        return self._emit(KeyIncrement(key=key, value=value,
+                                       redundancy=redundancy), essential,
+                          immediate)
+
+    def postcard(self, key: bytes, hop: int, value: int, *,
+                 path_length: int = 0, redundancy: int = 1,
+                 essential: bool = False, immediate: bool = False) -> bool:
+        """Report one INT postcard for flow/packet ``key``."""
+        return self._emit(Postcard(key=key, hop=hop, value=value,
+                                   path_length=path_length,
+                                   redundancy=redundancy), essential,
+                          immediate)
+
+    def append(self, list_id: int, data: bytes, *,
+               essential: bool = False, immediate: bool = False) -> bool:
+        """Append an event record to a collector list.
+
+        ``immediate`` requests an RDMA-immediate CPU interrupt at the
+        collector (Section 6, "push notifications") — e.g. "a flow is
+        experiencing problems"; the translator flushes the list's batch
+        right away so the notified CPU finds the data in place.
+        """
+        return self._emit(Append(list_id=list_id, data=data), essential,
+                          immediate)
+
+    def sketch_column(self, sketch_id: int, column: int, counters, *,
+                      essential: bool = False) -> bool:
+        """Ship one sketch column toward the network-wide merge."""
+        return self._emit(SketchColumn(sketch_id=sketch_id, column=column,
+                                       counters=tuple(counters)),
+                          essential, False)
+
+    # ------------------------------------------------------------------
+
+    def _emit(self, operation, essential: bool,
+              immediate: bool = False) -> bool:
+        """Encode and transmit; returns False if shed by congestion."""
+        if self.congestion_level > 0 and not essential:
+            # Section 3.3: under congestion, "telemetry reports deemed
+            # as low-priority are discarded, while the essential ones
+            # are backed up".
+            self.stats.shed_by_congestion += 1
+            return False
+        flags = DtaFlags.ESSENTIAL if essential else DtaFlags.NONE
+        if immediate:
+            flags |= DtaFlags.IMMEDIATE
+        seq = 0
+        if essential:
+            seq = self._seq
+            self._seq += 1
+        raw = packets.make_report(operation, reporter_id=self.reporter_id,
+                                  seq=seq, flags=flags)
+        if essential:
+            self.backup.store(seq, raw)
+        self._transmit(raw)
+        self.stats.reports_sent += 1
+        if essential:
+            self.stats.essential_sent += 1
+        return True
+
+    def _transmit(self, raw: bytes) -> None:
+        if self.transmit is not None:
+            self.transmit(raw)
+        elif self.translator is not None:
+            wire = len(raw) + 42  # Eth + IPv4 + UDP framing
+            self.send(self.translator, DtaFrame(src=self.name, raw=raw),
+                      wire)
+        else:
+            raise RuntimeError(
+                f"reporter {self.name} has neither a link nor a transmit "
+                "callback")
+
+    # ------------------------------------------------------------------
+    # Control-message handling (fabric mode)
+    # ------------------------------------------------------------------
+
+    def receive(self, packet) -> None:
+        if not isinstance(packet, CtrlFrame):
+            raise TypeError(f"reporter got unexpected {packet!r}")
+        header, message = packets.decode_report(packet.raw)
+        if header.primitive == DtaPrimitive.NACK:
+            self.handle_nack(message)
+        elif header.primitive == DtaPrimitive.CONGESTION:
+            self.handle_congestion(message)
+        else:
+            raise ValueError(f"unexpected control primitive {header}")
+
+    def handle_nack(self, nack: Nack) -> int:
+        """Re-send backed-up reports covered by a NACK.
+
+        Returns the number retransmitted; reports already evicted from
+        the backup are lost for good and counted.
+        """
+        self.stats.nacks_received += 1
+        available = self.backup.fetch(nack)
+        self.stats.lost_forever += nack.missing - len(available)
+        for _seq, raw in available:
+            header = packets.DtaHeader.unpack(raw)
+            resent = packets.DtaHeader(
+                primitive=header.primitive,
+                flags=header.flags | DtaFlags.RETRANSMIT,
+                reporter_id=header.reporter_id,
+                seq=header.seq).pack() + raw[packets.BASE_HEADER_BYTES:]
+            self._transmit(resent)
+            self.stats.retransmitted += 1
+        return len(available)
+
+    def handle_congestion(self, signal: CongestionSignal) -> None:
+        """Raise the local shedding level (reset via :meth:`relax`)."""
+        self.congestion_level = max(self.congestion_level, signal.level)
+
+    def relax(self) -> None:
+        """Clear congestion state once the translator stops signalling."""
+        self.congestion_level = 0

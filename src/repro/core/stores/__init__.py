@@ -1,0 +1,42 @@
+"""Queryable collector-memory data structures for each DTA primitive.
+
+Each store couples a *layout* (pure address/encoding arithmetic shared
+by the translator, which writes through RDMA, and the collector, which
+reads with its CPU) with a :class:`repro.rdma.memory.MemoryRegion`.
+The layouts are the "switch-level RDMA language extension" of Section
+3.1 made concrete: given only write/fetch-add verbs, where must each
+report land so the CPU can later find it with O(1) hashing?
+"""
+
+from repro.core.stores.append import AppendLayout, AppendStore, ListPoller
+from repro.core.stores.keyincrement import (
+    KeyIncrementLayout,
+    KeyIncrementStore,
+)
+from repro.core.stores.keywrite import (
+    KeyWriteLayout,
+    KeyWriteStore,
+    QueryResult,
+)
+from repro.core.stores.postcarding import (
+    BLANK,
+    PostcardingLayout,
+    PostcardingStore,
+)
+from repro.core.stores.sketchstore import SketchLayout, SketchStore
+
+__all__ = [
+    "AppendLayout",
+    "AppendStore",
+    "ListPoller",
+    "KeyIncrementLayout",
+    "KeyIncrementStore",
+    "KeyWriteLayout",
+    "KeyWriteStore",
+    "QueryResult",
+    "BLANK",
+    "PostcardingLayout",
+    "PostcardingStore",
+    "SketchLayout",
+    "SketchStore",
+]

@@ -1,0 +1,163 @@
+"""The Append store: pre-allocated ring-buffer lists in collector memory.
+
+Section 3.2 ("Append") / 4.2: the translator keeps a per-list head
+pointer and writes incoming reports — batched B at a time — into the
+list's ring buffer with single RDMA writes.  The collector CPU drains
+lists sequentially (Fig. 12), one core per list to avoid tail races.
+
+Readiness without CPU involvement: each entry is prefixed with a
+one-byte *lap tag* (1 + lap%250, never zero).  A poller that knows its
+position expects a specific tag value; the tag only assumes that value
+once the translator's write for the current lap has landed.  This keeps
+the data path entirely one-sided — no doorbells, no head-pointer
+mirror — at the cost of one byte per entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.rdma.memory import MemoryRegion
+
+LAP_TAG_BYTES = 1
+_LAP_MOD = 250
+
+
+def lap_tag(lap: int) -> int:
+    """The non-zero tag byte expected for entries written on ``lap``."""
+    return 1 + (lap % _LAP_MOD)
+
+
+@dataclass(frozen=True)
+class AppendLayout:
+    """Address arithmetic for a region holding ``lists`` ring buffers.
+
+    Every list has ``capacity`` entries of ``data_bytes`` payload, each
+    preceded by the lap tag, laid out back to back.
+    """
+
+    base_addr: int
+    lists: int
+    capacity: int
+    data_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.lists <= 0 or self.capacity <= 0 or self.data_bytes <= 0:
+            raise ValueError("lists, capacity, data_bytes must be positive")
+
+    @property
+    def entry_bytes(self) -> int:
+        return LAP_TAG_BYTES + self.data_bytes
+
+    @property
+    def list_bytes(self) -> int:
+        return self.capacity * self.entry_bytes
+
+    @property
+    def region_bytes(self) -> int:
+        return self.lists * self.list_bytes
+
+    def list_base(self, list_id: int) -> int:
+        if not 0 <= list_id < self.lists:
+            raise IndexError(f"list {list_id} out of range")
+        return self.base_addr + list_id * self.list_bytes
+
+    def entry_addr(self, list_id: int, slot: int) -> int:
+        """Address of entry ``slot`` (0-based within the ring)."""
+        if not 0 <= slot < self.capacity:
+            raise IndexError(f"slot {slot} out of range")
+        return self.list_base(list_id) + slot * self.entry_bytes
+
+    def encode_entry(self, data: bytes, lap: int) -> bytes:
+        """Tag + padded payload for one entry."""
+        if len(data) > self.data_bytes:
+            raise ValueError("entry data too wide for this layout")
+        return bytes([lap_tag(lap)]) + data.ljust(self.data_bytes, b"\x00")
+
+    def encode_batch(self, entries: list, head: int) -> bytes:
+        """Contiguous payload for a batch starting at absolute ``head``.
+
+        ``head`` is the total number of entries ever written to the
+        list; slot and lap derive from it.  The batch must not wrap
+        (the translator flushes at ring boundaries).
+        """
+        slot = head % self.capacity
+        if slot + len(entries) > self.capacity:
+            raise ValueError("batch would wrap the ring; split it")
+        lap = head // self.capacity
+        return b"".join(self.encode_entry(e, lap) for e in entries)
+
+
+class AppendStore:
+    """Collector-side Append helpers: pollers and direct reads."""
+
+    def __init__(self, region: MemoryRegion, layout: AppendLayout) -> None:
+        if layout.region_bytes > region.length:
+            raise ValueError("layout does not fit the memory region")
+        if layout.base_addr != region.addr:
+            raise ValueError("layout base address must match the region")
+        self.region = region
+        self.layout = layout
+
+    def poller(self, list_id: int) -> "ListPoller":
+        """A sequential reader for one list (one CPU core's work)."""
+        return ListPoller(self, list_id)
+
+    def read_entry(self, list_id: int, slot: int) -> tuple[int, bytes]:
+        """Raw (tag, data) of one ring slot."""
+        layout = self.layout
+        offset = (layout.list_base(list_id) - layout.base_addr
+                  + slot * layout.entry_bytes)
+        raw = self.region.local_read(offset, layout.entry_bytes)
+        return raw[0], raw[1:]
+
+    def recent(self, list_id: int, count: int, head: int) -> list:
+        """The last ``count`` entries given the absolute head position.
+
+        Used by queries like Marple Lossy-Flows: "retrieve the most
+        recently reported network flows" (Section 5.1).
+        """
+        layout = self.layout
+        count = min(count, head, layout.capacity)
+        out = []
+        for i in range(head - count, head):
+            tag, data = self.read_entry(list_id, i % layout.capacity)
+            if tag == lap_tag(i // layout.capacity):
+                out.append(data)
+        return out
+
+
+class ListPoller:
+    """Drains one Append list in order, entry by entry.
+
+    Tracks its absolute position; :meth:`poll` returns all entries that
+    have landed since the previous call.  Fig. 12's polling-rate model
+    charges :data:`repro.calibration.POLL_T_ENTRY_NS` per entry.
+    """
+
+    def __init__(self, store: AppendStore, list_id: int) -> None:
+        self.store = store
+        self.list_id = list_id
+        self.position = 0
+        self.entries_read = 0
+
+    def poll(self, max_entries: int | None = None) -> list:
+        """Read forward until the next entry is not yet published."""
+        out = []
+        layout = self.store.layout
+        while max_entries is None or len(out) < max_entries:
+            slot = self.position % layout.capacity
+            expected = lap_tag(self.position // layout.capacity)
+            tag, data = self.store.read_entry(self.list_id, slot)
+            if tag != expected:
+                break
+            out.append(data)
+            self.position += 1
+        self.entries_read += len(out)
+        return out
+
+    def modelled_drain_rate(self, cores: int = 1) -> float:
+        """Entries/s the cost model allows (Fig. 12b)."""
+        from repro import calibration
+
+        return cores * 1e9 / calibration.POLL_T_ENTRY_NS

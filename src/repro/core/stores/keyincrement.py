@@ -1,0 +1,92 @@
+"""The Key-Increment store: a Count-Min-Sketch over RDMA Fetch-and-Add.
+
+Section 3.2 ("Key-Increment"): "Our KI memory acts as a Count-Min
+Sketch and we increment N value locations using the RDMA Fetch-and-Add
+primitive.  On a query, KI returns the minimum value from these N
+locations." — so unlike Key-Write there are no checksums: collisions
+*add*, and the row-minimum bounds the overestimate exactly as in a CMS.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.rdma.memory import MemoryRegion
+from repro.switch.crc import hash_family
+
+COUNTER_BYTES = 8  # RDMA atomics operate on 64-bit words
+
+
+@dataclass(frozen=True)
+class KeyIncrementLayout:
+    """Address arithmetic for a Key-Increment counter region.
+
+    The region is organised as N logical rows of ``slots_per_row``
+    counters, so the N locations of a key never collide with each other
+    (standard CMS layout; hash n indexes row n).
+    """
+
+    base_addr: int
+    slots_per_row: int
+    rows: int = 4
+
+    def __post_init__(self) -> None:
+        if self.slots_per_row <= 0 or self.rows <= 0:
+            raise ValueError("slots_per_row and rows must be positive")
+        object.__setattr__(self, "_hashes",
+                           tuple(hash_family(self.rows)))
+
+    @property
+    def region_bytes(self) -> int:
+        return self.rows * self.slots_per_row * COUNTER_BYTES
+
+    def counter_index(self, n: int, key: bytes) -> int:
+        """Flat index of the key's counter in row ``n``."""
+        if not 0 <= n < self.rows:
+            raise IndexError("row out of range")
+        col = self._hashes[n](key) % self.slots_per_row
+        return n * self.slots_per_row + col
+
+    def counter_addr(self, n: int, key: bytes) -> int:
+        return self.base_addr + self.counter_index(n, key) * COUNTER_BYTES
+
+
+class KeyIncrementStore:
+    """Collector-side Key-Increment queries (CMS point estimates)."""
+
+    def __init__(self, region: MemoryRegion,
+                 layout: KeyIncrementLayout) -> None:
+        if layout.region_bytes > region.length:
+            raise ValueError("layout does not fit the memory region")
+        if layout.base_addr != region.addr:
+            raise ValueError("layout base address must match the region")
+        self.region = region
+        self.layout = layout
+        self.queries = 0
+
+    def query(self, key: bytes, *, redundancy: int | None = None) -> int:
+        """CMS point estimate: min over the key's N counters."""
+        self.queries += 1
+        n_rows = min(redundancy or self.layout.rows, self.layout.rows)
+        values = []
+        for n in range(n_rows):
+            offset = self.layout.counter_index(n, key) * COUNTER_BYTES
+            raw = self.region.local_read(offset, COUNTER_BYTES)
+            values.append(struct.unpack("<Q", raw)[0])
+        return min(values)
+
+    def local_increment(self, key: bytes, value: int = 1, *,
+                        redundancy: int | None = None) -> None:
+        """Testing/analysis helper: increment without the RDMA path."""
+        n_rows = min(redundancy or self.layout.rows, self.layout.rows)
+        for n in range(n_rows):
+            offset = self.layout.counter_index(n, key) * COUNTER_BYTES
+            raw = self.region.local_read(offset, COUNTER_BYTES)
+            current = struct.unpack("<Q", raw)[0]
+            self.region.local_write(
+                offset, struct.pack("<Q", current + value))
+
+    def reset(self) -> None:
+        """Zero the counters ("memory may be reset periodically")."""
+        self.region.local_write(0, b"\x00" * self.layout.region_bytes)

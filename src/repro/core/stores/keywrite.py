@@ -1,0 +1,216 @@
+"""The Key-Write store: a write-only-friendly probabilistic key-value map.
+
+Algorithm (Section 3.2, Appendix A.1): a key's report is written to N
+slots chosen by N global hash functions; each slot holds the 4-byte CRC
+checksum of the key next to the value.  Queries recompute the N slots,
+keep candidates whose checksum matches, and return the plurality value
+(optionally requiring a consensus threshold T).  Collisions overwrite
+freely — redundancy plus checksums turn that into a bounded, analysable
+error probability (Appendix A.6 / :mod:`repro.core.analysis`).
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro import calibration
+from repro.rdma.memory import MemoryRegion
+from repro.switch.crc import hash_family
+
+CHECKSUM_BYTES = calibration.DEFAULT_CHECKSUM_BITS // 8
+MAX_REDUNDANCY = 16
+
+
+@dataclass(frozen=True)
+class KeyWriteLayout:
+    """Address/encoding arithmetic for a Key-Write region.
+
+    Attributes:
+        base_addr: Virtual address of slot 0.
+        slots: M, the number of key-value slots.
+        data_bytes: Value width (e.g. 4 for single INT postcards, 20 for
+            a full 5-hop path).
+    """
+
+    base_addr: int
+    slots: int
+    data_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.slots <= 0:
+            raise ValueError("need at least one slot")
+        if self.data_bytes <= 0:
+            raise ValueError("data_bytes must be positive")
+        # Hash functions are derived deterministically, so translator and
+        # collector instances agree without coordination ("global hash
+        # functions", Section 3.2).
+        object.__setattr__(self, "_slot_hashes",
+                           tuple(hash_family(MAX_REDUNDANCY)))
+        object.__setattr__(self, "_csum_hash",
+                           hash_family(MAX_REDUNDANCY + 1)[-1])
+
+    @property
+    def slot_bytes(self) -> int:
+        return CHECKSUM_BYTES + self.data_bytes
+
+    @property
+    def region_bytes(self) -> int:
+        return self.slots * self.slot_bytes
+
+    def slot_index(self, n: int, key: bytes) -> int:
+        """The n'th redundancy slot of ``key`` (0-based n)."""
+        return self._slot_hashes[n](key) % self.slots
+
+    def slot_addr(self, n: int, key: bytes) -> int:
+        return self.base_addr + self.slot_index(n, key) * self.slot_bytes
+
+    def checksum(self, key: bytes) -> int:
+        """The 32-bit key checksum stored alongside each value."""
+        return self._csum_hash(key)
+
+    def encode_entry(self, key: bytes, data: bytes) -> bytes:
+        """Wire payload of one slot: checksum || value (padded)."""
+        if len(data) > self.data_bytes:
+            raise ValueError(
+                f"data ({len(data)}B) exceeds slot value width "
+                f"({self.data_bytes}B)")
+        padded = data.ljust(self.data_bytes, b"\x00")
+        return struct.pack(">I", self.checksum(key)) + padded
+
+    def decode_entry(self, raw: bytes) -> tuple[int, bytes]:
+        """Split a slot into (checksum, value bytes)."""
+        (csum,) = struct.unpack_from(">I", raw)
+        return csum, raw[CHECKSUM_BYTES:CHECKSUM_BYTES + self.data_bytes]
+
+
+@dataclass
+class QueryStats:
+    """Instrumentation for the Fig. 9 query-cost model."""
+
+    queries: int = 0
+    slot_hashes: int = 0
+    checksum_hashes: int = 0
+    memory_reads: int = 0
+    hits: int = 0
+    empty_returns: int = 0
+
+    def modelled_time_ns(self) -> float:
+        """Total modelled CPU time for the recorded work."""
+        return (self.slot_hashes * calibration.QUERY_T_CRC_SLOT_NS
+                + self.checksum_hashes * calibration.QUERY_T_CRC_CSUM_NS
+                + self.memory_reads * calibration.QUERY_T_MEM_READ_NS
+                + self.queries * calibration.QUERY_T_OVERHEAD_NS)
+
+    def modelled_rate(self, cores: int = 1) -> float:
+        """Queries/s implied by the cost model on ``cores`` cores."""
+        if self.queries == 0:
+            return 0.0
+        per_query_ns = self.modelled_time_ns() / self.queries
+        return cores * 1e9 / per_query_ns
+
+    def breakdown(self) -> dict:
+        """Share of modelled time per component (Fig. 9b)."""
+        total = self.modelled_time_ns()
+        if total == 0:
+            return {}
+        return {
+            "get_slot": self.slot_hashes
+            * calibration.QUERY_T_CRC_SLOT_NS / total,
+            "checksum": self.checksum_hashes
+            * calibration.QUERY_T_CRC_CSUM_NS / total,
+            "memory_read": self.memory_reads
+            * calibration.QUERY_T_MEM_READ_NS / total,
+            "other": self.queries
+            * calibration.QUERY_T_OVERHEAD_NS / total,
+        }
+
+
+@dataclass
+class QueryResult:
+    """Outcome of one Key-Write query."""
+
+    key: bytes
+    value: bytes | None
+    candidates: list = field(default_factory=list)
+    matched_slots: int = 0
+
+    @property
+    def found(self) -> bool:
+        return self.value is not None
+
+
+class KeyWriteStore:
+    """Collector-side view of a Key-Write region: queries only.
+
+    The store never writes telemetry itself — inserts arrive via the
+    translator's RDMA writes into ``region``.  (A ``local_insert``
+    helper exists for unit tests and analysis runs that bypass the
+    transport.)
+    """
+
+    def __init__(self, region: MemoryRegion, layout: KeyWriteLayout) -> None:
+        if layout.region_bytes > region.length:
+            raise ValueError("layout does not fit the memory region")
+        if layout.base_addr != region.addr:
+            raise ValueError("layout base address must match the region")
+        self.region = region
+        self.layout = layout
+        self.stats = QueryStats()
+
+    def query(self, key: bytes, *, redundancy: int | None = None,
+              consensus: int = 1) -> QueryResult:
+        """Look up ``key`` (Algorithm 2).
+
+        Args:
+            key: The telemetry key.
+            redundancy: N used at report time; when unknown the paper
+                says to assume the maximum deployed level — defaults to
+                the configured default redundancy.
+            consensus: T, minimum candidate multiplicity to answer.
+                T=1 is a plurality vote; T=2 trades empty returns for
+                fewer wrong returns (Appendix A.6).
+        """
+        n_slots = redundancy or calibration.DEFAULT_REDUNDANCY
+        layout = self.layout
+        stats = self.stats
+        stats.queries += 1
+
+        expected = layout.checksum(key)
+        stats.checksum_hashes += 1
+
+        candidates: list[bytes] = []
+        for n in range(n_slots):
+            offset = layout.slot_index(n, key) * layout.slot_bytes
+            stats.slot_hashes += 1
+            raw = self.region.local_read(offset, layout.slot_bytes)
+            stats.memory_reads += 1
+            csum, value = layout.decode_entry(raw)
+            if csum == expected:
+                candidates.append(value)
+
+        result = QueryResult(key=key, value=None, candidates=candidates,
+                             matched_slots=len(candidates))
+        if candidates:
+            (value, count), *rest = Counter(candidates).most_common()
+            tied = rest and rest[0][1] == count
+            if count >= consensus and not tied:
+                result.value = value
+        if result.found:
+            stats.hits += 1
+        else:
+            stats.empty_returns += 1
+        return result
+
+    def local_insert(self, key: bytes, data: bytes,
+                     redundancy: int = calibration.DEFAULT_REDUNDANCY
+                     ) -> None:
+        """Testing/analysis helper: insert without the RDMA path."""
+        entry = self.layout.encode_entry(key, data)
+        for n in range(redundancy):
+            offset = self.layout.slot_index(n, key) * self.layout.slot_bytes
+            self.region.local_write(offset, entry)
+
+    def reset_stats(self) -> None:
+        self.stats = QueryStats()

@@ -1,0 +1,226 @@
+"""The Postcarding store: per-flow hop-indexed chunks of encoded postcards.
+
+Section 3.2 ("Postcarding"): memory is divided into C chunks of B slots.
+The i'th postcard of flow x goes to slot ``B*h_j(x) + i`` (one chunk per
+redundancy level j), so a full path report is one contiguous write and
+one random read.  Each slot stores ``checksum(x, i) XOR g(v)`` where g
+maps values into b bits; queries decode by XORing the checksum back out
+and looking the result up in a pre-populated ``{g(v): v}`` table.  A
+"blank" sentinel fills hops beyond the path length so every chunk is
+fully written, minimising hash-collision false positives.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro import calibration
+from repro.rdma.memory import MemoryRegion
+from repro.switch.crc import hash_family
+
+BLANK = None
+"""The "⊔" value marking hops that were not collected."""
+
+_BLANK_TOKEN = b"\xff\xfe__dta_blank__"
+
+
+@dataclass(frozen=True)
+class PostcardingLayout:
+    """Address/encoding arithmetic for a Postcarding region.
+
+    Attributes:
+        base_addr: Virtual address of chunk 0.
+        chunks: C, the number of per-flow chunks.
+        hops: B, the slots per chunk (bound on path length).
+        slot_bits: b, the encoded width per slot (32 in the hardware
+            implementation; smaller b trades memory for collision rate).
+        pad_to: Chunk stride in bytes — the hardware pads 20B chunks to
+            32B for power-of-two addressing (Section 4.2).
+    """
+
+    base_addr: int
+    chunks: int
+    hops: int = calibration.POSTCARDING_MAX_HOPS
+    slot_bits: int = 32
+    pad_to: int = calibration.POSTCARDING_SLOT_PAD_BYTES
+
+    def __post_init__(self) -> None:
+        if self.chunks <= 0 or self.hops <= 0:
+            raise ValueError("chunks and hops must be positive")
+        if self.slot_bits % 8 or not 8 <= self.slot_bits <= 64:
+            raise ValueError("slot_bits must be a byte multiple in [8,64]")
+        if self.pad_to < self.hops * self.slot_bytes_per_slot:
+            raise ValueError("pad_to smaller than the chunk payload")
+        object.__setattr__(self, "_chunk_hashes", tuple(hash_family(8)))
+        # Per-(key, hop) checksums: "hop-specific checksums ... through
+        # custom CRC polynomials" — one derived function per hop.
+        object.__setattr__(self, "_hop_csums",
+                           tuple(hash_family(8 + self.hops,
+                                             width_bits=self.slot_bits)[8:]))
+        object.__setattr__(self, "_value_hash",
+                           hash_family(100, width_bits=self.slot_bits)[-1])
+
+    @property
+    def slot_bytes_per_slot(self) -> int:
+        return self.slot_bits // 8
+
+    @property
+    def chunk_payload_bytes(self) -> int:
+        """Un-padded chunk payload: B encoded slots."""
+        return self.hops * self.slot_bytes_per_slot
+
+    @property
+    def region_bytes(self) -> int:
+        return self.chunks * self.pad_to
+
+    def chunk_index(self, key: bytes, j: int = 0) -> int:
+        """h_j(x): which chunk the j'th redundancy copy lands in."""
+        return self._chunk_hashes[j](key) % self.chunks
+
+    def chunk_addr(self, key: bytes, j: int = 0) -> int:
+        return self.base_addr + self.chunk_index(key, j) * self.pad_to
+
+    def g(self, value) -> int:
+        """The value-encoding hash g: V ∪ {⊔} -> b bits."""
+        token = _BLANK_TOKEN if value is BLANK else \
+            struct.pack(">I", value)
+        return self._value_hash(token)
+
+    def hop_checksum(self, key: bytes, hop: int) -> int:
+        """checksum(x, i), b bits wide."""
+        return self._hop_csums[hop](key)
+
+    def encode_slot(self, key: bytes, hop: int, value) -> int:
+        """checksum(x, i) XOR g(v)."""
+        return self.hop_checksum(key, hop) ^ self.g(value)
+
+    def encode_chunk(self, key: bytes, values: list) -> bytes:
+        """The full chunk payload for up to B postcard values.
+
+        Hops beyond ``len(values)`` are encoded as blank, so the write
+        always covers all B slots.
+        """
+        if len(values) > self.hops:
+            raise ValueError("more values than hops")
+        filled = list(values) + [BLANK] * (self.hops - len(values))
+        fmt = {8: ">B", 16: ">H", 32: ">I", 64: ">Q"}[self.slot_bits]
+        return b"".join(struct.pack(fmt, self.encode_slot(key, i, v))
+                        for i, v in enumerate(filled))
+
+    def decode_chunk(self, key: bytes, raw: bytes, lut: dict) -> list | None:
+        """Try to decode a chunk for ``key``; None if invalid.
+
+        Valid means: some prefix of length ℓ decodes to real values and
+        the remaining B-ℓ slots decode to blank.  Returns the ℓ values.
+        """
+        fmt = {8: ">B", 16: ">H", 32: ">I", 64: ">Q"}[self.slot_bits]
+        size = self.slot_bytes_per_slot
+        decoded = []
+        for i in range(self.hops):
+            (stored,) = struct.unpack_from(fmt, raw, i * size)
+            g_val = stored ^ self.hop_checksum(key, i)
+            decoded.append(lut.get(g_val, _INVALID))
+        # Find the ℓ split: values then blanks, nothing invalid.
+        path = []
+        seen_blank = False
+        for item in decoded:
+            if item is _INVALID:
+                return None
+            if item is BLANK:
+                seen_blank = True
+            elif seen_blank:
+                return None  # value after a blank: inconsistent
+            else:
+                path.append(item)
+        return path
+
+
+class _Invalid:
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<invalid>"
+
+
+_INVALID = _Invalid()
+
+
+class PostcardingStore:
+    """Collector-side Postcarding queries.
+
+    Args:
+        region: The RDMA-written memory.
+        layout: Shared layout.
+        value_set: V — all possible postcard values (e.g. switch IDs).
+            The constructor pre-populates the ``{g(v): v}`` lookup table
+            the paper describes, so per-slot decoding is O(1).
+    """
+
+    def __init__(self, region: MemoryRegion, layout: PostcardingLayout,
+                 value_set) -> None:
+        if layout.region_bytes > region.length:
+            raise ValueError("layout does not fit the memory region")
+        if layout.base_addr != region.addr:
+            raise ValueError("layout base address must match the region")
+        self.region = region
+        self.layout = layout
+        self.lut = {layout.g(v): v for v in value_set}
+        self.lut[layout.g(BLANK)] = BLANK
+        if len(self.lut) != len(set(value_set)) + 1:
+            raise ValueError(
+                "g() collides within the value set; increase slot_bits")
+        self.queries = 0
+        self.hits = 0
+        self.chunk_reads = 0
+        self.hop_checksums = 0
+
+    def modelled_query_time_ns(self) -> float:
+        """Per-query CPU time implied by the Fig. 9 cost constants.
+
+        A Postcarding query is one chunk hash + one *contiguous* read
+        plus B hop-checksum CRCs — versus Key-Write's N random reads
+        per hop.  This is the Section 3.2 query-speed argument made
+        measurable.
+        """
+        from repro import calibration
+
+        if self.queries == 0:
+            return 0.0
+        total = (self.chunk_reads
+                 * (calibration.QUERY_T_CRC_SLOT_NS
+                    + calibration.QUERY_T_MEM_READ_NS)
+                 + self.hop_checksums * calibration.QUERY_T_CRC_CSUM_NS
+                 + self.queries * calibration.QUERY_T_OVERHEAD_NS)
+        return total / self.queries
+
+    def query(self, key: bytes, *, redundancy: int = 1) -> list | None:
+        """Return the postcard values v_0..v_{ℓ-1} for flow ``key``.
+
+        With redundancy N > 1 the result must be consistent across all
+        chunks that contain valid information; conflicting valid chunks
+        yield an empty return (None), per Appendix A.7.
+        """
+        self.queries += 1
+        layout = self.layout
+        results = []
+        for j in range(redundancy):
+            offset = layout.chunk_index(key, j) * layout.pad_to
+            raw = self.region.local_read(offset, layout.chunk_payload_bytes)
+            self.chunk_reads += 1
+            self.hop_checksums += layout.hops
+            decoded = layout.decode_chunk(key, raw, self.lut)
+            if decoded is not None:
+                results.append(tuple(decoded))
+        if not results or len(set(results)) != 1:
+            return None
+        self.hits += 1
+        return list(results[0])
+
+    def local_insert(self, key: bytes, values: list, *,
+                     redundancy: int = 1) -> None:
+        """Testing/analysis helper: write a chunk without RDMA."""
+        payload = self.layout.encode_chunk(key, values)
+        for j in range(redundancy):
+            offset = self.layout.chunk_index(key, j) * self.layout.pad_to
+            self.region.local_write(offset, payload)

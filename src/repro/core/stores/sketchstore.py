@@ -1,0 +1,88 @@
+"""The merged-sketch store: network-wide sketch counters in collector memory.
+
+Section 4.2 ("Sketch-Merge"): the translator merges per-switch columns
+and, once a column has been merged by every expected reporter, flags it
+for transfer; completed columns are written to collector memory in
+contiguous batches of w columns, cutting the RDMA message rate by w.
+
+The region holds the counter matrix column-major (all of column 0's
+depth counters, then column 1's, ...), so a w-column batch is one
+contiguous write.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.rdma.memory import MemoryRegion
+
+COUNTER_BYTES = 4
+
+
+@dataclass(frozen=True)
+class SketchLayout:
+    """Address arithmetic for a column-major sketch counter region."""
+
+    base_addr: int
+    width: int   # columns
+    depth: int   # counters per column
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.depth <= 0:
+            raise ValueError("width and depth must be positive")
+
+    @property
+    def column_bytes(self) -> int:
+        return self.depth * COUNTER_BYTES
+
+    @property
+    def region_bytes(self) -> int:
+        return self.width * self.column_bytes
+
+    def column_addr(self, column: int) -> int:
+        if not 0 <= column < self.width:
+            raise IndexError("column out of range")
+        return self.base_addr + column * self.column_bytes
+
+    def encode_columns(self, columns: list) -> bytes:
+        """Payload for a batch of column tuples (each depth counters)."""
+        out = bytearray()
+        for counters in columns:
+            if len(counters) != self.depth:
+                raise ValueError("column depth mismatch")
+            out += struct.pack(f">{self.depth}I",
+                               *[c & 0xFFFFFFFF for c in counters])
+        return bytes(out)
+
+
+class SketchStore:
+    """Collector-side reads of the merged network-wide sketch."""
+
+    def __init__(self, region: MemoryRegion, layout: SketchLayout) -> None:
+        if layout.region_bytes > region.length:
+            raise ValueError("layout does not fit the memory region")
+        if layout.base_addr != region.addr:
+            raise ValueError("layout base address must match the region")
+        self.region = region
+        self.layout = layout
+
+    def column(self, index: int) -> tuple:
+        """The depth counters of one column."""
+        offset = index * self.layout.column_bytes
+        raw = self.region.local_read(offset, self.layout.column_bytes)
+        return struct.unpack(f">{self.layout.depth}I", raw)
+
+    def matrix(self) -> list:
+        """The full counter matrix as rows (depth lists of width ints)."""
+        rows: list[list[int]] = [[] for _ in range(self.layout.depth)]
+        for j in range(self.layout.width):
+            for r, value in enumerate(self.column(j)):
+                rows[r].append(value)
+        return rows
+
+    def point_query(self, key: bytes, hashes) -> int:
+        """CMS-style min-row estimate using the provided hash family."""
+        rows = self.matrix()
+        return min(row[h(key) % self.layout.width]
+                   for row, h in zip(rows, hashes))

@@ -1,0 +1,581 @@
+"""The DTA translator: ToR switch converting DTA reports into RDMA verbs.
+
+This is the system's centrepiece (Sections 3.1 and 4.2).  The translator
+
+* owns the single RDMA connection to its collector (solving the
+  QP-scaling and multi-writer problems),
+* expands Key-Write/Key-Increment reports into N redundant verbs using
+  the shared global hash functions (the multicast technique),
+* aggregates Postcarding reports in an SRAM cache so a full path costs
+  one write instead of B,
+* batches Append reports B-at-a-time into single writes,
+* merges sketch columns from all reporters and transfers network-wide
+  columns in contiguous batches of w,
+* detects lost essential reports via per-reporter counters and bounces
+  NACKs (Figure 5), and
+* meters its own RDMA generation rate, shedding low-priority reports
+  and signalling congestion upstream when the collector saturates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import calibration
+from repro.core import packets
+from repro.core.flow_control import LossDetector
+from repro.core.packets import (
+    Append,
+    CongestionSignal,
+    DtaFlags,
+    KeyIncrement,
+    KeyWrite,
+    Nack,
+    Postcard,
+    SketchColumn,
+)
+from repro.core.postcard_cache import PostcardCache
+from repro.core.stores.append import AppendLayout
+from repro.core.stores.keyincrement import KeyIncrementLayout
+from repro.core.stores.keywrite import KeyWriteLayout
+from repro.core.stores.postcarding import BLANK, PostcardingLayout
+from repro.core.stores.sketchstore import SketchLayout
+from repro.core.transport import CtrlFrame, DtaFrame, RdmaClient, RoceFrame
+from repro.fabric.topology import Node
+from repro.rdma.cm import ServiceAdvert
+from repro.rdma.verbs import Opcode, WorkRequest
+from repro.switch.meters import Meter, MeterConfig
+
+
+@dataclass
+class TranslatorStats:
+    """Everything the evaluation wants to count."""
+
+    reports_in: int = 0
+    rdma_writes: int = 0
+    rdma_atomics: int = 0
+    rdma_payload_bytes: int = 0
+    keywrites: int = 0
+    keyincrements: int = 0
+    postcards: int = 0
+    postcard_chunks_complete: int = 0
+    postcard_chunks_early: int = 0
+    appends: int = 0
+    append_batches: int = 0
+    sketch_columns: int = 0
+    sketch_column_nacks: int = 0
+    sketch_batches: int = 0
+    nacks_sent: int = 0
+    congestion_signals: int = 0
+    low_priority_dropped: int = 0
+    rerouted_to_cpu: int = 0
+    immediate_writes: int = 0
+
+    @property
+    def rdma_messages(self) -> int:
+        return self.rdma_writes + self.rdma_atomics
+
+
+@dataclass
+class _KeyWriteBinding:
+    layout: KeyWriteLayout
+    rkey: int
+
+
+@dataclass
+class _KeyIncrementBinding:
+    layout: KeyIncrementLayout
+    rkey: int
+
+
+@dataclass
+class _PostcardingBinding:
+    layout: PostcardingLayout
+    rkey: int
+    cache: PostcardCache
+
+
+@dataclass
+class _AppendBinding:
+    layout: AppendLayout
+    rkey: int
+    batch_size: int
+    batches: dict = field(default_factory=dict)   # list_id -> [data, ...]
+    heads: dict = field(default_factory=dict)     # list_id -> total entries
+
+
+@dataclass
+class _SketchBinding:
+    layout: SketchLayout
+    rkey: int
+    expected_reporters: int
+    batch_columns: int
+    merge: str = "sum"                      # "sum" | "max"
+    sketch_id: int = 0
+    columns: list = field(default_factory=list)       # width x depth ints
+    merged_count: list = field(default_factory=list)  # per-column reporters
+    next_column: dict = field(default_factory=dict)   # reporter -> expected
+    completed: list = field(default_factory=list)     # per-column bool
+    next_transfer: int = 0
+
+    def __post_init__(self) -> None:
+        width, depth = self.layout.width, self.layout.depth
+        if not self.columns:
+            self.columns = [[0] * depth for _ in range(width)]
+        if not self.merged_count:
+            self.merged_count = [0] * width
+        if not self.completed:
+            self.completed = [False] * width
+
+
+class Translator(Node):
+    """A DTA translator bound to one collector.
+
+    Args:
+        name: Node name (fabric mode addressing).
+        rate_limit_mps: Collector saturation point in RDMA messages/s;
+            enables the flow-control meter when set (reports arriving
+            above this rate trigger shedding + congestion signals).
+        max_reporters: Loss-detector provisioning (Section 5.3: 65K).
+    """
+
+    def __init__(self, name: str = "translator", *,
+                 rate_limit_mps: float | None = None,
+                 max_reporters: int = calibration.RETRANSMIT_MAX_REPORTERS
+                 ) -> None:
+        super().__init__(name)
+        self.client: RdmaClient | None = None
+        self.stats = TranslatorStats()
+        self.loss = LossDetector(max_reporters)
+        self.control_sink = None   # callable(src, raw) in direct mode
+        self.cpu_backlog: list = []
+        self._kw: _KeyWriteBinding | None = None
+        self._ki: _KeyIncrementBinding | None = None
+        self._pc: _PostcardingBinding | None = None
+        self._ap: _AppendBinding | None = None
+        self._sm: _SketchBinding | None = None
+        self._pending_imm: int | None = None
+        self._meter: Meter | None = None
+        if rate_limit_mps is not None:
+            self._meter = Meter(MeterConfig(
+                committed_rate=rate_limit_mps,
+                committed_burst=max(64.0, rate_limit_mps / 1000),
+                peak_rate=rate_limit_mps * 1.25,
+                peak_burst=max(128.0, rate_limit_mps / 500)))
+        self.now = 0.0
+
+    # ------------------------------------------------------------------
+    # Control plane: service configuration from collector adverts
+    # ------------------------------------------------------------------
+
+    def attach_rdma(self, client: RdmaClient) -> None:
+        """Bind the requester side of the translator<->collector QP."""
+        self.client = client
+
+    def configure(self, advert: ServiceAdvert) -> None:
+        """Install a primitive service from its CM advertisement."""
+        handlers = {
+            "key_write": self._configure_keywrite,
+            "key_increment": self._configure_keyincrement,
+            "postcarding": self._configure_postcarding,
+            "append": self._configure_append,
+            "sketch_merge": self._configure_sketch,
+            "cuckoo": self._configure_cuckoo,
+        }
+        try:
+            handlers[advert.primitive](advert)
+        except KeyError:
+            raise ValueError(
+                f"unknown primitive service '{advert.primitive}'") from None
+
+    def _configure_keywrite(self, advert: ServiceAdvert) -> None:
+        p = advert.params
+        layout = KeyWriteLayout(base_addr=advert.addr, slots=p["slots"],
+                                data_bytes=p["data_bytes"])
+        self._kw = _KeyWriteBinding(layout=layout, rkey=advert.rkey)
+
+    def _configure_keyincrement(self, advert: ServiceAdvert) -> None:
+        p = advert.params
+        layout = KeyIncrementLayout(base_addr=advert.addr,
+                                    slots_per_row=p["slots_per_row"],
+                                    rows=p["rows"])
+        self._ki = _KeyIncrementBinding(layout=layout, rkey=advert.rkey)
+
+    def _configure_postcarding(self, advert: ServiceAdvert) -> None:
+        p = advert.params
+        layout = PostcardingLayout(base_addr=advert.addr,
+                                   chunks=p["chunks"], hops=p["hops"],
+                                   slot_bits=p.get("slot_bits", 32),
+                                   pad_to=p.get(
+                                       "pad_to",
+                                       calibration.POSTCARDING_SLOT_PAD_BYTES))
+        cache = PostcardCache(slots=p.get("cache_slots",
+                                          calibration.POSTCARDING_CACHE_SLOTS),
+                              hops=p["hops"])
+        self._pc = _PostcardingBinding(layout=layout, rkey=advert.rkey,
+                                       cache=cache)
+
+    def _configure_append(self, advert: ServiceAdvert) -> None:
+        p = advert.params
+        layout = AppendLayout(base_addr=advert.addr, lists=p["lists"],
+                              capacity=p["capacity"],
+                              data_bytes=p["data_bytes"])
+        self._ap = _AppendBinding(layout=layout, rkey=advert.rkey,
+                                  batch_size=p.get(
+                                      "batch_size",
+                                      calibration.DEFAULT_BATCH_SIZE))
+
+    def _configure_cuckoo(self, advert: ServiceAdvert) -> None:
+        from repro.core.stores.cuckoo import CuckooLayout
+
+        p = advert.params
+        layout = CuckooLayout(base_addr=advert.addr,
+                              buckets=p["buckets"],
+                              key_bytes=p["key_bytes"],
+                              value_bytes=p["value_bytes"])
+        self._cuckoo = (layout, advert.rkey)
+
+    def cuckoo_manager(self, max_kicks: int = 32):
+        """The Section 6 read-capable aggregation manager, bound to
+        this translator's RDMA connection."""
+        from repro.core.stores.cuckoo import CuckooManager
+
+        if getattr(self, "_cuckoo", None) is None:
+            raise RuntimeError("cuckoo service not configured")
+        if self.client is None:
+            raise RuntimeError("translator has no RDMA connection")
+        layout, rkey = self._cuckoo
+        return CuckooManager(self.client, layout, rkey,
+                             max_kicks=max_kicks)
+
+    def _configure_sketch(self, advert: ServiceAdvert) -> None:
+        p = advert.params
+        layout = SketchLayout(base_addr=advert.addr, width=p["width"],
+                              depth=p["depth"])
+        self._sm = _SketchBinding(layout=layout, rkey=advert.rkey,
+                                  expected_reporters=p["expected_reporters"],
+                                  batch_columns=p.get("batch_columns", 8),
+                                  merge=p.get("merge", "sum"),
+                                  sketch_id=p.get("sketch_id", 0))
+
+    # ------------------------------------------------------------------
+    # Fabric-mode entry point
+    # ------------------------------------------------------------------
+
+    def receive(self, packet) -> None:
+        if isinstance(packet, DtaFrame):
+            self.handle_report(packet.raw, src=packet.src)
+        elif isinstance(packet, RoceFrame):
+            if self.client is not None:
+                self.client.deliver_response(packet.raw)
+        else:
+            raise TypeError(f"translator got unexpected {packet!r}")
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+
+    def handle_report(self, raw: bytes, *, src: str | None = None,
+                      now: float | None = None) -> None:
+        """Process one DTA report end to end."""
+        if now is not None:
+            self.now = now
+        header, op = packets.decode_report(raw)
+        self.stats.reports_in += 1
+
+        # Flow control: congestion shedding happens before any state
+        # is touched, mirroring the ingress meter in hardware.
+        if self._meter is not None and not self._admit(header, raw, src):
+            return
+
+        # Loss detection for essential reports.
+        if header.essential:
+            nack = self.loss.check(
+                header.reporter_id, header.seq,
+                retransmit=bool(header.flags & DtaFlags.RETRANSMIT))
+            if nack is not None:
+                self.stats.nacks_sent += 1
+                self._send_control(src, header.reporter_id, nack)
+                return  # processing aborted; the report will be re-sent
+
+        # Section 6, push notifications: an immediate-flagged report
+        # turns its (first) RDMA write into WRITE_WITH_IMM, raising a
+        # CPU interrupt at the collector.  The 32-bit immediate encodes
+        # (primitive, reporter) so the CPU knows what just landed.
+        if header.flags & DtaFlags.IMMEDIATE:
+            self._pending_imm = (int(header.primitive) << 16) \
+                | header.reporter_id
+        else:
+            self._pending_imm = None
+
+        if isinstance(op, KeyWrite):
+            self._handle_keywrite(op)
+        elif isinstance(op, KeyIncrement):
+            self._handle_keyincrement(op)
+        elif isinstance(op, Postcard):
+            self._handle_postcard(op)
+        elif isinstance(op, Append):
+            self._handle_append(op)
+            if self._pending_imm is not None:
+                # Batching would defer the notification indefinitely;
+                # flush so the interrupted CPU finds the data in place.
+                self._flush_list(op.list_id)
+        elif isinstance(op, SketchColumn):
+            self._handle_sketch_column(op, header.reporter_id, src)
+        else:
+            raise ValueError(f"translator cannot process {op!r}")
+        self._pending_imm = None
+
+    # -- flow control --------------------------------------------------
+
+    def _admit(self, header, raw: bytes, src: str | None) -> bool:
+        assert self._meter is not None
+        color = self._meter.mark(self.now)
+        if color.name == "GREEN":
+            return True
+        if color.name == "YELLOW":
+            if header.essential:
+                # Reroute essential overload through the switch CPU
+                # path, to be re-injected when the meter cools down.
+                self.cpu_backlog.append(raw)
+                self.stats.rerouted_to_cpu += 1
+            else:
+                self.stats.low_priority_dropped += 1
+            return False
+        # RED: signal the reporter to slow down; shed the report.
+        self.stats.congestion_signals += 1
+        self._send_control(src, header.reporter_id, CongestionSignal(level=2))
+        if header.essential:
+            self.cpu_backlog.append(raw)
+            self.stats.rerouted_to_cpu += 1
+        else:
+            self.stats.low_priority_dropped += 1
+        return False
+
+    def reinject_cpu_backlog(self, now: float, max_reports: int = 1024
+                             ) -> int:
+        """Switch-CPU re-injection of rerouted essential reports."""
+        self.now = now
+        count = 0
+        while self.cpu_backlog and count < max_reports:
+            raw = self.cpu_backlog.pop(0)
+            self.handle_report(raw, now=self.now)
+            count += 1
+        return count
+
+    def _send_control(self, src: str | None, reporter_id: int,
+                      message) -> None:
+        raw = packets.make_report(message, reporter_id=reporter_id)
+        if src is not None and src in self._links:
+            self.send(src, CtrlFrame(src=self.name, raw=raw),
+                      len(raw) + 42)
+        elif self.control_sink is not None:
+            self.control_sink(src, raw)
+
+    # -- RDMA emission ---------------------------------------------------
+
+    def _post(self, wr: WorkRequest) -> None:
+        if self.client is None:
+            raise RuntimeError("translator has no RDMA connection")
+        if self._pending_imm is not None and wr.opcode == Opcode.WRITE:
+            wr.opcode = Opcode.WRITE_IMM
+            wr.imm = self._pending_imm
+            self._pending_imm = None
+            self.stats.immediate_writes += 1
+        self.client.post(wr)
+        if wr.opcode.is_atomic:
+            self.stats.rdma_atomics += 1
+        else:
+            self.stats.rdma_writes += 1
+        self.stats.rdma_payload_bytes += wr.payload_bytes
+
+    # -- Key-Write -------------------------------------------------------
+
+    def _handle_keywrite(self, op: KeyWrite) -> None:
+        if self._kw is None:
+            raise RuntimeError("Key-Write service not configured")
+        self.stats.keywrites += 1
+        layout = self._kw.layout
+        entry = layout.encode_entry(op.key, op.data)
+        # The multicast technique: one DTA report fans out into N
+        # identical writes at N hash locations.
+        for n in range(op.redundancy):
+            self._post(WorkRequest(
+                opcode=Opcode.WRITE,
+                remote_addr=layout.slot_addr(n, op.key),
+                rkey=self._kw.rkey, data=entry))
+
+    # -- Key-Increment -----------------------------------------------------
+
+    def _handle_keyincrement(self, op: KeyIncrement) -> None:
+        if self._ki is None:
+            raise RuntimeError("Key-Increment service not configured")
+        self.stats.keyincrements += 1
+        layout = self._ki.layout
+        rows = min(op.redundancy, layout.rows)
+        for n in range(rows):
+            self._post(WorkRequest(
+                opcode=Opcode.FETCH_ADD,
+                remote_addr=layout.counter_addr(n, op.key),
+                rkey=self._ki.rkey, swap=op.value))
+
+    # -- Postcarding ---------------------------------------------------------
+
+    def _handle_postcard(self, op: Postcard) -> None:
+        if self._pc is None:
+            raise RuntimeError("Postcarding service not configured")
+        self.stats.postcards += 1
+        cache = self._pc.cache
+        emission = cache.insert(op.key, op.hop, op.value,
+                                path_len=op.path_length or None)
+        if emission is not None:
+            self._emit_chunk(emission, op.redundancy)
+        while cache.pending_evicted:
+            self._emit_chunk(cache.pending_evicted.pop(), op.redundancy)
+
+    def _emit_chunk(self, emission, redundancy: int) -> None:
+        assert self._pc is not None
+        layout = self._pc.layout
+        if emission.complete:
+            self.stats.postcard_chunks_complete += 1
+        else:
+            self.stats.postcard_chunks_early += 1
+        values = [BLANK if v is None else v for v in emission.values]
+        payload = layout.encode_chunk(emission.key, values)
+        for j in range(max(1, redundancy)):
+            self._post(WorkRequest(
+                opcode=Opcode.WRITE,
+                remote_addr=layout.chunk_addr(emission.key, j),
+                rkey=self._pc.rkey, data=payload))
+
+    # -- Append ------------------------------------------------------------
+
+    def _handle_append(self, op: Append) -> None:
+        if self._ap is None:
+            raise RuntimeError("Append service not configured")
+        ap = self._ap
+        if op.list_id >= ap.layout.lists:
+            raise ValueError(f"list {op.list_id} not provisioned")
+        self.stats.appends += 1
+        batch = ap.batches.setdefault(op.list_id, [])
+        batch.append(op.data)
+        head = ap.heads.get(op.list_id, 0)
+        room = ap.layout.capacity - (head % ap.layout.capacity)
+        if len(batch) >= ap.batch_size or len(batch) >= room:
+            self._flush_list(op.list_id)
+
+    def _flush_list(self, list_id: int) -> None:
+        assert self._ap is not None
+        ap = self._ap
+        batch = ap.batches.get(list_id)
+        if not batch:
+            return
+        head = ap.heads.get(list_id, 0)
+        # Never wrap within one write: split at the ring boundary.
+        while batch:
+            slot = head % ap.layout.capacity
+            room = ap.layout.capacity - slot
+            chunk, batch = batch[:room], batch[room:]
+            payload = ap.layout.encode_batch(chunk, head)
+            self._post(WorkRequest(
+                opcode=Opcode.WRITE,
+                remote_addr=ap.layout.entry_addr(list_id, slot),
+                rkey=ap.rkey, data=payload))
+            head += len(chunk)
+            self.stats.append_batches += 1
+        ap.heads[list_id] = head
+        ap.batches[list_id] = []
+
+    def flush_appends(self) -> None:
+        """Flush every partially-filled Append batch (epoch end)."""
+        if self._ap is None:
+            return
+        for list_id in list(self._ap.batches):
+            self._flush_list(list_id)
+
+    def append_head(self, list_id: int) -> int:
+        """Entries committed to a list so far (for test/query helpers)."""
+        if self._ap is None:
+            return 0
+        return self._ap.heads.get(list_id, 0)
+
+    # -- Sketch-Merge ---------------------------------------------------------
+
+    def _handle_sketch_column(self, op: SketchColumn, reporter_id: int,
+                              src: str | None) -> None:
+        if self._sm is None:
+            raise RuntimeError("Sketch-Merge service not configured")
+        sm = self._sm
+        self.stats.sketch_columns += 1
+        if op.sketch_id != sm.sketch_id:
+            raise ValueError(
+                f"sketch {op.sketch_id} not served here (this translator "
+                f"aggregates sketch {sm.sketch_id}; deploy one service "
+                "per sketch, Section 6: sketches all go to one collector)")
+        if op.column >= sm.layout.width:
+            raise ValueError("sketch column out of range")
+        if len(op.counters) != sm.layout.depth:
+            raise ValueError("sketch column depth mismatch")
+
+        expected = sm.next_column.get(reporter_id, 0)
+        if op.column != expected:
+            # Out-of-order column: NACK back to the reporter, do not
+            # merge (Section 4.2).
+            self.stats.sketch_column_nacks += 1
+            self._send_control(src, reporter_id,
+                               Nack(expected_seq=expected, missing=1))
+            return
+        sm.next_column[reporter_id] = expected + 1
+
+        local = sm.columns[op.column]
+        if sm.merge == "max":
+            for i, value in enumerate(op.counters):
+                if value > local[i]:
+                    local[i] = value
+        else:
+            for i, value in enumerate(op.counters):
+                local[i] += value
+        sm.merged_count[op.column] += 1
+        if sm.merged_count[op.column] >= sm.expected_reporters:
+            sm.completed[op.column] = True
+            self._transfer_completed_columns()
+
+    def reset_sketch_epoch(self) -> None:
+        """Start a fresh sketch epoch (Section 3.2: sketches are
+        reported per epoch; counters and per-reporter column cursors
+        reset once a network-wide sketch has been transferred)."""
+        if self._sm is None:
+            raise RuntimeError("Sketch-Merge service not configured")
+        sm = self._sm
+        width, depth = sm.layout.width, sm.layout.depth
+        sm.columns = [[0] * depth for _ in range(width)]
+        sm.merged_count = [0] * width
+        sm.completed = [False] * width
+        sm.next_column.clear()
+        sm.next_transfer = 0
+
+    def _transfer_completed_columns(self) -> None:
+        """Write batches of w contiguous completed columns."""
+        assert self._sm is not None
+        sm = self._sm
+        while True:
+            start = sm.next_transfer
+            end = start + sm.batch_columns
+            if end > sm.layout.width:
+                # Tail shorter than w: transfer once everything is done.
+                if start < sm.layout.width and all(
+                        sm.completed[start:sm.layout.width]):
+                    end = sm.layout.width
+                else:
+                    return
+            if not all(sm.completed[start:end]):
+                return
+            payload = sm.layout.encode_columns(sm.columns[start:end])
+            self._post(WorkRequest(
+                opcode=Opcode.WRITE,
+                remote_addr=sm.layout.column_addr(start),
+                rkey=sm.rkey, data=payload))
+            self.stats.sketch_batches += 1
+            sm.next_transfer = end
+            if sm.next_transfer >= sm.layout.width:
+                return

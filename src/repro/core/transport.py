@@ -1,0 +1,134 @@
+"""Transport glue between DTA components.
+
+Two deployment modes share the same component code:
+
+* **Direct mode** — translator and collector are wired by function
+  call (:class:`DirectRdmaTransport`); used by unit tests and the
+  throughput benchmarks, where the fabric adds nothing.
+* **Fabric mode** — components are :class:`repro.fabric.topology.Node`
+  subclasses exchanging typed frames over simulated links; used by the
+  loss/flow-control experiments.
+
+Frames are tiny typed envelopes so a node can tell reporter traffic
+from RoCE from control messages without sniffing bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.rdma.nic import Nic
+from repro.rdma.qp import QueuePair
+from repro.rdma.verbs import WorkRequest
+
+
+@dataclass(frozen=True)
+class DtaFrame:
+    """A DTA report on the wire (reporter -> translator)."""
+
+    src: str
+    raw: bytes
+
+
+@dataclass(frozen=True)
+class RoceFrame:
+    """A RoCEv2 packet (translator <-> collector NIC)."""
+
+    src: str
+    raw: bytes
+
+
+@dataclass(frozen=True)
+class CtrlFrame:
+    """A DTA control message (translator -> reporter: NACK/congestion)."""
+
+    src: str
+    raw: bytes
+
+
+class RdmaClient:
+    """Requester-side wrapper: posts work requests, handles responses.
+
+    Owns the client half of a QP; ``send_fn`` moves raw packets toward
+    the responder (a function call in direct mode, a link send in
+    fabric mode).
+    """
+
+    def __init__(self, qp: QueuePair, send_fn) -> None:
+        self.qp = qp
+        self.send_fn = send_fn
+        self.posted = 0
+        self.payload_bytes = 0
+
+    def post(self, wr: WorkRequest) -> None:
+        """Serialise, number, and transmit one verb."""
+        raw = self.qp.post_send(wr)
+        self.posted += 1
+        self.payload_bytes += wr.payload_bytes
+        self.send_fn(raw)
+
+    def deliver_response(self, raw: bytes) -> None:
+        """Feed an ACK/NAK back in; retransmits on go-back-N rewind."""
+        for packet in self.qp.requester_receive(raw):
+            self.send_fn(packet)
+
+    def drain_completions(self) -> list:
+        out = list(self.qp.completions)
+        self.qp.completions.clear()
+        return out
+
+    def resend_outstanding(self) -> int:
+        """Timeout-driven go-back-N: re-send every unacked request.
+
+        Covers tail loss (the last request or its ACK vanished, so no
+        later NAK will expose the gap).  Safe to call any time —
+        duplicates are re-ACKed by the responder without re-execution.
+        Returns the number of packets re-sent.
+        """
+        pending = [raw for _psn, raw, _wr in self.qp._unacked]
+        for raw in pending:
+            self.send_fn(raw)
+        self.qp.counters.retransmits += len(pending)
+        return len(pending)
+
+
+class DirectRdmaTransport:
+    """Synchronous translator->NIC binding for direct mode.
+
+    Every posted packet is executed by the collector NIC immediately and
+    the response fed straight back to the client QP, so callers never
+    see outstanding requests.
+    """
+
+    def __init__(self, nic: Nic) -> None:
+        self.nic = nic
+        self._client: RdmaClient | None = None
+
+    def bind(self, client: RdmaClient) -> None:
+        self._client = client
+
+    def __call__(self, raw: bytes) -> None:
+        response = self.nic.receive(raw)
+        if response is not None and self._client is not None:
+            self._client.deliver_response(response)
+
+
+def make_direct_client(nic: Nic, server_qp: QueuePair,
+                       client_nic: Nic | None = None) -> RdmaClient:
+    """Wire a fresh client QP against ``server_qp`` on ``nic`` directly.
+
+    ``client_nic`` (the translator's own RDMA engine in the strawman
+    per-switch-RDMA ablation) defaults to a throwaway NIC whose cost
+    model is irrelevant — only the collector NIC is ever the bottleneck.
+    """
+    client_nic = client_nic or Nic("client")
+    client_qp = client_nic.create_qp()
+    transport = DirectRdmaTransport(nic)
+    # Wire PSNs: client sends from 0 and the server expects 0; the
+    # server's ACKs carry no data-path PSN state the client lacks.
+    nic.connect_qp(server_qp, client_qp.qpn, send_psn=0, expected_psn=0)
+    client_nic.connect_qp(client_qp, server_qp.qpn,
+                          send_psn=0, expected_psn=0)
+    client = RdmaClient(client_qp, transport)
+    transport.bind(client)
+    return client

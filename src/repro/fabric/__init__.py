@@ -1,0 +1,14 @@
+"""Network fabric substrate: discrete-event simulation of links/nodes.
+
+Provides the transport under the DTA protocol: reporters, translators,
+and collector NICs are nodes; links carry byte-sized packets with
+serialisation delay, propagation latency, finite queues, and optional
+random loss.  The simulator is deterministic given a seed, which the
+test suite relies on.
+"""
+
+from repro.fabric.link import Link, LinkStats
+from repro.fabric.simulator import Simulator
+from repro.fabric.topology import Node, Topology
+
+__all__ = ["Link", "LinkStats", "Simulator", "Node", "Topology"]

@@ -1,0 +1,136 @@
+"""k-ary fat-tree topologies: the data-center fabric DTA lives in.
+
+The paper's Postcarding primitive is sized around "a bound B on the
+number of hops a packet traverses (e.g., five for fat tree topology)".
+This module builds the classic k-ary fat tree (Al-Fares et al.):
+``k`` pods of ``k/2`` edge and ``k/2`` aggregation switches each, plus
+``(k/2)^2`` core switches, with shortest-path routing computed over a
+networkx graph.  Inter-pod paths are exactly 5 switch hops — the B the
+paper designs for.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+import networkx as nx
+
+
+@dataclass(frozen=True)
+class SwitchId:
+    """A switch's place in the fat tree."""
+
+    layer: str          # "edge" | "agg" | "core"
+    pod: int            # -1 for core
+    index: int
+
+    def __str__(self) -> str:
+        if self.layer == "core":
+            return f"core{self.index}"
+        return f"{self.layer}{self.pod}.{self.index}"
+
+
+class FatTree:
+    """A k-ary fat tree with host attachment and path queries.
+
+    Args:
+        k: Port count per switch (even, >= 2).  Hosts: k^3/4.
+    """
+
+    def __init__(self, k: int = 4) -> None:
+        if k < 2 or k % 2:
+            raise ValueError("k must be an even integer >= 2")
+        self.k = k
+        self.graph = nx.Graph()
+        self.edges: list[SwitchId] = []
+        self.aggs: list[SwitchId] = []
+        self.cores: list[SwitchId] = []
+        self._build()
+        self._numeric = {switch: i for i, switch in enumerate(
+            self.edges + self.aggs + self.cores)}
+
+    def _build(self) -> None:
+        k = self.k
+        half = k // 2
+        for pod in range(k):
+            for i in range(half):
+                self.edges.append(SwitchId("edge", pod, i))
+                self.aggs.append(SwitchId("agg", pod, i))
+        for i in range(half * half):
+            self.cores.append(SwitchId("core", -1, i))
+
+        for switch in self.edges + self.aggs + self.cores:
+            self.graph.add_node(switch)
+        # Pod wiring: full bipartite edge<->agg within a pod.
+        for pod in range(k):
+            for e in range(half):
+                for a in range(half):
+                    self.graph.add_edge(SwitchId("edge", pod, e),
+                                        SwitchId("agg", pod, a))
+        # Core wiring: agg j connects to cores [j*half, (j+1)*half).
+        for pod in range(k):
+            for a in range(half):
+                for c in range(half):
+                    self.graph.add_edge(SwitchId("agg", pod, a),
+                                        self.cores[a * half + c])
+
+    # -- hosts --------------------------------------------------------------
+
+    @property
+    def host_count(self) -> int:
+        return self.k ** 3 // 4
+
+    def host_edge(self, host: int) -> SwitchId:
+        """The edge switch a host attaches to."""
+        if not 0 <= host < self.host_count:
+            raise IndexError("host out of range")
+        half = self.k // 2
+        return self.edges[host // half]
+
+    # -- paths ----------------------------------------------------------------
+
+    def path(self, src_host: int, dst_host: int,
+             rng: random.Random | None = None) -> list:
+        """Switch path between two hosts (ECMP choice via ``rng``).
+
+        Same edge: 1 hop.  Same pod: 3 hops (edge-agg-edge).
+        Inter-pod: 5 hops (edge-agg-core-agg-edge) — the paper's B.
+        """
+        src_edge = self.host_edge(src_host)
+        dst_edge = self.host_edge(dst_host)
+        if src_edge == dst_edge:
+            return [src_edge]
+        paths = list(nx.all_shortest_paths(self.graph, src_edge,
+                                           dst_edge))
+        chosen = (rng or random).choice(paths)
+        return list(chosen)
+
+    def numeric_id(self, switch: SwitchId) -> int:
+        """A dense integer id for a switch (postcard values)."""
+        return self._numeric[switch]
+
+    @property
+    def switch_count(self) -> int:
+        return len(self._numeric)
+
+    def numeric_path(self, src_host: int, dst_host: int,
+                     rng: random.Random | None = None) -> list:
+        """The path as dense integer switch ids."""
+        return [self.numeric_id(s)
+                for s in self.path(src_host, dst_host, rng)]
+
+
+def path_length_distribution(tree: FatTree, flows: int,
+                             seed: int = 0) -> dict:
+    """Hop-count histogram over random host pairs (for tests/docs)."""
+    rng = random.Random(seed)
+    histogram: dict[int, int] = {}
+    for _ in range(flows):
+        a = rng.randrange(tree.host_count)
+        b = rng.randrange(tree.host_count)
+        while b == a:
+            b = rng.randrange(tree.host_count)
+        hops = len(tree.path(a, b, rng))
+        histogram[hops] = histogram.get(hops, 0) + 1
+    return histogram

@@ -1,0 +1,104 @@
+"""Point-to-point links with serialisation, queuing, latency, and loss.
+
+A link connects a sender to a receiver node.  Packets serialise at the
+link rate behind a finite FIFO (tail-drop), propagate after a fixed
+delay, and may be dropped at random with a configured loss probability —
+the condition that breaks raw RDMA (Section 2.2(3)) and that DTA's
+NACK-based retransmission recovers from on the reporter-translator path.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro import calibration
+from repro.fabric.simulator import Simulator
+
+
+@dataclass
+class LinkStats:
+    """Per-link counters."""
+
+    sent: int = 0
+    delivered: int = 0
+    random_drops: int = 0
+    queue_drops: int = 0
+    bytes_sent: int = 0
+
+    @property
+    def drops(self) -> int:
+        return self.random_drops + self.queue_drops
+
+
+class Link:
+    """One unidirectional link.
+
+    Args:
+        sim: The event simulator driving delivery.
+        deliver: Callback invoked with each delivered packet.
+        rate_gbps: Line rate (serialisation delay = bytes*8/rate).
+        latency_s: Propagation delay.
+        loss: Per-packet random loss probability.
+        queue_packets: FIFO capacity ahead of the serialiser.
+        seed: RNG seed for the loss process (deterministic runs).
+    """
+
+    def __init__(self, sim: Simulator, deliver: Callable[[Any], None], *,
+                 rate_gbps: float = calibration.LINE_RATE_GBPS,
+                 latency_s: float = 1e-6, loss: float = 0.0,
+                 queue_packets: int = 1024, seed: int = 0,
+                 name: str = "link") -> None:
+        if not 0.0 <= loss <= 1.0:
+            raise ValueError("loss must be a probability")
+        self.sim = sim
+        self.deliver = deliver
+        self.rate_bps = rate_gbps * 1e9
+        self.latency_s = latency_s
+        self.loss = loss
+        self.queue_packets = queue_packets
+        self.name = name
+        self.stats = LinkStats()
+        self._rng = random.Random(seed)
+        self._busy_until = 0.0
+        self._queued = 0
+
+    def wire_bytes(self, payload_bytes: int) -> int:
+        """On-wire frame size including Ethernet framing overhead."""
+        frame = max(payload_bytes, calibration.MIN_FRAME_BYTES)
+        return frame + calibration.ETHERNET_OVERHEAD_BYTES
+
+    def send(self, packet: Any, size_bytes: int) -> bool:
+        """Enqueue a packet; returns False if tail-dropped."""
+        self.stats.sent += 1
+        if self._queued >= self.queue_packets:
+            self.stats.queue_drops += 1
+            return False
+        self._queued += 1
+        self.stats.bytes_sent += size_bytes
+
+        serialise = self.wire_bytes(size_bytes) * 8 / self.rate_bps
+        start = max(self.sim.now, self._busy_until)
+        self._busy_until = start + serialise
+        done = self._busy_until + self.latency_s
+
+        dropped = self.loss > 0 and self._rng.random() < self.loss
+
+        def arrive() -> None:
+            self._queued -= 1
+            if dropped:
+                self.stats.random_drops += 1
+                return
+            self.stats.delivered += 1
+            self.deliver(packet)
+
+        self.sim.at(done, arrive)
+        return True
+
+    @property
+    def utilisation_until_now(self) -> float:
+        """Fraction of elapsed time the serialiser has been busy."""
+        if self.sim.now <= 0:
+            return 0.0
+        return min(1.0, self._busy_until / self.sim.now)

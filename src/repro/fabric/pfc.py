@@ -1,0 +1,110 @@
+"""Priority Flow Control on the translator-collector link.
+
+Section 3.1(3): with DTA, "the translator is the only component that
+creates a point-to-point RDMA connection to the collector.  As a
+consequence, we have to avoid packet loss only on that specific link,
+e.g., using PFC or by applying a rate-limiting scheme."  Running PFC on
+*one* point-to-point hop is safe — the deadlock and head-of-line
+problems of fabric-wide PFC (Section 2.2(3)) come from multi-hop
+circular buffer dependencies, which a single hop cannot form.
+
+:class:`PfcLink` models that hop: the receiver drains at a finite
+service rate; when its backlog crosses the XOFF threshold the sender
+pauses instead of dropping, resuming at XON.  Nothing is ever lost —
+the cost is delay (and upstream pressure, which DTA's telemetry
+flow-control handles separately at the reporters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro import calibration
+from repro.fabric.link import Link, LinkStats
+from repro.fabric.simulator import Simulator
+
+
+@dataclass
+class PfcStats(LinkStats):
+    """Link counters plus pause accounting."""
+
+    pause_events: int = 0
+    paused_seconds: float = 0.0
+
+
+class PfcLink(Link):
+    """A lossless link: backlog pauses the sender, never drops.
+
+    Args:
+        service_rate_pps: Receiver consumption rate (the collector
+            NIC's message rate for the current payload mix).
+        xoff_packets: Backlog that triggers a pause frame.
+        xon_packets: Backlog at which transmission resumes.
+        (Remaining args as :class:`~repro.fabric.link.Link`; ``loss``
+        and ``queue_packets`` are ignored — PFC makes both moot.)
+    """
+
+    def __init__(self, sim: Simulator, deliver: Callable[[Any], None], *,
+                 service_rate_pps: float,
+                 xoff_packets: int = 64, xon_packets: int = 16,
+                 rate_gbps: float = calibration.LINE_RATE_GBPS,
+                 latency_s: float = 1e-6, name: str = "pfc-link") -> None:
+        super().__init__(sim, deliver, rate_gbps=rate_gbps,
+                         latency_s=latency_s, loss=0.0,
+                         queue_packets=1, name=name)
+        if service_rate_pps <= 0:
+            raise ValueError("service rate must be positive")
+        if xon_packets >= xoff_packets:
+            raise ValueError("XON must be below XOFF")
+        self.service_s = 1.0 / service_rate_pps
+        self.xoff = xoff_packets
+        self.xon = xon_packets
+        self.stats = PfcStats()
+        self._receiver_free_at = 0.0
+        self._paused = False
+
+    def send(self, packet: Any, size_bytes: int) -> bool:
+        """Transmit; never drops.  Returns True always."""
+        self.stats.sent += 1
+        self.stats.bytes_sent += size_bytes
+
+        serialise = self.wire_bytes(size_bytes) * 8 / self.rate_bps
+        start = max(self.sim.now, self._busy_until)
+
+        # Receiver backlog at the moment this packet would arrive
+        # (propagation delay is pipeline, not queue depth).
+        projected_arrival = start + serialise + self.latency_s
+        backlog = self._receiver_free_at - projected_arrival
+        backlog_packets = backlog / self.service_s
+        if backlog_packets >= self.xoff:
+            # PAUSE: hold the wire until the receiver drains to XON.
+            resume_at = self._receiver_free_at \
+                - self.xon * self.service_s - serialise - self.latency_s
+            if resume_at > start:
+                if not self._paused:
+                    self.stats.pause_events += 1
+                    self._paused = True
+                self.stats.paused_seconds += resume_at - start
+                start = resume_at
+        else:
+            self._paused = False
+
+        self._busy_until = start + serialise
+        arrival = self._busy_until + self.latency_s
+        service_start = max(arrival, self._receiver_free_at)
+        self._receiver_free_at = service_start + self.service_s
+        done = self._receiver_free_at
+
+        def arrive() -> None:
+            self.stats.delivered += 1
+            self.deliver(packet)
+
+        self.sim.at(done, arrive)
+        return True
+
+    @property
+    def backlog_packets(self) -> float:
+        """Current receiver backlog in packets."""
+        return max(0.0, (self._receiver_free_at - self.sim.now)
+                   / self.service_s)

@@ -1,0 +1,125 @@
+"""Topology wiring: nodes and the DTA star (reporters -> translator -> collector).
+
+The evaluation topology is simple (Section 5: traffic generator ->
+Tofino -> collector), but DTA's architecture is a fan-in: many reporter
+switches feed a translator, which owns the single RDMA connection to
+its collector.  :class:`Topology` wires arbitrary node graphs and
+provides the canonical star builder used by the integration tests and
+the flow-control experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.fabric.link import Link
+from repro.fabric.simulator import Simulator
+
+
+class Node:
+    """Base class for anything attachable to the fabric.
+
+    Subclasses implement :meth:`receive`; outbound traffic goes through
+    links registered with :meth:`connect`.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._links: dict[str, Link] = {}
+
+    def connect(self, peer_name: str, link: Link) -> None:
+        """Register the outbound link towards ``peer_name``."""
+        self._links[peer_name] = link
+
+    def link_to(self, peer_name: str) -> Link:
+        try:
+            return self._links[peer_name]
+        except KeyError:
+            raise KeyError(
+                f"{self.name} has no link to {peer_name}") from None
+
+    def send(self, peer_name: str, packet: Any, size_bytes: int) -> bool:
+        """Transmit towards a connected peer."""
+        return self.link_to(peer_name).send(packet, size_bytes)
+
+    def receive(self, packet: Any) -> None:
+        """Handle an inbound packet; subclasses override."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class Topology:
+    """A named collection of nodes and the links between them."""
+
+    def __init__(self, sim: Simulator | None = None) -> None:
+        self.sim = sim or Simulator()
+        self.nodes: dict[str, Node] = {}
+        self.links: list[Link] = []
+
+    def add(self, node: Node) -> Node:
+        if node.name in self.nodes:
+            raise ValueError(f"duplicate node name '{node.name}'")
+        self.nodes[node.name] = node
+        return node
+
+    def wire(self, src: str, dst: str, *, rate_gbps: float = 100.0,
+             latency_s: float = 1e-6, loss: float = 0.0,
+             queue_packets: int = 1024, seed: int = 0,
+             bidirectional: bool = True) -> Link:
+        """Create link(s) between two registered nodes."""
+        src_node, dst_node = self.nodes[src], self.nodes[dst]
+        fwd = Link(self.sim, dst_node.receive, rate_gbps=rate_gbps,
+                   latency_s=latency_s, loss=loss,
+                   queue_packets=queue_packets, seed=seed,
+                   name=f"{src}->{dst}")
+        src_node.connect(dst, fwd)
+        self.links.append(fwd)
+        if bidirectional:
+            rev = Link(self.sim, src_node.receive, rate_gbps=rate_gbps,
+                       latency_s=latency_s, loss=loss,
+                       queue_packets=queue_packets, seed=seed + 1,
+                       name=f"{dst}->{src}")
+            dst_node.connect(src, rev)
+            self.links.append(rev)
+        return fwd
+
+    @classmethod
+    def dta_star(cls, reporters: list, translator: Node, collector: Node,
+                 *, reporter_loss: float = 0.0, seed: int = 0,
+                 sim: Simulator | None = None,
+                 pfc_service_rate_pps: float | None = None) -> "Topology":
+        """Build the canonical DTA deployment.
+
+        Reporters connect to the translator over ordinary (lossy)
+        fabric links; the translator-collector hop is the one link DTA
+        must keep lossless (Section 3.1(3)).  By default it is wired
+        loss-free; pass ``pfc_service_rate_pps`` to instead model it
+        with explicit PFC pause frames against a finite collector-NIC
+        service rate (see :mod:`repro.fabric.pfc`).
+        """
+        topo = cls(sim)
+        topo.add(translator)
+        topo.add(collector)
+        for i, reporter in enumerate(reporters):
+            topo.add(reporter)
+            topo.wire(reporter.name, translator.name, loss=reporter_loss,
+                      seed=seed + 10 * i)
+        if pfc_service_rate_pps is not None:
+            from repro.fabric.pfc import PfcLink
+
+            fwd = PfcLink(topo.sim, collector.receive,
+                          service_rate_pps=pfc_service_rate_pps,
+                          name=f"{translator.name}->{collector.name}")
+            translator.connect(collector.name, fwd)
+            topo.links.append(fwd)
+            rev = Link(topo.sim, translator.receive, loss=0.0,
+                       seed=seed + 1_000_004,
+                       name=f"{collector.name}->{translator.name}")
+            collector.connect(translator.name, rev)
+            topo.links.append(rev)
+        else:
+            topo.wire(translator.name, collector.name, loss=0.0,
+                      seed=seed + 1_000_003)
+        return topo

@@ -1,0 +1,159 @@
+"""Operator-facing query helpers over DTA collector memory.
+
+Figure 1 ends at a "Queries" box: once reports sit in queryable
+structures, operators ask real questions — where did this flow go, what
+is being dropped and why, which flows are heavy network-wide.  This
+module packages those workflows over the primitive stores, so examples
+and downstream users don't re-derive them.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.core.collector import Collector
+from repro.switch.crc import hash_family
+
+
+@dataclass(frozen=True)
+class TraceResult:
+    """Outcome of a path-trace query."""
+
+    flow_key: bytes
+    path: list | None          # switch ids, ingress -> egress
+    source: str                # "postcarding" | "key_write" | "missing"
+
+    @property
+    def found(self) -> bool:
+        return self.path is not None
+
+
+class PathTracer:
+    """Per-flow path tracing with Postcarding + Key-Write fallback.
+
+    Deployments often run both INT modes (Section 5.1); the tracer asks
+    the Postcarding store first (one random access) and falls back to
+    an INT-MD path stored under the flow key via Key-Write.
+    """
+
+    def __init__(self, collector: Collector, *, hops: int = 5,
+                 kw_redundancy: int = 2) -> None:
+        self.collector = collector
+        self.hops = hops
+        self.kw_redundancy = kw_redundancy
+
+    def trace(self, flow_key: bytes) -> TraceResult:
+        """Best-effort path for a flow."""
+        if self.collector.postcarding is not None:
+            path = self.collector.query_path(flow_key)
+            if path is not None:
+                return TraceResult(flow_key, path, "postcarding")
+        if self.collector.keywrite is not None:
+            result = self.collector.query_value(
+                flow_key, redundancy=self.kw_redundancy)
+            if result.found and len(result.value) >= 4 * self.hops:
+                ids = list(struct.unpack(f">{self.hops}I",
+                                         result.value[:4 * self.hops]))
+                while ids and ids[-1] == 0:
+                    ids.pop()        # strip the sink's zero padding
+                return TraceResult(flow_key, ids, "key_write")
+        return TraceResult(flow_key, None, "missing")
+
+    def trace_many(self, flow_keys) -> dict:
+        """Batch tracing; returns {flow_key: TraceResult}."""
+        return {key: self.trace(key) for key in flow_keys}
+
+
+@dataclass
+class LossSummary:
+    """Aggregated view over a loss-event list."""
+
+    total_drops: int = 0
+    by_switch: Counter = field(default_factory=Counter)
+    by_reason: Counter = field(default_factory=Counter)
+    lossiest_flows: Counter = field(default_factory=Counter)
+
+    def top_switches(self, n: int = 5) -> list:
+        return self.by_switch.most_common(n)
+
+    def top_flows(self, n: int = 5) -> list:
+        return self.lossiest_flows.most_common(n)
+
+
+class LossLedger:
+    """Continuously digests a NetSeer-style loss list (Append).
+
+    Wraps a list poller; every :meth:`refresh` folds newly landed
+    18-byte loss events into running aggregates — the "real-time
+    telemetry processing" headroom Fig. 12's takeaway promises the CPU.
+    """
+
+    def __init__(self, collector: Collector, list_id: int) -> None:
+        from repro.telemetry.netseer import LossEvent
+
+        self._event_cls = LossEvent
+        self.poller = collector.list_poller(list_id)
+        self.summary = LossSummary()
+
+    def refresh(self) -> int:
+        """Ingest newly published events; returns how many arrived."""
+        entries = self.poller.poll()
+        for raw in entries:
+            event = self._event_cls.unpack(raw)
+            self.summary.total_drops += event.count
+            self.summary.by_switch[event.switch_id] += event.count
+            self.summary.by_reason[event.reason.name] += event.count
+            self.summary.lossiest_flows[event.flow_key] += event.count
+        return len(entries)
+
+
+class HeavyHitterScan:
+    """Network-wide heavy hitters from the merged sketch + candidates.
+
+    A CMS cannot enumerate keys; the standard pattern pairs it with a
+    candidate set (e.g. the keys recently appended to a list, or the
+    operator's watchlist) and reports those whose network-wide estimate
+    crosses a threshold.
+    """
+
+    def __init__(self, collector: Collector, *,
+                 depth: int | None = None) -> None:
+        if collector.sketch is None:
+            raise RuntimeError("sketch service not provisioned")
+        self.collector = collector
+        depth = depth or collector.sketch.layout.depth
+        self._hashes = hash_family(depth)
+
+    def estimate(self, key: bytes) -> int:
+        """CMS point estimate for one key (never underestimates)."""
+        return self.collector.sketch.point_query(key, self._hashes)
+
+    def heavy_hitters(self, candidates, threshold: int) -> list:
+        """Candidates whose estimate >= threshold, heaviest first."""
+        hits = [(key, self.estimate(key)) for key in candidates]
+        hits = [(key, est) for key, est in hits if est >= threshold]
+        hits.sort(key=lambda pair: -pair[1])
+        return hits
+
+
+class FlowHealthReport:
+    """One flow's health across every store that knows about it."""
+
+    def __init__(self, collector: Collector, *, hops: int = 5) -> None:
+        self.collector = collector
+        self.tracer = PathTracer(collector, hops=hops)
+
+    def report(self, flow_key: bytes) -> dict:
+        """Everything the collector knows about one flow."""
+        out: dict = {"flow": flow_key}
+        trace = self.tracer.trace(flow_key)
+        out["path"] = trace.path
+        out["path_source"] = trace.source
+        if self.collector.keyincrement is not None:
+            out["counter"] = self.collector.query_counter(flow_key)
+        if self.collector.keywrite is not None:
+            result = self.collector.query_value(flow_key)
+            out["latest_value"] = result.value if result.found else None
+        return out

@@ -1,0 +1,38 @@
+"""RDMA substrate: a software model of an RDMA-capable NIC (RoCEv2).
+
+This package provides the pieces DTA builds on:
+
+* :mod:`repro.rdma.memory` — registered memory regions with lkey/rkey
+  protection, mirroring ``ibv_reg_mr``.
+* :mod:`repro.rdma.verbs` — work requests for the verbs RDMA exposes
+  (WRITE, READ, FETCH_ADD, CMP_SWAP, SEND) and their completions.
+* :mod:`repro.rdma.qp` — reliable-connection queue pairs with packet
+  sequence numbers and go-back-N semantics; out-of-order arrival stalls
+  the QP exactly as motivates DTA's single-writer translator design.
+* :mod:`repro.rdma.roce` — RoCEv2 (UDP port 4791) packet encoding of the
+  Base Transport Header and verb-specific extension headers.
+* :mod:`repro.rdma.cm` — a minimal RDMA_CM-style connection handshake,
+  as the translator controller crafts in Section 4.2.
+* :mod:`repro.rdma.nic` — the NIC itself: owns regions and QPs, executes
+  inbound packets against host memory, and accounts an analytic
+  performance model (per-message + per-byte costs, QP-count degradation).
+"""
+
+from repro.rdma.memory import AccessFlags, MemoryRegion, ProtectionDomain
+from repro.rdma.nic import Nic, NicStats
+from repro.rdma.qp import QpState, QueuePair
+from repro.rdma.verbs import Opcode, WorkCompletion, WorkRequest, WcStatus
+
+__all__ = [
+    "AccessFlags",
+    "MemoryRegion",
+    "ProtectionDomain",
+    "Nic",
+    "NicStats",
+    "QpState",
+    "QueuePair",
+    "Opcode",
+    "WorkRequest",
+    "WorkCompletion",
+    "WcStatus",
+]

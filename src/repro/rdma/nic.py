@@ -1,0 +1,170 @@
+"""The simulated RDMA NIC: QP dispatch plus an analytic cost model.
+
+Two concerns live here:
+
+* **Function** — the NIC owns a protection domain and a set of queue
+  pairs; inbound RoCEv2 packets are dispatched to the destination QP
+  and executed against registered memory.
+* **Performance** — every executed message is charged against the
+  calibrated cost model (:mod:`repro.calibration`):
+  ``t = t_msg + payload * t_byte``, scaled by the atomic penalty and the
+  QP-count degradation curve.  Benchmarks convert accumulated busy time
+  into achievable message/report rates, which is how the reproduction
+  recovers the paper's throughput figures without 100G hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import calibration
+from repro.calibration import NicModel
+from repro.rdma import roce
+from repro.rdma.memory import AccessFlags, MemoryRegion, ProtectionDomain
+from repro.rdma.qp import QpState, QueuePair
+
+
+@dataclass
+class NicStats:
+    """Aggregate counters + modelled busy time for one NIC."""
+
+    messages: int = 0
+    payload_bytes: int = 0
+    atomics: int = 0
+    drops: int = 0
+    busy_ns: float = 0.0
+
+    def message_rate(self) -> float:
+        """Achieved messages/s implied by the cost model."""
+        if self.busy_ns == 0:
+            return 0.0
+        return self.messages * 1e9 / self.busy_ns
+
+    def goodput_gbps(self) -> float:
+        """Payload goodput in Gbit/s implied by the cost model."""
+        if self.busy_ns == 0:
+            return 0.0
+        return self.payload_bytes * 8 / self.busy_ns
+
+
+class Nic:
+    """An RDMA-capable NIC attached to a collector host.
+
+    Args:
+        name: Diagnostic label.
+        model: Cost-model constants (defaults to the calibrated
+            BlueField-2-class model).
+    """
+
+    def __init__(self, name: str = "nic0",
+                 model: NicModel | None = None) -> None:
+        self.name = name
+        self.model = model or calibration.DEFAULT_NIC_MODEL
+        self.pd = ProtectionDomain()
+        self.qps: dict[int, QueuePair] = {}
+        self.stats = NicStats()
+        self._next_qpn = 0x11
+
+    # ------------------------------------------------------------------
+    # Control path
+    # ------------------------------------------------------------------
+
+    def register_memory(self, length: int,
+                        access: AccessFlags | None = None) -> MemoryRegion:
+        """Allocate and register a buffer; returns the region (with rkey)."""
+        if access is None:
+            access = (AccessFlags.LOCAL_WRITE | AccessFlags.REMOTE_WRITE
+                      | AccessFlags.REMOTE_READ | AccessFlags.REMOTE_ATOMIC)
+        return self.pd.register(length, access)
+
+    def create_qp(self) -> QueuePair:
+        """Create a QP in RESET (``ibv_create_qp``)."""
+        qpn = self._next_qpn
+        self._next_qpn += 1
+        qp = QueuePair(qpn, self.pd)
+        self.qps[qpn] = qp
+        return qp
+
+    def destroy_qp(self, qp: QueuePair) -> None:
+        self.qps.pop(qp.qpn, None)
+
+    def connect_qp(self, qp: QueuePair, dest_qpn: int, *,
+                   send_psn: int = 0, expected_psn: int = 0) -> None:
+        """Walk the QP to RTS against a remote QPN."""
+        qp.modify(QpState.INIT)
+        qp.modify(QpState.RTR, dest_qpn=dest_qpn, expected_psn=expected_psn)
+        qp.modify(QpState.RTS, send_psn=send_psn)
+
+    @property
+    def active_qps(self) -> int:
+        """QPs in a connected state (drives the degradation curve)."""
+        return sum(1 for qp in self.qps.values()
+                   if qp.state in (QpState.RTR, QpState.RTS))
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+
+    def receive(self, raw: bytes) -> bytes | None:
+        """Ingest one RoCEv2 packet from the wire.
+
+        Returns the response packet (ACK/NAK/read-response) or None if
+        the packet addressed an unknown QP (silently dropped, as real
+        NICs do for bogus QPNs).
+        """
+        try:
+            pkt = roce.decode(raw)
+        except roce.RoceDecodeError:
+            self.stats.drops += 1
+            return None
+        qp = self.qps.get(pkt.bth.dest_qp)
+        if qp is None or qp.state not in (QpState.RTR, QpState.RTS):
+            # Unknown or torn-down QP: silently discarded, like real
+            # NICs do for traffic addressing a dead connection.
+            self.stats.drops += 1
+            return None
+        self._charge(pkt)
+        return qp.responder_receive(raw)
+
+    def _charge(self, pkt: roce.RocePacket) -> None:
+        """Account one message against the performance model."""
+        payload = len(pkt.payload)
+        atomic = pkt.verb is not None and pkt.verb.is_atomic
+        t = self.model.t_msg_ns + payload * self.model.t_byte_ns
+        if atomic:
+            t *= self.model.fetch_add_penalty
+            self.stats.atomics += 1
+        t *= self.model.qp_degradation(self.active_qps)
+        self.stats.messages += 1
+        self.stats.payload_bytes += payload
+        self.stats.busy_ns += t
+
+    # ------------------------------------------------------------------
+    # Pure performance-model queries (used by the benchmark harness)
+    # ------------------------------------------------------------------
+
+    def modelled_message_rate(self, payload_bytes: int, *,
+                              atomic: bool = False) -> float:
+        """Messages/s for a payload size at the current QP count."""
+        return self.model.message_rate(payload_bytes, atomic=atomic,
+                                       active_qps=max(1, self.active_qps))
+
+    def reset_stats(self) -> None:
+        self.stats = NicStats()
+
+
+def modelled_collection_rate(payload_bytes: int, reports_per_message: int,
+                             *, writes_per_report: int = 1,
+                             atomic: bool = False, active_qps: int = 1,
+                             model: NicModel | None = None) -> float:
+    """Reports/s the collector NIC sustains for a DTA configuration.
+
+    This is the headline throughput formula used across Figs. 8, 10, 11:
+    a message carries ``reports_per_message`` reports (Append batching,
+    Postcarding chunking) or each report costs ``writes_per_report``
+    messages (Key-Write redundancy N).
+    """
+    model = model or calibration.DEFAULT_NIC_MODEL
+    msg_rate = model.message_rate(payload_bytes, atomic=atomic,
+                                  active_qps=active_qps)
+    return msg_rate * reports_per_message / writes_per_report

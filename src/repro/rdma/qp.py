@@ -1,0 +1,281 @@
+"""Reliable-connection queue pairs with PSN sequencing and go-back-N.
+
+The behaviours modelled here are exactly the ones that make "just RDMA
+from every switch" untenable (Section 2.2): a responder QP insists on
+strictly sequential packet sequence numbers, so interleaving multiple
+uncoordinated writers on one QP is impossible, and any loss NAKs and
+stalls the connection until the requester rewinds (go-back-N).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass
+
+from repro.rdma import roce
+from repro.rdma.memory import ProtectionDomain, RemoteAccessError
+from repro.rdma.verbs import Opcode, WcStatus, WorkCompletion, WorkRequest
+
+PSN_MOD = 1 << 24
+
+# AETH NAK syndromes (IBTA 9.7.5.2.8, abbreviated).
+NAK_PSN_SEQUENCE_ERROR = 0x60
+NAK_REMOTE_ACCESS_ERROR = 0x62
+NAK_REMOTE_OPERATIONAL_ERROR = 0x63
+
+
+class QpState(enum.Enum):
+    """Queue-pair state machine (``ibv_qp_state`` subset)."""
+
+    RESET = "reset"
+    INIT = "init"
+    RTR = "rtr"    # ready to receive
+    RTS = "rts"    # ready to send
+    ERROR = "error"
+
+
+class QpError(Exception):
+    """Operation attempted in an incompatible QP state."""
+
+
+@dataclass
+class QpCounters:
+    """Observable per-QP statistics (exported by the NIC's telemetry)."""
+
+    requests_executed: int = 0
+    bytes_written: int = 0
+    bytes_read: int = 0
+    atomics: int = 0
+    duplicates: int = 0
+    sequence_errors: int = 0
+    access_errors: int = 0
+    acks_sent: int = 0
+    naks_sent: int = 0
+    retransmits: int = 0
+
+
+class QueuePair:
+    """One RC queue pair: requester and responder halves.
+
+    The responder half (:meth:`responder_receive`) is driven by the NIC
+    with decoded RoCE packets and executes verbs against the protection
+    domain.  The requester half (:meth:`post_send` /
+    :meth:`requester_receive_ack`) is used by translator/benchmark code
+    that talks *to* a remote NIC; it numbers packets, holds an unacked
+    window, and rewinds on NAK.
+    """
+
+    def __init__(self, qpn: int, pd: ProtectionDomain, *,
+                 send_psn: int = 0, expected_psn: int = 0,
+                 max_outstanding: int = 1024) -> None:
+        self.qpn = qpn
+        self.pd = pd
+        self.state = QpState.RESET
+        self.send_psn = send_psn % PSN_MOD
+        self.expected_psn = expected_psn % PSN_MOD
+        self.msn = 0
+        self.max_outstanding = max_outstanding
+        self.counters = QpCounters()
+        self.completions: deque[WorkCompletion] = deque()
+        # Requester retransmission window: psn -> (wire bytes, wr)
+        self._unacked: "deque[tuple[int, bytes, WorkRequest]]" = deque()
+        self.dest_qpn: int | None = None
+
+    # ------------------------------------------------------------------
+    # State machine
+    # ------------------------------------------------------------------
+
+    def modify(self, state: QpState, *, dest_qpn: int | None = None,
+               send_psn: int | None = None,
+               expected_psn: int | None = None) -> None:
+        """Transition the QP (``ibv_modify_qp``), with legality checks."""
+        order = [QpState.RESET, QpState.INIT, QpState.RTR, QpState.RTS]
+        if state == QpState.ERROR:
+            self.state = state
+            self._flush()
+            return
+        if state == QpState.RESET:
+            self.__init__(self.qpn, self.pd)  # full reset
+            return
+        if self.state == QpState.ERROR:
+            raise QpError("QP in ERROR must go through RESET")
+        if order.index(state) != order.index(self.state) + 1:
+            raise QpError(f"illegal transition {self.state} -> {state}")
+        self.state = state
+        if dest_qpn is not None:
+            self.dest_qpn = dest_qpn
+        if send_psn is not None:
+            self.send_psn = send_psn % PSN_MOD
+        if expected_psn is not None:
+            self.expected_psn = expected_psn % PSN_MOD
+
+    def _flush(self) -> None:
+        """Complete all in-flight requests with a flush error."""
+        while self._unacked:
+            _psn, _raw, wr = self._unacked.popleft()
+            self.completions.append(WorkCompletion(
+                wr_id=wr.wr_id, opcode=wr.opcode,
+                status=WcStatus.WR_FLUSH_ERR))
+
+    # ------------------------------------------------------------------
+    # Requester half
+    # ------------------------------------------------------------------
+
+    def post_send(self, wr: WorkRequest) -> bytes:
+        """Number and serialise a work request into a RoCEv2 packet.
+
+        Returns the raw packet for the caller to hand to the fabric.
+        The request is retained in the unacked window for go-back-N.
+        """
+        if self.state != QpState.RTS:
+            raise QpError(f"post_send in state {self.state}")
+        if self.dest_qpn is None:
+            raise QpError("QP not connected (no destination QPN)")
+        if len(self._unacked) >= self.max_outstanding:
+            raise QpError("send queue full (outstanding window exceeded)")
+        psn = self.send_psn
+        raw = roce.encode_request(
+            wr.opcode, dest_qp=self.dest_qpn, psn=psn,
+            remote_addr=wr.remote_addr, rkey=wr.rkey, payload=wr.data,
+            read_length=wr.length, compare=wr.compare, swap=wr.swap,
+            imm=wr.imm)
+        self.send_psn = (self.send_psn + 1) % PSN_MOD
+        self._unacked.append((psn, raw, wr))
+        return raw
+
+    def requester_receive(self, raw: bytes) -> list[bytes]:
+        """Process an ACK/NAK/response from the responder.
+
+        Returns packets to retransmit (go-back-N rewind) — empty on a
+        clean ACK.
+        """
+        pkt = roce.decode(raw)
+        if not pkt.is_ack and pkt.bth.opcode != \
+                roce.BthOpcode.RC_RDMA_READ_RESPONSE_ONLY:
+            raise QpError("requester received a non-response packet")
+        if pkt.syndrome == 0:  # ACK: cumulative up to pkt.bth.psn
+            self._ack_through(pkt)
+            return []
+        if pkt.syndrome == NAK_PSN_SEQUENCE_ERROR:
+            # Recoverable: rewind everything outstanding (go-back-N).
+            self.counters.retransmits += len(self._unacked)
+            return [raw_pkt for _psn, raw_pkt, _wr in self._unacked]
+        # Fatal NAK (access/operational error): the remote QP is dead.
+        # Complete everything with error and tear down — retransmitting
+        # would only hammer an errored responder.
+        status = WcStatus.REM_ACCESS_ERR \
+            if pkt.syndrome == NAK_REMOTE_ACCESS_ERROR \
+            else WcStatus.REM_OP_ERR
+        while self._unacked:
+            _psn, _raw, wr = self._unacked.popleft()
+            self.completions.append(WorkCompletion(
+                wr_id=wr.wr_id, opcode=wr.opcode, status=status))
+        self.state = QpState.ERROR
+        return []
+
+    def _ack_through(self, pkt: roce.RocePacket) -> None:
+        acked_psn = pkt.bth.psn
+        while self._unacked:
+            psn, _raw, wr = self._unacked[0]
+            # Window is small relative to PSN space, so a simple modular
+            # "is psn <= acked_psn" test over the window suffices.
+            dist = (acked_psn - psn) % PSN_MOD
+            if dist >= self.max_outstanding:
+                break
+            self._unacked.popleft()
+            self.completions.append(WorkCompletion(
+                wr_id=wr.wr_id, opcode=wr.opcode, status=WcStatus.SUCCESS,
+                byte_len=len(pkt.payload) or wr.payload_bytes,
+                data=pkt.payload))
+
+    @property
+    def outstanding(self) -> int:
+        """Number of unacknowledged requests in flight."""
+        return len(self._unacked)
+
+    # ------------------------------------------------------------------
+    # Responder half
+    # ------------------------------------------------------------------
+
+    def responder_receive(self, raw: bytes) -> bytes | None:
+        """Execute one inbound request; returns the ACK/NAK packet.
+
+        Enforces strict PSN ordering: a gap produces a PSN-sequence NAK
+        and the request is *not* executed (this is the behaviour that
+        forces DTA to make the translator the sole writer).
+        """
+        if self.state not in (QpState.RTR, QpState.RTS):
+            raise QpError(f"responder_receive in state {self.state}")
+        pkt = roce.decode(raw)
+        psn = pkt.bth.psn
+
+        dist = (psn - self.expected_psn) % PSN_MOD
+        if dist != 0:
+            if dist > PSN_MOD // 2:
+                # Duplicate (retransmitted) packet: re-ACK, do not re-execute
+                # non-idempotent ops.  Plain writes are idempotent; atomics
+                # on real HW use a responder cache — we skip re-execution.
+                self.counters.duplicates += 1
+                self.counters.acks_sent += 1
+                return roce.encode_ack(dest_qp=pkt.bth.dest_qp, psn=psn,
+                                       syndrome=0, msn=self.msn)
+            # Future PSN: a packet was lost -> NAK sequence error.
+            self.counters.sequence_errors += 1
+            self.counters.naks_sent += 1
+            return roce.encode_ack(dest_qp=pkt.bth.dest_qp,
+                                   psn=self.expected_psn,
+                                   syndrome=NAK_PSN_SEQUENCE_ERROR,
+                                   msn=self.msn)
+
+        try:
+            response_payload, atomic = self._execute(pkt)
+        except RemoteAccessError:
+            self.counters.access_errors += 1
+            self.counters.naks_sent += 1
+            self.state = QpState.ERROR
+            return roce.encode_ack(dest_qp=pkt.bth.dest_qp, psn=psn,
+                                   syndrome=NAK_REMOTE_ACCESS_ERROR,
+                                   msn=self.msn)
+
+        self.expected_psn = (self.expected_psn + 1) % PSN_MOD
+        self.msn = (self.msn + 1) % PSN_MOD
+        self.counters.requests_executed += 1
+        self.counters.acks_sent += 1
+        return roce.encode_ack(dest_qp=pkt.bth.dest_qp, psn=psn, syndrome=0,
+                               msn=self.msn, payload=response_payload,
+                               atomic=atomic)
+
+    def _execute(self, pkt: roce.RocePacket) -> tuple[bytes, bool]:
+        """Apply the verb to registered memory; returns (response, atomic)."""
+        verb = pkt.verb
+        if verb in (Opcode.WRITE, Opcode.WRITE_IMM):
+            region = self.pd.lookup(pkt.rkey)
+            region.write(pkt.remote_addr, pkt.payload)
+            self.counters.bytes_written += len(pkt.payload)
+            if verb == Opcode.WRITE_IMM:
+                self.completions.append(WorkCompletion(
+                    wr_id=0, opcode=verb, status=WcStatus.SUCCESS,
+                    byte_len=len(pkt.payload), imm=pkt.imm))
+            return b"", False
+        if verb == Opcode.READ:
+            region = self.pd.lookup(pkt.rkey)
+            data = region.read(pkt.remote_addr, pkt.dma_length)
+            self.counters.bytes_read += len(data)
+            return data, False
+        if verb == Opcode.FETCH_ADD:
+            region = self.pd.lookup(pkt.rkey)
+            old = region.fetch_add(pkt.remote_addr, pkt.swap)
+            self.counters.atomics += 1
+            return old.to_bytes(8, "little"), True
+        if verb == Opcode.CMP_SWAP:
+            region = self.pd.lookup(pkt.rkey)
+            old = region.compare_swap(pkt.remote_addr, pkt.compare, pkt.swap)
+            self.counters.atomics += 1
+            return old.to_bytes(8, "little"), True
+        if verb == Opcode.SEND:
+            self.completions.append(WorkCompletion(
+                wr_id=0, opcode=verb, status=WcStatus.SUCCESS,
+                byte_len=len(pkt.payload), data=pkt.payload, imm=pkt.imm))
+            return b"", False
+        raise QpError(f"unsupported verb {verb}")

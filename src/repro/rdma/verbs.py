@@ -1,0 +1,110 @@
+"""Work requests and completions — the verb-level API surface.
+
+RDMA exposes a deliberately small instruction set (Section 2.2(1) of the
+paper): Read, Write, Fetch-and-Add, Compare-and-Swap, plus two-sided
+Send/Receive.  DTA's whole point is that this set is too weak to maintain
+queryable telemetry structures from many writers, so the translator
+extends it; this module is the ground truth those extensions compile to.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+
+class Opcode(enum.Enum):
+    """RDMA verb opcodes supported by the simulated NIC."""
+
+    WRITE = "rdma_write"
+    WRITE_IMM = "rdma_write_with_imm"
+    READ = "rdma_read"
+    FETCH_ADD = "fetch_and_add"
+    CMP_SWAP = "compare_and_swap"
+    SEND = "send"
+
+    @property
+    def is_atomic(self) -> bool:
+        return self in (Opcode.FETCH_ADD, Opcode.CMP_SWAP)
+
+    @property
+    def needs_response(self) -> bool:
+        """READs and atomics require a responder-to-requester payload."""
+        return self in (Opcode.READ, Opcode.FETCH_ADD, Opcode.CMP_SWAP)
+
+
+class WcStatus(enum.Enum):
+    """Work-completion status codes (subset of ``ibv_wc_status``)."""
+
+    SUCCESS = "success"
+    REM_ACCESS_ERR = "remote_access_error"
+    RETRY_EXC_ERR = "retry_exceeded"
+    REM_OP_ERR = "remote_operation_error"
+    WR_FLUSH_ERR = "flushed"
+
+
+_wr_ids = itertools.count(1)
+
+
+@dataclass
+class WorkRequest:
+    """A posted verb: what to do, where, and with which payload.
+
+    Attributes:
+        opcode: Which verb.
+        remote_addr: Target virtual address in the responder's region.
+        rkey: Remote protection key for the target region.
+        data: Payload for WRITE/SEND; ignored for READ.
+        length: Read length (READ) — for writes, ``len(data)`` governs.
+        compare / swap: Operands for atomics (FETCH_ADD uses ``swap`` as
+            the addend, matching ``ibv_wr_atomic_fetch_add``'s add field).
+        imm: Optional 32-bit immediate (WRITE_IMM) used by DTA's
+            "immediate flag" push notifications (Section 6).
+        wr_id: Caller-visible identifier echoed in the completion.
+    """
+
+    opcode: Opcode
+    remote_addr: int = 0
+    rkey: int = 0
+    data: bytes = b""
+    length: int = 0
+    compare: int = 0
+    swap: int = 0
+    imm: int | None = None
+    atomic_width: int = 8
+    wr_id: int = field(default_factory=lambda: next(_wr_ids))
+
+    @property
+    def payload_bytes(self) -> int:
+        """Bytes moved requester->responder (what the NIC model charges)."""
+        if self.opcode == Opcode.READ:
+            return 0
+        if self.opcode.is_atomic:
+            return self.atomic_width
+        return len(self.data)
+
+    @property
+    def response_bytes(self) -> int:
+        """Bytes moved responder->requester."""
+        if self.opcode == Opcode.READ:
+            return self.length
+        if self.opcode.is_atomic:
+            return self.atomic_width
+        return 0
+
+
+@dataclass
+class WorkCompletion:
+    """Completion record delivered to the requester's completion queue."""
+
+    wr_id: int
+    opcode: Opcode
+    status: WcStatus
+    byte_len: int = 0
+    data: bytes = b""
+    imm: int | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == WcStatus.SUCCESS

@@ -1,0 +1,90 @@
+"""AROMA-style uniform sampling sketch (Ben Basat et al., Networking'20).
+
+AROMA selects network-wide uniform packet/flow samples from switch-level
+samples.  The classic construction is bottom-k / priority sampling: each
+item gets a pseudo-random priority from a shared hash; a sketch keeps
+the k items of smallest priority.  Because every switch uses the same
+hash, merging sketches = keeping the k overall-smallest priorities,
+which yields a uniform sample over the union — exactly the "select
+network-wide uniform samples from switch-level samples" row of Table 2.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.sketches.base import MergeError, Sketch
+from repro.switch.crc import hash_family
+
+
+@dataclass(frozen=True, order=True)
+class AromaSample:
+    """One sampled item: (priority, key) — ordered by priority."""
+
+    priority: int
+    key: bytes
+
+
+class AromaSketch(Sketch):
+    """Bottom-k sample with a shared priority hash.
+
+    Args:
+        k: Sample size to retain.
+    """
+
+    def __init__(self, k: int = 64) -> None:
+        if k <= 0:
+            raise ValueError("k must be positive")
+        self.k = k
+        # Max-heap via negated priorities: the root is the *worst*
+        # retained sample, evicted when something better arrives.
+        self._heap: list[tuple[int, bytes]] = []
+        self._members: set[bytes] = set()
+        (self._priority,) = hash_family(1, width_bits=64)
+
+    def update(self, key: bytes, weight: int = 1) -> None:
+        if key in self._members:
+            return
+        priority = self._priority(key)
+        if len(self._heap) < self.k:
+            heapq.heappush(self._heap, (-priority, key))
+            self._members.add(key)
+        elif priority < -self._heap[0][0]:
+            _, evicted = heapq.heapreplace(self._heap, (-priority, key))
+            self._members.discard(evicted)
+            self._members.add(key)
+
+    def samples(self) -> list[AromaSample]:
+        """The retained sample, best (smallest) priority first."""
+        return sorted(AromaSample(priority=-neg, key=key)
+                      for neg, key in self._heap)
+
+    def merge(self, other: Sketch) -> None:
+        self.check_compatible(other)
+        assert isinstance(other, AromaSketch)
+        if self.k != other.k:
+            raise MergeError("AROMA sample sizes differ")
+        for sample in other.samples():
+            self.update(sample.key)
+
+    def __contains__(self, key: bytes) -> bool:
+        return key in self._members
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    # -- column transport: chunks of samples -------------------------------
+
+    COLUMN_SAMPLES = 8
+
+    def columns(self) -> Iterable[tuple]:
+        samples = self.samples()
+        for j in range(0, len(samples), self.COLUMN_SAMPLES):
+            yield (j // self.COLUMN_SAMPLES,
+                   tuple(samples[j:j + self.COLUMN_SAMPLES]))
+
+    def merge_column(self, index: int, column: tuple) -> None:
+        for sample in column:
+            self.update(sample.key)

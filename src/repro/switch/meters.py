@@ -1,0 +1,78 @@
+"""Token-bucket meters, as Tofino provides per-table/per-index meters.
+
+Section 4.2 ("flow control"): "Tofino-native meters gauge the RDMA
+generation rate of the translator, and conditionally drop or reroute
+reports to the switch CPU depending on in-header priorities."
+
+The model is a two-rate, three-colour marker (RFC 2698 style, which is
+what switch ASIC meters implement): packets are marked GREEN below the
+committed rate, YELLOW between committed and peak, RED above peak.
+DTA's translator maps YELLOW to "reroute low-priority to CPU" and RED
+to "signal congestion back to reporters".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class MeterColor(enum.Enum):
+    GREEN = "green"
+    YELLOW = "yellow"
+    RED = "red"
+
+
+@dataclass
+class MeterConfig:
+    """Two-rate three-colour meter parameters (bytes/s and burst bytes)."""
+
+    committed_rate: float
+    committed_burst: float
+    peak_rate: float
+    peak_burst: float
+
+    def __post_init__(self) -> None:
+        if self.peak_rate < self.committed_rate:
+            raise ValueError("peak rate must be >= committed rate")
+
+
+class Meter:
+    """A trTCM meter driven by explicit timestamps (simulation time).
+
+    Args:
+        config: Rates/bursts.  Units are caller-defined (the translator
+            meters RDMA *messages*, so rates are messages/s and sizes 1).
+    """
+
+    def __init__(self, config: MeterConfig) -> None:
+        self.config = config
+        self._tc = config.committed_burst  # committed bucket tokens
+        self._tp = config.peak_burst       # peak bucket tokens
+        self._last_time = 0.0
+        self.marked = {MeterColor.GREEN: 0, MeterColor.YELLOW: 0,
+                       MeterColor.RED: 0}
+
+    def _refill(self, now: float) -> None:
+        dt = now - self._last_time
+        if dt < 0:
+            raise ValueError("meter time went backwards")
+        self._last_time = now
+        cfg = self.config
+        self._tc = min(cfg.committed_burst, self._tc + cfg.committed_rate * dt)
+        self._tp = min(cfg.peak_burst, self._tp + cfg.peak_rate * dt)
+
+    def mark(self, now: float, size: float = 1.0) -> MeterColor:
+        """Colour one packet of ``size`` units arriving at time ``now``."""
+        self._refill(now)
+        if self._tp < size:
+            color = MeterColor.RED
+        elif self._tc < size:
+            self._tp -= size
+            color = MeterColor.YELLOW
+        else:
+            self._tc -= size
+            self._tp -= size
+            color = MeterColor.GREEN
+        self.marked[color] += 1
+        return color

@@ -1,0 +1,169 @@
+"""A match-action pipeline skeleton with Tofino-like constraints.
+
+This is a structural model: stages hold match-action tables and register
+arrays; packets (header/metadata dicts) traverse the stages in order and
+each table may apply at most once per traversal.  The point is not to
+re-implement P4, but to (a) let tests exercise data-plane logic under
+the ASIC's access rules (single RMW per register array per traversal,
+bounded tables per stage), and (b) feed the resource accounting model.
+
+Recirculation (used by Sketch-Merge's batch reads, Section 4.2) is
+modelled as an explicit extra traversal with its own access budget.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.switch.registers import RegisterArray
+
+Packet = dict  # header/metadata bag; keys are field names
+
+
+class PipelineError(Exception):
+    """A construct that does not fit the modelled ASIC."""
+
+
+class MatchType(enum.Enum):
+    EXACT = "exact"
+    TERNARY = "ternary"
+    LPM = "lpm"
+
+
+@dataclass
+class TableEntry:
+    """One table entry: key (+mask for ternary), action, priority."""
+
+    key: tuple
+    action: Callable[[Packet], Any]
+    mask: tuple | None = None
+    priority: int = 0
+
+
+class Table:
+    """A match-action table over a tuple of packet fields."""
+
+    def __init__(self, name: str, match_fields: tuple,
+                 match_type: MatchType = MatchType.EXACT,
+                 size: int = 1024,
+                 default_action: Callable[[Packet], Any] | None = None):
+        self.name = name
+        self.match_fields = match_fields
+        self.match_type = match_type
+        self.size = size
+        self.default_action = default_action
+        self._entries: list[TableEntry] = []
+        self._exact_index: dict[tuple, TableEntry] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def add_entry(self, key: tuple, action: Callable[[Packet], Any], *,
+                  mask: tuple | None = None, priority: int = 0) -> None:
+        """Install an entry from the control plane."""
+        if len(self._entries) >= self.size:
+            raise PipelineError(f"table '{self.name}' full ({self.size})")
+        if len(key) != len(self.match_fields):
+            raise PipelineError("key arity does not match match_fields")
+        entry = TableEntry(key=key, action=action, mask=mask,
+                           priority=priority)
+        self._entries.append(entry)
+        if self.match_type == MatchType.EXACT:
+            self._exact_index[key] = entry
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._exact_index.clear()
+
+    def lookup(self, pkt: Packet) -> TableEntry | None:
+        values = tuple(pkt.get(f) for f in self.match_fields)
+        if self.match_type == MatchType.EXACT:
+            entry = self._exact_index.get(values)
+        else:
+            entry = self._match_ternary(values)
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def _match_ternary(self, values: tuple) -> TableEntry | None:
+        best: TableEntry | None = None
+        for entry in self._entries:
+            mask = entry.mask or tuple(0xFFFFFFFF for _ in values)
+            if all(v is not None and (v & m) == (k & m)
+                   for v, k, m in zip(values, entry.key, mask)):
+                if best is None or entry.priority > best.priority:
+                    best = entry
+        return best
+
+    def apply(self, pkt: Packet) -> Any:
+        """Match and run the action (or the default on a miss)."""
+        entry = self.lookup(pkt)
+        if entry is not None:
+            return entry.action(pkt)
+        if self.default_action is not None:
+            return self.default_action(pkt)
+        return None
+
+
+MAX_TABLES_PER_STAGE = 16
+MAX_REGISTERS_PER_STAGE = 4
+
+
+@dataclass
+class Stage:
+    """One pipeline stage: a few tables and register arrays."""
+
+    index: int
+    tables: list[Table] = field(default_factory=list)
+    registers: list[RegisterArray] = field(default_factory=list)
+
+    def add_table(self, table: Table) -> Table:
+        if len(self.tables) >= MAX_TABLES_PER_STAGE:
+            raise PipelineError(f"stage {self.index}: too many tables")
+        self.tables.append(table)
+        return table
+
+    def add_register(self, reg: RegisterArray) -> RegisterArray:
+        if len(self.registers) >= MAX_REGISTERS_PER_STAGE:
+            raise PipelineError(f"stage {self.index}: too many registers")
+        self.registers.append(reg)
+        return reg
+
+
+class Pipeline:
+    """An ordered list of stages; packets traverse front to back.
+
+    Args:
+        name: Diagnostic label.
+        stages: Number of physical stages (Tofino 1: 12 per direction).
+    """
+
+    def __init__(self, name: str, stages: int = 12) -> None:
+        self.name = name
+        self.stages = [Stage(i) for i in range(stages)]
+        self.traversals = 0
+        self.recirculations = 0
+
+    def stage(self, index: int) -> Stage:
+        return self.stages[index]
+
+    def process(self, pkt: Packet, *, recirculate: bool = False) -> Packet:
+        """Run one traversal.  ``recirculate`` marks re-entries.
+
+        Each register array's once-per-traversal guard is re-armed at
+        entry; actions mutate the packet dict in place.
+        """
+        self.traversals += 1
+        if recirculate:
+            self.recirculations += 1
+        for stage in self.stages:
+            for reg in stage.registers:
+                reg.begin_packet()
+            for table in stage.tables:
+                table.apply(pkt)
+            if pkt.get("_drop"):
+                break
+        return pkt

@@ -1,0 +1,145 @@
+"""SRAM register arrays and the stateful ALUs that access them.
+
+Tofino's persistent state lives in register arrays; each array is bound
+to a stateful ALU, and a packet may perform exactly one read-modify-write
+on a given array per pipeline traversal, over a 32-bit (or paired 2x32b)
+memory bus.  Section 6 calls this out as the constraint that makes
+Append batching expensive: "Each memory operation is limited to a 32-bit
+bus, requiring multiple memory operations to process batch entries
+larger than 4B."
+
+The model enforces those access rules so translator code that would not
+map to the ASIC fails loudly in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class RegisterAccessError(Exception):
+    """An access pattern that the ASIC cannot express."""
+
+
+@dataclass
+class StatefulAlu:
+    """Accounting record for one stateful-ALU binding."""
+
+    name: str
+    width_bits: int
+    operations: int = 0
+
+
+class RegisterArray:
+    """A register array of ``size`` cells, each ``width_bits`` wide.
+
+    Cells hold unsigned integers; the stateful ALU supports the
+    read-modify-write patterns Tofino offers (read, write, add, max,
+    conditional update).  A per-packet access guard enforces the
+    one-RMW-per-traversal rule when used under a pipeline context.
+    """
+
+    MAX_WIDTH = 64  # paired 2x32-bit cells
+
+    def __init__(self, name: str, size: int, width_bits: int = 32,
+                 initial: int = 0) -> None:
+        if width_bits > self.MAX_WIDTH:
+            raise RegisterAccessError(
+                f"register width {width_bits} exceeds paired 64-bit cells")
+        if size <= 0:
+            raise ValueError("register array size must be positive")
+        self.name = name
+        self.size = size
+        self.width_bits = width_bits
+        self._mask = (1 << width_bits) - 1
+        self._cells = [initial & self._mask] * size
+        self.alu = StatefulAlu(name=name, width_bits=width_bits)
+        self._accessed_this_packet = False
+
+    # -- pipeline access guard -------------------------------------------
+
+    def begin_packet(self) -> None:
+        """Reset the per-traversal access guard (called by the pipeline)."""
+        self._accessed_this_packet = False
+
+    def _touch(self) -> None:
+        if self._accessed_this_packet:
+            raise RegisterAccessError(
+                f"register array '{self.name}' accessed twice in one "
+                "pipeline traversal")
+        self._accessed_this_packet = True
+        self.alu.operations += 1
+
+    # -- RMW primitives -----------------------------------------------------
+
+    def read(self, index: int) -> int:
+        self._touch()
+        return self._cells[self._check(index)]
+
+    def write(self, index: int, value: int) -> int:
+        """Write; returns the previous value (the ALU always reads)."""
+        self._touch()
+        i = self._check(index)
+        old = self._cells[i]
+        self._cells[i] = value & self._mask
+        return old
+
+    def add(self, index: int, delta: int) -> int:
+        """Saturating-free modular add; returns the new value."""
+        self._touch()
+        i = self._check(index)
+        self._cells[i] = (self._cells[i] + delta) & self._mask
+        return self._cells[i]
+
+    def bit_or(self, index: int, mask: int) -> int:
+        """Set bits; returns the new value (bitmap updates, one RMW)."""
+        self._touch()
+        i = self._check(index)
+        self._cells[i] = (self._cells[i] | mask) & self._mask
+        return self._cells[i]
+
+    def maximum(self, index: int, value: int) -> int:
+        """Register-wise max (used by HyperLogLog merging); returns new."""
+        self._touch()
+        i = self._check(index)
+        if value > self._cells[i]:
+            self._cells[i] = value & self._mask
+        return self._cells[i]
+
+    def compare_swap(self, index: int, expected: int, desired: int) -> int:
+        """Conditional update; returns the prior value."""
+        self._touch()
+        i = self._check(index)
+        old = self._cells[i]
+        if old == expected:
+            self._cells[i] = desired & self._mask
+        return old
+
+    # -- control-plane access (no guard: the switch CPU is not the
+    #    data plane) ---------------------------------------------------------
+
+    def cp_read(self, index: int) -> int:
+        return self._cells[self._check(index)]
+
+    def cp_write(self, index: int, value: int) -> None:
+        self._cells[self._check(index)] = value & self._mask
+
+    def cp_fill(self, value: int) -> None:
+        self._cells = [value & self._mask] * self.size
+
+    def _check(self, index: int) -> int:
+        if not 0 <= index < self.size:
+            raise IndexError(
+                f"index {index} outside register array '{self.name}' "
+                f"of size {self.size}")
+        return index
+
+    # -- footprint ------------------------------------------------------------
+
+    @property
+    def sram_bits(self) -> int:
+        """Raw SRAM footprint of the array."""
+        return self.size * self.width_bits
+
+    def __len__(self) -> int:
+        return self.size

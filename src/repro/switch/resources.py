@@ -1,0 +1,112 @@
+"""ASIC resource accounting: SRAM, crossbar, table IDs, ternary bus, sALU.
+
+Fig. 7 and Table 3 report utilisation percentages of five Tofino
+resources.  We model the ASIC budget per resource and let program
+descriptions (:mod:`repro.switch.programs`) accumulate usage in absolute
+units; percentages follow by normalisation.
+
+Budgets (Tofino 1, one pipeline):
+    * SRAM: 960 blocks (12 stages x 80 blocks; a block is 128 Kbit).
+    * Match crossbar: 1536 bytes of match input (12 x 128 B).
+    * Table IDs: 192 logical table slots (12 x 16).
+    * Ternary bus: 31.2 units (ternary match bytes; sized so the paper's
+      translator base footprint of 30.7 % is 9.58 units).
+    * Stateful ALUs: 48 (12 stages x 4) — this is why Append batching at
+      B=16 costs +31.3 %: B-1 = 15 extra sALU bindings, 15/48 = 31.25 %.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro import calibration
+
+
+class Resource(enum.Enum):
+    """The resource classes the paper reports."""
+
+    SRAM = "SRAM"
+    CROSSBAR = "Match Crossbar"
+    TABLE_IDS = "Table IDs"
+    TERNARY_BUS = "Ternary Bus"
+    SALU = "Stateful ALU"
+
+
+SRAM_BLOCK_BITS = 128 * 1024
+"""One Tofino SRAM block: 1024 entries x 128 bits."""
+
+
+@dataclass(frozen=True)
+class ResourceBudget:
+    """Total capacity per resource for one ASIC pipeline."""
+
+    totals: dict
+
+    @classmethod
+    def tofino1(cls) -> "ResourceBudget":
+        stages = calibration.TOFINO_STAGES
+        return cls(totals={
+            Resource.SRAM: float(calibration.TOFINO_SRAM_BLOCKS),
+            Resource.CROSSBAR:
+                float(stages * calibration.TOFINO_CROSSBAR_BYTES_PER_STAGE),
+            Resource.TABLE_IDS:
+                float(stages * calibration.TOFINO_TABLE_IDS_PER_STAGE),
+            Resource.TERNARY_BUS: 31.2,
+            Resource.SALU:
+                float(stages * calibration.TOFINO_SALU_PER_STAGE),
+        })
+
+    def capacity(self, resource: Resource) -> float:
+        return self.totals[resource]
+
+
+@dataclass
+class ResourceUsage:
+    """Accumulated absolute usage; supports + and percentage views."""
+
+    units: dict = field(default_factory=dict)
+    label: str = ""
+
+    def add(self, resource: Resource, amount: float) -> "ResourceUsage":
+        self.units[resource] = self.units.get(resource, 0.0) + amount
+        return self
+
+    def __add__(self, other: "ResourceUsage") -> "ResourceUsage":
+        merged = dict(self.units)
+        for res, amount in other.units.items():
+            merged[res] = merged.get(res, 0.0) + amount
+        return ResourceUsage(units=merged,
+                             label=f"{self.label}+{other.label}".strip("+"))
+
+    def get(self, resource: Resource) -> float:
+        return self.units.get(resource, 0.0)
+
+    def percent(self, resource: Resource,
+                budget: ResourceBudget | None = None) -> float:
+        """Utilisation percentage of one resource."""
+        budget = budget or ResourceBudget.tofino1()
+        return 100.0 * self.get(resource) / budget.capacity(resource)
+
+    def percentages(self, budget: ResourceBudget | None = None) -> dict:
+        """Utilisation of every resource, keyed by Resource."""
+        budget = budget or ResourceBudget.tofino1()
+        return {res: self.percent(res, budget) for res in Resource}
+
+    def fits(self, budget: ResourceBudget | None = None) -> bool:
+        """Whether the program fits the ASIC (every resource <= 100 %)."""
+        return all(p <= 100.0 for p in self.percentages(budget).values())
+
+    def table(self, budget: ResourceBudget | None = None) -> str:
+        """Human-readable utilisation table (for benchmark reports)."""
+        budget = budget or ResourceBudget.tofino1()
+        rows = [f"{'Resource':<16}{'Used':>10}{'%':>8}"]
+        for res in Resource:
+            rows.append(f"{res.value:<16}{self.get(res):>10.1f}"
+                        f"{self.percent(res, budget):>7.1f}%")
+        return "\n".join(rows)
+
+
+def sram_blocks(bits: int) -> float:
+    """SRAM blocks needed to hold ``bits`` of state (fractional)."""
+    return bits / SRAM_BLOCK_BITS

@@ -1,0 +1,269 @@
+"""Translator data-plane paths expressed on the pipeline model.
+
+Section 4.2 describes how the translator's logic maps onto the Tofino:
+Append batching "is achieved by storing B-1 incoming list entries into
+SRAM using per-list registers.  Every Bth packet in a list will read
+all stored items" — i.e. one register array *per batch position*, each
+touched at most once per traversal (the single-RMW rule this package's
+:class:`~repro.switch.registers.RegisterArray` enforces).  Key-Write
+uses "the multicast technique" — one ingress packet becomes N egress
+copies, each computing one slot address.
+
+This module implements those two paths functionally on the pipeline
+substrate.  It exists to *prove the mapping* — that the translator's
+algorithms respect ASIC access rules — while ``repro.core.translator``
+remains the performant software implementation.  The test suite checks
+byte-parity between the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.stores.append import AppendLayout
+from repro.core.stores.keywrite import KeyWriteLayout
+from repro.switch.pipeline import Pipeline, Table
+from repro.switch.registers import RegisterArray
+
+
+@dataclass(frozen=True)
+class RdmaWriteIntent:
+    """What the egress pipe would serialise into a RoCE packet."""
+
+    remote_addr: int
+    payload: bytes
+
+
+class AppendBatchingPath:
+    """Append batching under the one-RMW-per-array rule.
+
+    ``batch_size - 1`` register arrays hold the pending entries of
+    every list (indexed by list id); a per-list position counter decides
+    whether a packet stores (positions 0..B-2) or triggers the batch
+    write (position B-1), in which case the *same traversal* reads all
+    B-1 arrays — possible precisely because each is a distinct array.
+
+    Entries are 32-bit (the 4 B bus the paper calls out); wider entries
+    would need multiple arrays per position (Section 6).
+    """
+
+    def __init__(self, layout: AppendLayout, batch_size: int) -> None:
+        if batch_size < 1:
+            raise ValueError("batch size must be >= 1")
+        if layout.data_bytes > 4:
+            raise ValueError(
+                "pipeline path handles 4B entries (32-bit memory bus); "
+                "wider entries need multiple arrays per position")
+        self.layout = layout
+        self.batch_size = batch_size
+        self.pipeline = Pipeline("append-batching", stages=12)
+
+        # Ingress: per-list batch-position counter.
+        self.position = RegisterArray("batch_position", layout.lists)
+        self.pipeline.stage(0).add_register(self.position)
+        # One array per stored batch position, spread across stages
+        # (max 4 register arrays per stage on the modelled ASIC).
+        self.slots: list[RegisterArray] = []
+        for i in range(batch_size - 1):
+            reg = RegisterArray(f"batch_slot_{i}", layout.lists)
+            stage = 1 + i // 4
+            self.pipeline.stage(stage).add_register(reg)
+            self.slots.append(reg)
+        # Egress: per-list ring head pointer.
+        head_stage = 1 + max(0, (batch_size - 2)) // 4 + 1
+        self.heads = RegisterArray("list_heads", layout.lists)
+        self.pipeline.stage(head_stage).add_register(self.heads)
+
+        table = Table("append_path", ("kind",),
+                      default_action=self._process)
+        self.pipeline.stage(0).add_table(table)
+
+    def _process(self, pkt) -> None:
+        list_id = pkt["list_id"]
+        value = pkt["value"]
+        position = self.position.add(list_id, 1) - 1
+        if position < self.batch_size - 1:
+            # Store and wait for the batch to fill.
+            self.slots[position].write(list_id, value)
+            pkt["emitted"] = None
+            return
+        # Bth packet: gather all stored entries in this traversal.
+        self.position.cp_write(list_id, 0)  # counter wraps (cp: the
+        # ALU already did its RMW on this array this traversal)
+        entries = [self.slots[i].read(list_id)
+                   for i in range(self.batch_size - 1)] + [value]
+        head = self.heads.add(list_id, self.batch_size) \
+            - self.batch_size
+        payload = self.layout.encode_batch(
+            [e.to_bytes(4, "big") for e in entries], head)
+        pkt["emitted"] = RdmaWriteIntent(
+            remote_addr=self.layout.entry_addr(
+                list_id, head % self.layout.capacity),
+            payload=payload)
+
+    def submit(self, list_id: int, value: int) -> RdmaWriteIntent | None:
+        """Process one Append report; returns a write intent on flush."""
+        pkt = {"kind": "append", "list_id": list_id, "value": value}
+        self.pipeline.process(pkt)
+        return pkt["emitted"]
+
+
+@dataclass(frozen=True)
+class ChunkEmission:
+    """A postcard chunk leaving the cache path toward the collector."""
+
+    key_hash: int
+    values: tuple        # length B; None where no postcard arrived
+    complete: bool
+
+
+class PostcardingCachePath:
+    """The postcard cache under the one-RMW-per-array rule.
+
+    Section 4.2: "Postcarding uses an SRAM-based hash table with 32K
+    slots storing fixed-size 32-bit payloads ... Emissions are
+    triggered either by a collision or when a row counter reaches the
+    path length."
+
+    Per-row state, one register array each (so one sALU RMW per
+    traversal): the resident flow's key hash, the postcard counter,
+    the announced path length, a hop-validity bitmap, and B value
+    arrays.  A single postcard touches each array at most once — the
+    constraint that dictates the hardware design.
+    """
+
+    def __init__(self, slots: int, hops: int) -> None:
+        if slots <= 0 or hops <= 0:
+            raise ValueError("slots and hops must be positive")
+        self.slots = slots
+        self.hops = hops
+        self.pipeline = Pipeline("postcarding-cache", stages=12)
+        self.key_reg = RegisterArray("row_key", slots)
+        self.count_reg = RegisterArray("row_count", slots, width_bits=8)
+        self.pathlen_reg = RegisterArray("row_pathlen", slots,
+                                         width_bits=8)
+        self.bitmap_reg = RegisterArray("row_bitmap", slots,
+                                        width_bits=32)
+        self.value_regs = [RegisterArray(f"row_value_{h}", slots)
+                           for h in range(hops)]
+        all_regs = [self.key_reg, self.count_reg, self.pathlen_reg,
+                    self.bitmap_reg] + self.value_regs
+        for i, reg in enumerate(all_regs):
+            self.pipeline.stage(i // 4).add_register(reg)
+        table = Table("postcard_path", ("kind",),
+                      default_action=self._process)
+        self.pipeline.stage(0).add_table(table)
+        self.emissions_complete = 0
+        self.emissions_early = 0
+
+    def _process(self, pkt) -> None:
+        row = pkt["key_hash"] % self.slots
+        hop = pkt["hop"]
+        path_len = pkt.get("path_len") or self.hops
+        # 1 RMW on the key array: install our key, learn the previous.
+        # The row stores a 32-bit key hash (the SRAM cell width).
+        key32 = pkt["key_hash"] & 0xFFFFFFFF or 1  # 0 marks empty rows
+        old_key = self.key_reg.write(row, key32)
+        same_flow = old_key == key32
+        # 1 RMW on our hop's value array; its old value feeds a
+        # potential eviction (other hops' arrays are at most read).
+        old_value = self.value_regs[hop].write(row, pkt["value"])
+
+        evicted: ChunkEmission | None = None
+        if same_flow:
+            # The postcard counter is the bitmap's population count:
+            # duplicate postcards for a hop must not advance the
+            # emission trigger.  (The Tofino approximates this with a
+            # plain counter — acceptable when each hop reports once —
+            # but the reference semantics are distinct-hop counting.)
+            self.count_reg.add(row, 1)
+            new_bitmap = self.bitmap_reg.bit_or(row, 1 << hop)
+            self.pathlen_reg.maximum(row, path_len)
+        else:
+            # Collision (or empty row, old_key == 0 on fresh SRAM):
+            # capture the displaced row, then start ours.
+            self.count_reg.write(row, 1)
+            old_bitmap = self.bitmap_reg.write(row, 1 << hop)
+            self.pathlen_reg.write(row, path_len)
+            new_bitmap = 1 << hop
+            if old_key != 0 and old_bitmap != 0:
+                old_values = tuple(
+                    (old_value if h == hop
+                     else self.value_regs[h].read(row))
+                    if old_bitmap & (1 << h) else None
+                    for h in range(self.hops))
+                evicted = ChunkEmission(key_hash=old_key,
+                                        values=old_values,
+                                        complete=False)
+                self.emissions_early += 1
+
+        pkt["evicted"] = evicted
+        distinct_hops = bin(new_bitmap).count("1")
+        if distinct_hops >= min(path_len, self.hops):
+            values = []
+            for h in range(self.hops):
+                if h == hop:
+                    values.append(pkt["value"])
+                elif new_bitmap & (1 << h):
+                    values.append(self.value_regs[h].read(row))
+                else:
+                    values.append(None)
+            self.key_reg.cp_write(row, 0)     # free the row
+            self.count_reg.cp_write(row, 0)
+            self.bitmap_reg.cp_write(row, 0)
+            self.emissions_complete += 1
+            pkt["emitted"] = ChunkEmission(key_hash=pkt["key_hash"],
+                                           values=tuple(values),
+                                           complete=True)
+        else:
+            pkt["emitted"] = None
+
+    def submit(self, key_hash: int, hop: int, value: int, *,
+               path_len: int | None = None) -> tuple:
+        """Insert one postcard; returns (emission, evicted) — either
+        may be None."""
+        if key_hash == 0:
+            raise ValueError("key hash 0 is reserved for empty rows")
+        if not 0 <= hop < self.hops:
+            raise IndexError("hop out of range")
+        pkt = {"kind": "postcard", "key_hash": key_hash, "hop": hop,
+               "value": value, "path_len": path_len}
+        self.pipeline.process(pkt)
+        return pkt["emitted"], pkt["evicted"]
+
+
+class KeyWriteMulticastPath:
+    """Key-Write fan-out via the multicast technique.
+
+    One ingress DTA packet is replicated into N egress copies; each
+    copy traverses the egress pipe once, computing its own CRC slot
+    address (the Tofino CRC engine is stateless, so no register rules
+    apply).  Modelled as N egress traversals of the same pipeline.
+    """
+
+    def __init__(self, layout: KeyWriteLayout) -> None:
+        self.layout = layout
+        self.pipeline = Pipeline("keywrite-multicast", stages=2)
+        table = Table("kw_egress", ("kind",),
+                      default_action=self._egress)
+        self.pipeline.stage(0).add_table(table)
+        self.multicast_copies = 0
+
+    def _egress(self, pkt) -> None:
+        n = pkt["copy_index"]
+        key = pkt["key"]
+        pkt["emitted"] = RdmaWriteIntent(
+            remote_addr=self.layout.slot_addr(n, key),
+            payload=self.layout.encode_entry(key, pkt["data"]))
+
+    def submit(self, key: bytes, data: bytes,
+               redundancy: int) -> list:
+        """Replicate one report into N egress write intents."""
+        intents = []
+        for n in range(redundancy):
+            self.multicast_copies += 1
+            pkt = {"kind": "kw", "key": key, "data": data,
+                   "copy_index": n}
+            self.pipeline.process(pkt)
+            intents.append(pkt["emitted"])
+        return intents

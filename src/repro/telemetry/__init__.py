@@ -1,0 +1,99 @@
+"""Telemetry monitoring systems integrated with DTA (Table 2).
+
+Each module implements a monitoring system's switch-side logic and maps
+its reports onto DTA primitives exactly as Table 2 prescribes:
+
+* :mod:`repro.telemetry.inband` — INT: path tracing (INT-MD sinks →
+  Key-Write), postcards (INT-XD/MX → Postcarding), congestion events
+  (→ Append).
+* :mod:`repro.telemetry.marple` — Marple's lossy-connections, TCP
+  timeout, and flowlet-size queries (→ Append / Key-Write).
+* :mod:`repro.telemetry.netseer` — NetSeer-style loss events
+  (→ Append, 18 B records).
+* :mod:`repro.telemetry.sonata` — Sonata-style per-query results
+  (→ Key-Write) and raw tuple transfer (→ Append).
+* :mod:`repro.telemetry.turboflow` — TurboFlow-style evicted microflow
+  records (→ Key-Increment).
+* :mod:`repro.telemetry.pint` — PINT-style sampled per-flow reports
+  with packet-ID-derived redundancy (→ Key-Write).
+"""
+
+from repro.telemetry.events import (
+    MicroburstDetector,
+    MicroburstEvent,
+    SuspiciousFlowDetector,
+    SuspiciousFlowEvent,
+)
+from repro.telemetry.inband import (
+    IntMdSink,
+    IntXdSwitch,
+    report_from_trace,
+    trace_path,
+)
+from repro.telemetry.int_report import (
+    HopMetadata,
+    InFlightInt,
+    IntInstruction,
+    IntReport,
+    TelemetryReport,
+    int_source,
+)
+from repro.telemetry.marple import (
+    FlowletSizesQuery,
+    HostCountersQuery,
+    LossyFlowsQuery,
+    TcpTimeoutsQuery,
+)
+from repro.telemetry.netseer import LossEvent, NetSeerSwitch
+from repro.telemetry.packetscope import (
+    PacketScopeSwitch,
+    PipelineLossEvent,
+    TraversalInfo,
+)
+from repro.telemetry.pint import PintSampler
+from repro.telemetry.sonata import SonataQuery
+from repro.telemetry.sonata_dataflow import (
+    DataflowQuery,
+    Distinct,
+    Filter,
+    Map,
+    Reduce,
+)
+from repro.telemetry.trajectory import TrajectorySwitch, consistent_sample
+from repro.telemetry.turboflow import TurboFlowCache
+
+__all__ = [
+    "MicroburstDetector",
+    "MicroburstEvent",
+    "SuspiciousFlowDetector",
+    "SuspiciousFlowEvent",
+    "HopMetadata",
+    "InFlightInt",
+    "IntInstruction",
+    "IntReport",
+    "TelemetryReport",
+    "int_source",
+    "report_from_trace",
+    "DataflowQuery",
+    "Distinct",
+    "Filter",
+    "Map",
+    "Reduce",
+    "IntMdSink",
+    "IntXdSwitch",
+    "trace_path",
+    "FlowletSizesQuery",
+    "HostCountersQuery",
+    "LossyFlowsQuery",
+    "TcpTimeoutsQuery",
+    "LossEvent",
+    "NetSeerSwitch",
+    "PacketScopeSwitch",
+    "PipelineLossEvent",
+    "TraversalInfo",
+    "PintSampler",
+    "SonataQuery",
+    "TrajectorySwitch",
+    "consistent_sample",
+    "TurboFlowCache",
+]

@@ -1,0 +1,169 @@
+"""Event-triggered monitoring: microbursts and suspicious flows.
+
+Section 3.2 motivates Append with event streams: "a switch exports a
+stream of events, where a report would include an event identifier and
+an associated timestamp (e.g., packet losses [84], congestion events
+[22], suspicious flows [45], latency spikes [81])".  Two of those
+sources get concrete detectors here:
+
+* :class:`MicroburstDetector` — Zhang et al. (IMC'17) style
+  high-resolution queue monitoring: a burst starts when queue depth
+  crosses a threshold and is reported with its duration and peak when
+  it drains.
+* :class:`SuspiciousFlowDetector` — Kučera et al. (SOSR'20) style
+  event-triggered detection: flows matching a rate/fan-out predicate
+  are reported once per epoch.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.core.reporter import Reporter
+
+
+@dataclass(frozen=True)
+class MicroburstEvent:
+    """A 16-byte microburst record: port, peak depth, start, duration."""
+
+    port: int
+    peak_depth: int
+    start_us: int
+    duration_us: int
+
+    RECORD_BYTES = 16
+
+    def pack(self) -> bytes:
+        return struct.pack(">HxxIII", self.port, self.peak_depth,
+                           self.start_us, self.duration_us)
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "MicroburstEvent":
+        if len(raw) < cls.RECORD_BYTES:
+            raise ValueError("truncated microburst record")
+        port, peak, start, duration = struct.unpack_from(">HxxIII", raw)
+        return cls(port=port, peak_depth=peak, start_us=start,
+                   duration_us=duration)
+
+
+class MicroburstDetector:
+    """Per-port queue-depth monitoring with burst reporting.
+
+    Args:
+        reporter: DTA reporter.
+        list_id: Append list receiving burst records.
+        threshold: Queue depth that opens a burst.
+        ports: Number of monitored egress ports.
+    """
+
+    def __init__(self, reporter: Reporter, *, list_id: int = 0,
+                 threshold: int = 1000, ports: int = 64) -> None:
+        if threshold <= 0:
+            raise ValueError("threshold must be positive")
+        self.reporter = reporter
+        self.list_id = list_id
+        self.threshold = threshold
+        self._open: dict[int, tuple] = {}     # port -> (start, peak)
+        self.ports = ports
+        self.bursts_reported = 0
+
+    def sample(self, port: int, queue_depth: int, now_us: int) -> None:
+        """One queue-depth sample for an egress port."""
+        if not 0 <= port < self.ports:
+            raise IndexError("port out of range")
+        active = self._open.get(port)
+        if queue_depth >= self.threshold:
+            if active is None:
+                self._open[port] = (now_us, queue_depth)
+            else:
+                start, peak = active
+                self._open[port] = (start, max(peak, queue_depth))
+        elif active is not None:
+            start, peak = self._open.pop(port)
+            event = MicroburstEvent(port=port, peak_depth=peak,
+                                    start_us=start,
+                                    duration_us=max(1, now_us - start))
+            self.reporter.append(self.list_id, event.pack(),
+                                 essential=True)
+            self.bursts_reported += 1
+
+    def flush(self, now_us: int) -> None:
+        """Close every open burst (monitoring epoch end)."""
+        for port in list(self._open):
+            self.sample(port, 0, now_us)
+
+
+@dataclass(frozen=True)
+class SuspiciousFlowEvent:
+    """A 17-byte suspicious-flow record: 13B key + rule + score."""
+
+    flow_key: bytes
+    rule: int
+    score: int
+
+    RECORD_BYTES = 17
+
+    def pack(self) -> bytes:
+        if len(self.flow_key) != 13:
+            raise ValueError("flow key must be the 13B 5-tuple")
+        return self.flow_key + struct.pack(">BxH", self.rule,
+                                           self.score)
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "SuspiciousFlowEvent":
+        if len(raw) < cls.RECORD_BYTES:
+            raise ValueError("truncated suspicious-flow record")
+        rule, score = struct.unpack_from(">BxH", raw, 13)
+        return cls(flow_key=raw[:13], rule=rule, score=score)
+
+
+class SuspiciousFlowDetector:
+    """Event-triggered flow flagging with once-per-epoch reporting.
+
+    Rules are (id, predicate(stats) -> score) pairs over simple
+    per-flow stats the data plane can keep (packets, bytes, distinct
+    destination ports as a proxy for scanning).
+    """
+
+    RULE_HIGH_RATE = 1
+    RULE_PORT_SCAN = 2
+
+    def __init__(self, reporter: Reporter, *, list_id: int = 0,
+                 rate_threshold: int = 100,
+                 fanout_threshold: int = 16) -> None:
+        self.reporter = reporter
+        self.list_id = list_id
+        self.rate_threshold = rate_threshold
+        self.fanout_threshold = fanout_threshold
+        self._packets: dict[bytes, int] = {}
+        self._ports: dict[bytes, set] = {}
+        self._flagged: set = set()
+        self.reports = 0
+
+    def observe(self, flow_key: bytes, dst_port: int) -> None:
+        """Account one packet (source identity = first 4 key bytes)."""
+        src = flow_key[:4]
+        self._packets[src] = self._packets.get(src, 0) + 1
+        self._ports.setdefault(src, set()).add(dst_port)
+        if src in self._flagged:
+            return
+        if self._packets[src] >= self.rate_threshold:
+            self._flag(flow_key, self.RULE_HIGH_RATE,
+                       min(0xFFFF, self._packets[src]))
+        elif len(self._ports[src]) >= self.fanout_threshold:
+            self._flag(flow_key, self.RULE_PORT_SCAN,
+                       len(self._ports[src]))
+
+    def _flag(self, flow_key: bytes, rule: int, score: int) -> None:
+        self._flagged.add(flow_key[:4])
+        event = SuspiciousFlowEvent(flow_key=flow_key, rule=rule,
+                                    score=score)
+        self.reporter.append(self.list_id, event.pack(), essential=True)
+        self.reports += 1
+
+    def end_epoch(self) -> None:
+        """Reset counters; previously flagged sources may re-trigger."""
+        self._packets.clear()
+        self._ports.clear()
+        self._flagged.clear()

@@ -1,0 +1,146 @@
+"""In-band Network Telemetry (INT) sources, sinks, and postcards.
+
+Two INT working modes matter to DTA (Table 2):
+
+* **INT-MD** (embed mode): metadata accumulates in packet headers along
+  the path; the *sink* (last hop) strips the stack and reports it — for
+  path tracing, 5 x 4 B switch IDs keyed by flow 5-tuple via Key-Write.
+* **INT-XD/MX** (postcard mode): every switch exports its own 4 B
+  postcard keyed by (flow, hop) — DTA's Postcarding primitive
+  aggregates them back into full-path reports at the translator.
+
+Congestion events (queue depth over threshold) go to an Append list,
+per Table 2's "INT (Congestion events)" row.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.core.reporter import Reporter
+
+
+@dataclass
+class IntStack:
+    """The accumulated INT-MD metadata carried by a packet."""
+
+    flow_key: bytes
+    switch_ids: list = field(default_factory=list)
+    queue_depths: list = field(default_factory=list)
+
+    def push(self, switch_id: int, queue_depth: int = 0) -> None:
+        self.switch_ids.append(switch_id)
+        self.queue_depths.append(queue_depth)
+
+
+def trace_path(flow_key: bytes, path: list,
+               queue_depths: list | None = None) -> IntStack:
+    """Simulate a packet traversing ``path`` in INT-MD mode."""
+    stack = IntStack(flow_key=flow_key)
+    depths = queue_depths or [0] * len(path)
+    for switch_id, depth in zip(path, depths):
+        stack.push(switch_id, depth)
+    return stack
+
+
+class IntMdSink:
+    """The INT sink switch: strips stacks, reports via Key-Write.
+
+    Table 2 row: "INT sinks reporting 5x4B switch IDs using flow
+    5-tuple keys".
+
+    Args:
+        reporter: The DTA reporter embedded in the sink switch.
+        max_hops: Pad/truncate paths to this many 4 B switch IDs.
+        congestion_threshold: Queue depth above which a congestion
+            event is appended (list ``congestion_list``).
+    """
+
+    def __init__(self, reporter: Reporter, *, max_hops: int = 5,
+                 redundancy: int = 2, congestion_threshold: int = 0,
+                 congestion_list: int = 0) -> None:
+        self.reporter = reporter
+        self.max_hops = max_hops
+        self.redundancy = redundancy
+        self.congestion_threshold = congestion_threshold
+        self.congestion_list = congestion_list
+        self.reports = 0
+        self.congestion_events = 0
+
+    def path_payload(self, stack: IntStack) -> bytes:
+        """Encode the path as max_hops x 4 B switch IDs (zero padded)."""
+        ids = stack.switch_ids[:self.max_hops]
+        ids += [0] * (self.max_hops - len(ids))
+        return struct.pack(f">{self.max_hops}I", *ids)
+
+    def process(self, stack: IntStack) -> None:
+        """Strip one INT stack: path report + congestion events."""
+        self.reporter.key_write(stack.flow_key, self.path_payload(stack),
+                                redundancy=self.redundancy)
+        self.reports += 1
+        if self.congestion_threshold:
+            for switch_id, depth in zip(stack.switch_ids,
+                                        stack.queue_depths):
+                if depth > self.congestion_threshold:
+                    # Table 2: "append 4B reports to a list of network
+                    # congestion events" — the congested switch ID.
+                    event = struct.pack(">I", switch_id)
+                    self.reporter.append(self.congestion_list, event)
+                    self.congestion_events += 1
+
+
+def report_from_trace(stack: IntStack, *, hw_id: int = 0,
+                      seq: int = 0, tstamp: int = 0):
+    """Build a spec-shaped INT report from an accumulated stack.
+
+    Bridges the simulation-level :class:`IntStack` to the byte-level
+    :class:`repro.telemetry.int_report.IntReport` so DTA payloads can
+    carry the real wire format (Figure 3's "legacy telemetry report").
+    """
+    from repro.telemetry.int_report import (
+        HopMetadata,
+        IntInstruction,
+        IntReport,
+        TelemetryReport,
+    )
+
+    instructions = IntInstruction.NODE_ID | IntInstruction.QUEUE_OCCUPANCY
+    hops = [HopMetadata(node_id=sid, queue_occupancy=depth & 0xFFFFFF)
+            for sid, depth in zip(stack.switch_ids, stack.queue_depths)]
+    sink_id = stack.switch_ids[-1] if stack.switch_ids else 0
+    return IntReport(
+        report=TelemetryReport(hw_id=hw_id, seq=seq, node_id=sink_id,
+                               ingress_tstamp=tstamp),
+        instructions=instructions, hops=hops)
+
+
+class IntXdSwitch:
+    """One switch in INT-XD (postcard) mode.
+
+    Table 2 row: "Switches report 4B INT postcards using (flow 5-tuple,
+    hop) keys".
+
+    Args:
+        reporter: The switch's DTA reporter.
+        switch_id: Identity reported in postcards.
+        hop: This switch's position on the monitored paths.
+    """
+
+    def __init__(self, reporter: Reporter, switch_id: int, hop: int) -> None:
+        self.reporter = reporter
+        self.switch_id = switch_id
+        self.hop = hop
+        self.postcards = 0
+
+    def process(self, flow_key: bytes, *, path_length: int = 0,
+                value: int | None = None) -> None:
+        """Emit a postcard for one observed packet of ``flow_key``.
+
+        ``value`` defaults to the switch ID (path tracing); latency
+        monitoring would pass a queue-delay measurement instead.
+        """
+        self.reporter.postcard(flow_key, self.hop,
+                               self.switch_id if value is None else value,
+                               path_length=path_length)
+        self.postcards += 1

@@ -1,0 +1,213 @@
+"""Marple queries on switches (Narayana et al., SIGCOMM'17).
+
+Marple compiles performance queries to switch programs with small
+on-switch state.  Section 5.1 integrates three of them with DTA and
+Confluo; each query here is a stream processor over
+:class:`repro.workloads.traffic.Packet` observations that emits DTA
+reports exactly as the paper describes:
+
+* **Lossy Flows** — "reports high loss rates together with their
+  corresponding flow 5-tuples, and DTA uses the Append primitive to
+  store the data chronologically in several lists" (one list per loss-
+  rate range).
+* **TCP Timeouts** — "reports the number of TCP timeouts per-flow ...
+  DTA uses the Key-Write primitive".
+* **Flowlet Sizes** — "reports flow 5-tuples together with the number
+  of packets in their most recent flowlets, and DTA appends the flow
+  identifiers to one of the available lists" (one list per size bucket,
+  for per-flow histograms).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.core.reporter import Reporter
+from repro.workloads.traffic import Packet
+
+
+@dataclass
+class _FlowLossState:
+    packets: int = 0
+    losses: int = 0
+
+
+class HostCountersQuery:
+    """Per-host packet counters, exported both ways Table 2 lists.
+
+    Marple appears twice in Table 2 with this workload: "Reporting 4B
+    counters using source IP keys, through non-merging aggregation"
+    (Key-Write: the switch periodically reports its *current* counter
+    value, last write wins) and "through addition-based aggregation"
+    (Key-Increment: the switch reports *deltas*, the collector adds
+    them — which also merges counts across switches).
+
+    Args:
+        reporter: The switch's DTA reporter.
+        mode: "key_write" (snapshot) or "key_increment" (delta).
+        export_every: Report after this many packets per host.
+    """
+
+    def __init__(self, reporter: Reporter, *, mode: str = "key_write",
+                 export_every: int = 32, redundancy: int = 2) -> None:
+        if mode not in ("key_write", "key_increment"):
+            raise ValueError("mode must be key_write or key_increment")
+        self.reporter = reporter
+        self.mode = mode
+        self.export_every = export_every
+        self.redundancy = redundancy
+        self.counters: dict[bytes, int] = {}
+        self._unreported: dict[bytes, int] = {}
+        self.reports = 0
+
+    @staticmethod
+    def host_key(packet: Packet) -> bytes:
+        """The source-IP key: first 4 bytes of the 5-tuple."""
+        return packet.flow_key[:4]
+
+    def process(self, packet: Packet) -> None:
+        key = self.host_key(packet)
+        self.counters[key] = self.counters.get(key, 0) + 1
+        self._unreported[key] = self._unreported.get(key, 0) + 1
+        if self._unreported[key] >= self.export_every:
+            self._export(key)
+
+    def _export(self, key: bytes) -> None:
+        if self.mode == "key_write":
+            self.reporter.key_write(
+                key, struct.pack(">I", self.counters[key]),
+                redundancy=self.redundancy)
+        else:
+            self.reporter.key_increment(key, self._unreported[key],
+                                        redundancy=self.redundancy)
+        self._unreported[key] = 0
+        self.reports += 1
+
+    def flush(self) -> None:
+        """Export every host with unreported packets (epoch end)."""
+        for key, pending in list(self._unreported.items()):
+            if pending:
+                self._export(key)
+
+
+class LossyFlowsQuery:
+    """Report flows whose loss rate exceeds a threshold.
+
+    Args:
+        reporter: DTA reporter of the switch running the query.
+        threshold: Loss-rate trigger.
+        min_packets: Minimum packets before a flow is judged.
+        base_list: First Append list; flows land in
+            ``base_list + bucket`` where the bucket grades the rate
+            ("packet loss rates in one of several ranges").
+        buckets: Loss-rate range boundaries (ascending).
+    """
+
+    def __init__(self, reporter: Reporter, *, threshold: float = 0.05,
+                 min_packets: int = 10, base_list: int = 0,
+                 buckets: tuple = (0.05, 0.10, 0.20)) -> None:
+        self.reporter = reporter
+        self.threshold = threshold
+        self.min_packets = min_packets
+        self.base_list = base_list
+        self.buckets = buckets
+        self._flows: dict[bytes, _FlowLossState] = {}
+        self._reported: set[bytes] = set()
+        self.reports = 0
+
+    def _bucket(self, rate: float) -> int:
+        for i, bound in enumerate(self.buckets[1:], start=1):
+            if rate < bound:
+                return i - 1
+        return len(self.buckets) - 1
+
+    def process(self, packet: Packet) -> None:
+        state = self._flows.setdefault(packet.flow_key, _FlowLossState())
+        state.packets += 1
+        if packet.is_retransmission:
+            state.losses += 1
+        if (state.packets >= self.min_packets
+                and packet.flow_key not in self._reported):
+            rate = state.losses / state.packets
+            if rate > self.threshold:
+                # 13 B flow key appended chronologically.
+                self.reporter.append(
+                    self.base_list + self._bucket(rate), packet.flow_key)
+                self._reported.add(packet.flow_key)
+                self.reports += 1
+
+
+class TcpTimeoutsQuery:
+    """Count per-flow TCP timeouts; report counts via Key-Write.
+
+    A retransmission arriving more than ``rto`` after the flow's
+    previous packet is treated as a timeout-triggered retransmission
+    (Marple's definition keys on inter-packet gaps at the switch).
+    """
+
+    def __init__(self, reporter: Reporter, *, rto: float = 0.2,
+                 redundancy: int = 2) -> None:
+        self.reporter = reporter
+        self.rto = rto
+        self.redundancy = redundancy
+        self._last_seen: dict[bytes, float] = {}
+        self.timeouts: dict[bytes, int] = {}
+        self.reports = 0
+
+    def process(self, packet: Packet) -> None:
+        last = self._last_seen.get(packet.flow_key)
+        self._last_seen[packet.flow_key] = packet.timestamp
+        if (packet.is_retransmission and last is not None
+                and packet.timestamp - last >= self.rto):
+            count = self.timeouts.get(packet.flow_key, 0) + 1
+            self.timeouts[packet.flow_key] = count
+            self.reporter.key_write(packet.flow_key,
+                                    struct.pack(">I", count),
+                                    redundancy=self.redundancy)
+            self.reports += 1
+
+
+class FlowletSizesQuery:
+    """Report the packet count of each completed flowlet.
+
+    A flowlet ends when a flow is idle longer than ``gap``; the report
+    appends the 13 B flow key to the list matching the flowlet-size
+    bucket, so the collector can build per-flow histograms.
+    """
+
+    def __init__(self, reporter: Reporter, *, gap: float = 0.005,
+                 base_list: int = 0,
+                 size_buckets: tuple = (1, 4, 16, 64, 256)) -> None:
+        self.reporter = reporter
+        self.gap = gap
+        self.base_list = base_list
+        self.size_buckets = size_buckets
+        self._last_seen: dict[bytes, float] = {}
+        self._flowlet_size: dict[bytes, int] = {}
+        self.reports = 0
+
+    def _bucket(self, size: int) -> int:
+        for i, bound in enumerate(self.size_buckets):
+            if size <= bound:
+                return i
+        return len(self.size_buckets) - 1
+
+    def process(self, packet: Packet) -> None:
+        key = packet.flow_key
+        last = self._last_seen.get(key)
+        if last is not None and packet.timestamp - last > self.gap:
+            self._report_flowlet(key)
+        self._last_seen[key] = packet.timestamp
+        self._flowlet_size[key] = self._flowlet_size.get(key, 0) + 1
+
+    def _report_flowlet(self, key: bytes) -> None:
+        size = self._flowlet_size.pop(key, 0)
+        if size:
+            self.reporter.append(self.base_list + self._bucket(size), key)
+            self.reports += 1
+
+    def flush(self) -> None:
+        """Close every open flowlet (end of measurement epoch)."""
+        for key in list(self._flowlet_size):
+            self._report_flowlet(key)

@@ -1,0 +1,156 @@
+"""PacketScope-style in-switch lifecycle monitoring (Teixeira et al.).
+
+Two Table 2 rows:
+
+* Key-Write: "Report fixed-size per-flow per-switch traversal
+  information using <switchID, 5-tuple> as key" — where inside this
+  switch's pipeline a flow's packets went.
+* Append: "On packet drop: send 14B pipeline-traversal information to
+  central list of pipeline-loss events" — which pipeline stage dropped
+  a packet and why.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+
+from repro.core.reporter import Reporter
+
+
+class PipelineStage(enum.IntEnum):
+    """Where in the switch pipeline an event happened."""
+
+    PARSER = 0
+    INGRESS_MATCH = 1
+    TRAFFIC_MANAGER = 2
+    EGRESS_MATCH = 3
+    DEPARSER = 4
+
+
+@dataclass(frozen=True)
+class TraversalInfo:
+    """Fixed-size per-flow traversal record (the Key-Write payload).
+
+    Layout (12 B): ingress port (2), egress port (2), last pipeline
+    stage reached (1), pad (1), packets seen (4), queue peak (2).
+    """
+
+    ingress_port: int
+    egress_port: int
+    last_stage: PipelineStage
+    packets: int
+    queue_peak: int
+
+    RECORD_BYTES = 12
+
+    def pack(self) -> bytes:
+        return struct.pack(">HHBxIH", self.ingress_port,
+                           self.egress_port, int(self.last_stage),
+                           self.packets, self.queue_peak)
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "TraversalInfo":
+        if len(raw) < cls.RECORD_BYTES:
+            raise ValueError("truncated traversal record")
+        ingress, egress, stage, packets, peak = struct.unpack(
+            ">HHBxIH", raw[:cls.RECORD_BYTES])
+        return cls(ingress_port=ingress, egress_port=egress,
+                   last_stage=PipelineStage(stage), packets=packets,
+                   queue_peak=peak)
+
+
+@dataclass(frozen=True)
+class PipelineLossEvent:
+    """A 14-byte pipeline-loss record (the Append payload).
+
+    Layout: flow digest (8) + switch id (2) + stage (1) + reason (1)
+    + count (2).
+    """
+
+    flow_digest: bytes
+    switch_id: int
+    stage: PipelineStage
+    reason: int
+    count: int = 1
+
+    RECORD_BYTES = 14
+
+    def pack(self) -> bytes:
+        if len(self.flow_digest) != 8:
+            raise ValueError("flow digest must be 8 bytes")
+        return self.flow_digest + struct.pack(
+            ">HBBH", self.switch_id, int(self.stage), self.reason,
+            self.count)
+
+    @classmethod
+    def unpack(cls, raw: bytes) -> "PipelineLossEvent":
+        if len(raw) < cls.RECORD_BYTES:
+            raise ValueError("truncated pipeline-loss record")
+        switch_id, stage, reason, count = struct.unpack(
+            ">HBBH", raw[8:14])
+        return cls(flow_digest=raw[:8], switch_id=switch_id,
+                   stage=PipelineStage(stage), reason=reason,
+                   count=count)
+
+
+def traversal_key(switch_id: int, flow_key: bytes) -> bytes:
+    """The <switchID, 5-tuple> composite Key-Write key."""
+    return struct.pack(">H", switch_id) + flow_key
+
+
+class PacketScopeSwitch:
+    """Per-switch lifecycle tracking with DTA export.
+
+    Args:
+        reporter: DTA reporter.
+        switch_id: This switch.
+        loss_list: Append list for pipeline-loss events.
+        export_every: Traversal records are (re-)reported every this
+            many packets of a flow.
+    """
+
+    def __init__(self, reporter: Reporter, switch_id: int, *,
+                 loss_list: int = 0, export_every: int = 16,
+                 redundancy: int = 2) -> None:
+        self.reporter = reporter
+        self.switch_id = switch_id
+        self.loss_list = loss_list
+        self.export_every = export_every
+        self.redundancy = redundancy
+        self._flows: dict[bytes, TraversalInfo] = {}
+        self.traversal_reports = 0
+        self.loss_reports = 0
+
+    def observe(self, flow_key: bytes, *, ingress_port: int,
+                egress_port: int, queue_depth: int = 0,
+                reached: PipelineStage = PipelineStage.DEPARSER) -> None:
+        """Account one packet traversing the pipeline."""
+        current = self._flows.get(flow_key)
+        packets = (current.packets if current else 0) + 1
+        info = TraversalInfo(
+            ingress_port=ingress_port, egress_port=egress_port,
+            last_stage=reached, packets=packets,
+            queue_peak=max(queue_depth,
+                           current.queue_peak if current else 0))
+        self._flows[flow_key] = info
+        if packets % self.export_every == 0 or packets == 1:
+            self.reporter.key_write(
+                traversal_key(self.switch_id, flow_key), info.pack(),
+                redundancy=self.redundancy)
+            self.traversal_reports += 1
+
+    def observe_drop(self, flow_key: bytes, stage: PipelineStage,
+                     reason: int = 0) -> None:
+        """A packet died inside the pipeline: export the loss event."""
+        from repro.switch.crc import hash_family
+
+        (digest64,) = hash_family(1, width_bits=64)
+        digest = struct.pack(">Q", digest64(flow_key))
+        event = PipelineLossEvent(flow_digest=digest,
+                                  switch_id=self.switch_id,
+                                  stage=stage, reason=reason)
+        self.reporter.append(self.loss_list, event.pack(),
+                             essential=True)
+        self.loss_reports += 1

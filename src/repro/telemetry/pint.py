@@ -1,0 +1,68 @@
+"""PINT-style probabilistic telemetry (Ben Basat et al., SIGCOMM'20).
+
+PINT bounds per-packet overhead by having each packet carry only a
+probabilistic fragment of the telemetry; the collector reconstructs
+per-flow state from many packets.  Table 2's row: "1B reports with
+5-tuple keys, using redundancies for data compression through
+n = f(pktID)" — i.e. the Key-Write redundancy level is *derived from
+the packet ID hash*, spreading fragments of a flow's data across
+different slot subsets instead of duplicating them.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+from repro.core.reporter import Reporter
+
+
+class PintSampler:
+    """Switch-side PINT report generation over Key-Write.
+
+    For each packet, a global hash of (flow, packet id) decides whether
+    this switch samples the packet and with what redundancy the 1-byte
+    fragment is written, implementing the paper's ``n = f(pktID)``
+    redundancy selection.
+
+    Args:
+        reporter: DTA reporter.
+        sample_bits: A packet is sampled iff the low ``sample_bits`` of
+            its decision hash are zero (rate = 2**-sample_bits).
+        max_redundancy: Upper bound for the derived n.
+    """
+
+    def __init__(self, reporter: Reporter, *, sample_bits: int = 4,
+                 max_redundancy: int = 4) -> None:
+        if not 0 <= sample_bits <= 16:
+            raise ValueError("sample_bits must be in [0, 16]")
+        if max_redundancy < 1:
+            raise ValueError("max_redundancy must be >= 1")
+        self.reporter = reporter
+        self.sample_bits = sample_bits
+        self.max_redundancy = max_redundancy
+        self.sampled = 0
+        self.skipped = 0
+
+    def _decision(self, flow_key: bytes, packet_id: int) -> int:
+        return zlib.crc32(flow_key + struct.pack(">I", packet_id))
+
+    def derived_redundancy(self, packet_id: int) -> int:
+        """n = f(pktID): deterministic, collector-recomputable."""
+        return 1 + zlib.crc32(struct.pack(">I", packet_id)) \
+            % self.max_redundancy
+
+    def process(self, flow_key: bytes, packet_id: int, value: int) -> bool:
+        """Maybe report a 1-byte fragment for this packet.
+
+        Returns True when a report was emitted.
+        """
+        decision = self._decision(flow_key, packet_id)
+        if decision & ((1 << self.sample_bits) - 1):
+            self.skipped += 1
+            return False
+        n = self.derived_redundancy(packet_id)
+        self.reporter.key_write(flow_key, bytes([value & 0xFF]),
+                                redundancy=n)
+        self.sampled += 1
+        return True

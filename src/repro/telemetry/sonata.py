@@ -1,0 +1,77 @@
+"""Sonata-style query-driven telemetry (Gupta et al., SIGCOMM'18).
+
+Sonata compiles dataflow queries (filter → map → distinct/reduce) into
+switch programs; per-epoch results go to the runtime.  Table 2 maps it
+twice: fixed-size per-query results via Key-Write (keyed by query ID)
+and raw packet tuples via Append ("query-specific packet tuples from
+switches to lists at streaming processors").
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.reporter import Reporter
+from repro.workloads.traffic import Packet
+
+
+@dataclass
+class SonataQuery:
+    """One compiled Sonata query running on a switch.
+
+    Args:
+        query_id: Identity; the Key-Write key is its 4-byte encoding.
+        filter_fn: Packet predicate (the dataflow ``filter``).
+        key_fn: Grouping key extractor (the ``map``).
+        reporter: DTA reporter.
+        threshold: Reduce trigger: keys whose per-epoch count crosses it
+            are included in the result and their tuples mirrored raw.
+        raw_list: Append list receiving raw matched tuples (None
+            disables the mirror).
+    """
+
+    query_id: int
+    filter_fn: Callable[[Packet], bool]
+    key_fn: Callable[[Packet], bytes]
+    reporter: Reporter
+    threshold: int = 10
+    raw_list: int | None = None
+
+    def __post_init__(self) -> None:
+        self._counts: dict[bytes, int] = {}
+        self.epochs_reported = 0
+        self.tuples_mirrored = 0
+
+    @property
+    def key(self) -> bytes:
+        return struct.pack(">I", self.query_id)
+
+    def process(self, packet: Packet) -> None:
+        """Run the dataflow over one packet."""
+        if not self.filter_fn(packet):
+            return
+        group = self.key_fn(packet)
+        self._counts[group] = self._counts.get(group, 0) + 1
+        if self.raw_list is not None \
+                and self._counts[group] == self.threshold:
+            # First crossing: mirror the offending tuple downstream.
+            self.reporter.append(self.raw_list, group)
+            self.tuples_mirrored += 1
+
+    def end_epoch(self) -> dict:
+        """Report the epoch result via Key-Write and reset state.
+
+        The fixed-size result is (distinct groups, groups over
+        threshold) — 8 bytes keyed by query ID, per Table 2's
+        "fixed-size network query results using queryID keys".
+        """
+        over = sum(1 for c in self._counts.values() if c >= self.threshold)
+        result = struct.pack(">II", len(self._counts), over)
+        self.reporter.key_write(self.key, result, redundancy=2,
+                                essential=True)
+        self.epochs_reported += 1
+        snapshot = dict(self._counts)
+        self._counts.clear()
+        return snapshot

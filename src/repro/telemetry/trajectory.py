@@ -1,0 +1,68 @@
+"""Trajectory Sampling (Duffield & Grossglauser) over Postcarding.
+
+Table 2's second Postcarding row: "Collection of unique packet labels
+from all hops for sampled packets."  Every switch applies the *same*
+hash-based sampling decision to a packet (computed over invariant
+header fields), so a sampled packet is sampled at every hop; each hop
+reports its label via a postcard keyed by the packet's identity, and
+the translator reassembles the hop-ordered trajectory.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+from repro.core.reporter import Reporter
+
+
+def consistent_sample(packet_digest: bytes, sample_bits: int) -> bool:
+    """The shared sampling decision: identical at every switch.
+
+    A packet is sampled iff the low ``sample_bits`` of a hash over its
+    invariant fields are zero — the classic trajectory-sampling trick
+    that needs no coordination.
+    """
+    if not 0 <= sample_bits <= 24:
+        raise ValueError("sample_bits must be in [0, 24]")
+    digest = zlib.crc32(b"\x54\x53" + packet_digest)
+    return (digest & ((1 << sample_bits) - 1)) == 0
+
+
+@dataclass
+class TrajectorySwitch:
+    """One switch participating in trajectory sampling.
+
+    Args:
+        reporter: The switch's DTA reporter.
+        hop: Position on the monitored paths.
+        label: The label this switch stamps (e.g. its ID; Duffield &
+            Grossglauser use packet-content labels, any 32-bit value
+            works).
+        sample_bits: Sampling rate = 2**-sample_bits, shared fleet-wide.
+    """
+
+    reporter: Reporter
+    hop: int
+    label: int
+    sample_bits: int = 6
+
+    def __post_init__(self) -> None:
+        self.sampled = 0
+        self.skipped = 0
+
+    def process(self, packet_digest: bytes, *,
+                path_length: int = 0) -> bool:
+        """Maybe report this packet's label from this hop."""
+        if not consistent_sample(packet_digest, self.sample_bits):
+            self.skipped += 1
+            return False
+        self.reporter.postcard(packet_digest, self.hop, self.label,
+                               path_length=path_length)
+        self.sampled += 1
+        return True
+
+
+def trajectory_of(collector, packet_digest: bytes) -> list | None:
+    """Query the reassembled label trajectory for a sampled packet."""
+    return collector.query_path(packet_digest)

@@ -1,0 +1,82 @@
+"""TurboFlow-style microflow records (Sonchack et al., EuroSys'18).
+
+TurboFlow keeps a small per-switch cache of *microflow records* (packet
+and byte counters); a new flow colliding with an occupied cache slot
+evicts the old record, which must be exported for aggregation.  Table 2
+maps the export to Key-Increment: "Sending 4B counters from evicted
+microflow-records for aggregation using flow key as keys" — the
+collector-side CMS adds up the partial counters of a flow across
+evictions and across switches.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+from repro.core.reporter import Reporter
+
+
+@dataclass
+class MicroflowRecord:
+    """One cache slot: a flow and its running counters."""
+
+    flow_key: bytes
+    packets: int = 0
+    bytes_total: int = 0
+
+
+class TurboFlowCache:
+    """Direct-mapped microflow cache with evict-to-collector semantics.
+
+    Args:
+        reporter: DTA reporter used for evicted-record export.
+        slots: Cache size (switch SRAM is small; collisions are the
+            normal case, which is the whole point of the design).
+        redundancy: Key-Increment redundancy for exported counters.
+    """
+
+    def __init__(self, reporter: Reporter, *, slots: int = 1024,
+                 redundancy: int = 2) -> None:
+        if slots <= 0:
+            raise ValueError("slots must be positive")
+        self.reporter = reporter
+        self.slots = slots
+        self.redundancy = redundancy
+        self._cache: list[MicroflowRecord | None] = [None] * slots
+        self.evictions = 0
+        self.packets_seen = 0
+
+    def _index(self, flow_key: bytes) -> int:
+        return zlib.crc32(b"\x54\x46" + flow_key) % self.slots
+
+    def process(self, flow_key: bytes, size: int) -> None:
+        """Account one packet; export the displaced record on collision."""
+        self.packets_seen += 1
+        index = self._index(flow_key)
+        record = self._cache[index]
+        if record is not None and record.flow_key != flow_key:
+            self._evict(record)
+            record = None
+        if record is None:
+            record = MicroflowRecord(flow_key=flow_key)
+            self._cache[index] = record
+        record.packets += 1
+        record.bytes_total += size
+
+    def _evict(self, record: MicroflowRecord) -> None:
+        """Export a record's counters via Key-Increment."""
+        self.reporter.key_increment(record.flow_key, record.packets,
+                                    redundancy=self.redundancy)
+        self.evictions += 1
+
+    def flush(self) -> None:
+        """Evict every resident record (epoch end), emptying the cache."""
+        for i, record in enumerate(self._cache):
+            if record is not None:
+                self._evict(record)
+                self._cache[i] = None
+
+    @property
+    def occupancy(self) -> int:
+        return sum(1 for r in self._cache if r is not None)

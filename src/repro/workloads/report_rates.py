@@ -1,0 +1,75 @@
+"""Per-switch telemetry report-rate models — Table 1.
+
+Table 1 lists the per-reporter data generation rates of four monitoring
+configurations on 6.4 Tbps switches: INT postcards at 0.5 % sampling
+(19 Mpps), Marple TCP out-of-sequence (6.72 Mpps), Marple packet
+counters (4.29 Mpps), and NetSeer flow events (0.95 Mpps).  The INT
+figure is derived (packet rate at 40 % load x sampling x hops); the
+others are the numbers reported by the respective papers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import calibration
+
+
+@dataclass(frozen=True)
+class ReportRateModel:
+    """One Table 1 row: a monitoring system's per-switch report rate."""
+
+    system: str
+    scenario: str
+    reports_per_second: float
+
+    @property
+    def mpps(self) -> float:
+        return self.reports_per_second / 1e6
+
+
+def switch_packet_rate(capacity_tbps: float = calibration.SWITCH_CAPACITY_TBPS,
+                       load: float = calibration.SWITCH_LOAD,
+                       avg_packet_bytes: int = calibration.AVG_PACKET_BYTES
+                       ) -> float:
+    """Packets/s a switch forwards at the given load."""
+    if not 0 < load <= 1:
+        raise ValueError("load must be in (0, 1]")
+    return capacity_tbps * 1e12 * load / (avg_packet_bytes * 8)
+
+
+def int_postcard_rate(sampling: float = calibration.INT_POSTCARD_SAMPLING,
+                      hops: int = calibration.INT_POSTCARD_HOPS,
+                      **kwargs) -> float:
+    """INT postcard reports/s from one switch.
+
+    Every sampled packet generates a postcard at each traversed hop;
+    viewed from a single switch, its share is the packet rate times the
+    sampling probability times the average postcard fan-out it sees.
+    """
+    if not 0 < sampling <= 1:
+        raise ValueError("sampling must be in (0, 1]")
+    return switch_packet_rate(**kwargs) * sampling * hops
+
+
+def table1_rows() -> list:
+    """The four Table 1 entries, INT derived and the rest from papers."""
+    return [
+        ReportRateModel("INT Postcards",
+                        "Per-hop latency, 0.5% sampling",
+                        int_postcard_rate()),
+        ReportRateModel("Marple", "TCP out-of-sequence",
+                        calibration.MARPLE_TCP_OOS_RATE),
+        ReportRateModel("Marple", "Packet counters",
+                        calibration.MARPLE_PKT_COUNTER_RATE),
+        ReportRateModel("NetSeer", "Flow events",
+                        calibration.NETSEER_FLOW_EVENT_RATE),
+    ]
+
+
+def network_report_rate(switches: int, model: ReportRateModel) -> float:
+    """Aggregate reports/s from ``switches`` reporters (Section 2.1:
+    'a network can easily generate billions of reports per second')."""
+    if switches <= 0:
+        raise ValueError("switches must be positive")
+    return switches * model.reports_per_second

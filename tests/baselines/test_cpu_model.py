@@ -1,0 +1,81 @@
+"""CPU collector cost model: rates, breakdowns, reporter capacity."""
+
+import pytest
+
+from repro import calibration
+from repro.baselines.cpu_model import CpuCollector, StageBreakdown
+
+
+class StoreToList(CpuCollector):
+    """Minimal concrete collector for base-class tests."""
+
+    def __init__(self, **kwargs):
+        super().__init__("test", rate_16_cores=8e6, **kwargs)
+        self.stored = []
+
+    def _store(self, record):
+        self.stored.append(record)
+
+
+class TestRateModel:
+    def test_rate_scales_linearly_with_cores(self):
+        col = StoreToList()
+        assert col.modelled_rate(8) == pytest.approx(
+            col.modelled_rate(16) / 2)
+
+    def test_default_cores_is_16(self):
+        col = StoreToList()
+        assert col.cores == calibration.BASELINE_CORES
+        assert col.modelled_rate() == 8e6
+
+    def test_per_report_cycles_consistent(self):
+        col = StoreToList()
+        cycles = col.per_report_cycles()
+        # rate * cycles = total available cycles.
+        assert cycles * 8e6 == pytest.approx(
+            calibration.CPU_GHZ * 1e9 * 16)
+
+    def test_stage_weights_sum_to_total(self):
+        col = StoreToList()
+        weights = col.stage_cycle_weights()
+        assert sum(weights.values()) == pytest.approx(
+            col.per_report_cycles())
+
+    def test_bad_shares_rejected(self):
+        with pytest.raises(ValueError):
+            StoreToList(stage_shares={"io": 0.5, "parsing": 0.1,
+                                      "wrangling": 0.1, "storing": 0.1})
+
+    def test_max_reporters(self):
+        col = StoreToList()           # 8M reports/s
+        assert col.max_reporters(1e6) == 8
+        assert col.max_reporters(10e6) == 0
+        with pytest.raises(ValueError):
+            col.max_reporters(0)
+
+
+class TestFunctionalPath:
+    def test_ingest_touches_every_stage(self):
+        col = StoreToList()
+        col.ingest(b"\x00\x00\x00\x01payload")
+        b = col.breakdown
+        assert (b.io, b.parsing, b.wrangling, b.storing) == (1, 1, 1, 1)
+        assert col.reports_ingested == 1
+
+    def test_short_report_rejected(self):
+        col = StoreToList()
+        with pytest.raises(ValueError):
+            col.ingest(b"ab")
+
+    def test_modelled_breakdown_matches_shares(self):
+        col = StoreToList()
+        for i in range(10):
+            col.ingest(bytes([0, 0, 0, i]) + b"data")
+        breakdown = col.modelled_breakdown()
+        for stage, share in col.stage_shares.items():
+            assert breakdown[stage] == pytest.approx(share)
+
+    def test_empty_breakdown(self):
+        assert StageBreakdown().as_shares(
+            {"io": 1, "parsing": 1, "wrangling": 1, "storing": 1}) == \
+            {"io": 0.0, "parsing": 0.0, "wrangling": 0.0, "storing": 0.0}

@@ -1,0 +1,66 @@
+"""INTCollector baselines: event detection, TSDB push, rates."""
+
+import struct
+
+import pytest
+
+from repro import calibration
+from repro.baselines.intcollector import (
+    IntCollectorInflux,
+    IntCollectorPrometheus,
+)
+
+
+def report(key: int, value: int) -> bytes:
+    return struct.pack(">II", key, value)
+
+
+class TestEventDetection:
+    def test_first_report_is_an_event(self):
+        col = IntCollectorInflux()
+        col.ingest(report(1, 50))
+        assert col.events == 1
+
+    def test_unchanged_value_not_an_event(self):
+        col = IntCollectorInflux()
+        col.ingest(report(1, 50))
+        col.ingest(report(1, 50))
+        assert col.events == 1
+        # But both reports cost ingest work.
+        assert col.reports_ingested == 2
+
+    def test_changed_value_is_an_event(self):
+        col = IntCollectorInflux()
+        col.ingest(report(1, 50))
+        col.ingest(report(1, 60))
+        assert col.events == 2
+
+    def test_series_records_event_points(self):
+        col = IntCollectorInflux()
+        for value in (10, 10, 20):
+            col.ingest(report(3, value))
+        series = col.series(struct.pack(">I", 3))
+        assert [v for _, v in series] == [10, 20]
+
+    def test_empty_series(self):
+        assert IntCollectorInflux().series(b"\x00\x00\x00\x01") == []
+
+
+class TestRates:
+    def test_prometheus_slower_than_influx(self):
+        prom = IntCollectorPrometheus()
+        influx = IntCollectorInflux()
+        assert prom.modelled_rate() < influx.modelled_rate()
+
+    def test_calibrated_rates(self):
+        assert IntCollectorPrometheus().modelled_rate() == \
+            calibration.INTCOLLECTOR_PROMETHEUS_RATE
+        assert IntCollectorInflux().modelled_rate() == \
+            calibration.INTCOLLECTOR_INFLUX_RATE
+
+    def test_storing_dominates_breakdown(self):
+        col = IntCollectorInflux()
+        for i in range(10):
+            col.ingest(report(i, i))
+        breakdown = col.modelled_breakdown()
+        assert breakdown["storing"] == pytest.approx(0.80)

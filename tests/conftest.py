@@ -1,0 +1,42 @@
+"""Shared fixtures: a fully wired DTA deployment in direct mode."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.collector import Collector
+from repro.core.reporter import Reporter
+from repro.core.translator import Translator
+
+
+@pytest.fixture
+def collector() -> Collector:
+    """A collector serving every primitive at small scale."""
+    col = Collector()
+    col.serve_keywrite(slots=4096, data_bytes=4)
+    col.serve_postcarding(chunks=1024, value_set=range(256), cache_slots=256)
+    col.serve_append(lists=8, capacity=128, data_bytes=4, batch_size=4)
+    col.serve_keyincrement(slots_per_row=512, rows=4)
+    col.serve_sketch(width=32, depth=4, expected_reporters=2,
+                     batch_columns=8)
+    return col
+
+
+@pytest.fixture
+def translator(collector: Collector) -> Translator:
+    """A translator connected to the small collector."""
+    tr = Translator()
+    collector.connect_translator(tr)
+    return tr
+
+
+@pytest.fixture
+def reporter(translator: Translator) -> Reporter:
+    """A reporter transmitting straight into the translator."""
+    return Reporter("r1", 1, transmit=translator.handle_report)
+
+
+@pytest.fixture
+def deployment(collector, translator, reporter):
+    """(collector, translator, reporter) triple for integration tests."""
+    return collector, translator, reporter

@@ -1,0 +1,161 @@
+"""Append store: ring layout, lap tags, pollers, recent()."""
+
+import pytest
+
+from repro.rdma.memory import ProtectionDomain
+from repro.core.stores.append import (
+    AppendLayout,
+    AppendStore,
+    lap_tag,
+)
+
+
+def make_store(lists=4, capacity=16, data_bytes=4):
+    probe = AppendLayout(base_addr=0, lists=lists, capacity=capacity,
+                         data_bytes=data_bytes)
+    pd = ProtectionDomain()
+    region = pd.register(probe.region_bytes)
+    layout = AppendLayout(base_addr=region.addr, lists=lists,
+                          capacity=capacity, data_bytes=data_bytes)
+    return AppendStore(region, layout)
+
+
+def direct_write(store, list_id, entries, head):
+    """Write a batch the way the translator would (local shortcut)."""
+    layout = store.layout
+    payload = layout.encode_batch(entries, head)
+    offset = (layout.list_base(list_id) - layout.base_addr
+              + (head % layout.capacity) * layout.entry_bytes)
+    store.region.local_write(offset, payload)
+
+
+class TestLayout:
+    def test_entry_bytes_includes_tag(self):
+        layout = AppendLayout(base_addr=0, lists=1, capacity=4,
+                              data_bytes=4)
+        assert layout.entry_bytes == 5
+        assert layout.list_bytes == 20
+
+    def test_lap_tag_never_zero(self):
+        assert all(lap_tag(lap) != 0 for lap in range(1000))
+
+    def test_lap_tag_changes_between_consecutive_laps(self):
+        assert lap_tag(0) != lap_tag(1)
+
+    def test_list_bounds_checked(self):
+        layout = AppendLayout(base_addr=0, lists=2, capacity=4,
+                              data_bytes=4)
+        with pytest.raises(IndexError):
+            layout.list_base(2)
+        with pytest.raises(IndexError):
+            layout.entry_addr(0, 4)
+
+    def test_encode_batch_rejects_wrap(self):
+        layout = AppendLayout(base_addr=0, lists=1, capacity=4,
+                              data_bytes=4)
+        with pytest.raises(ValueError):
+            layout.encode_batch([b"a", b"b"], head=3)  # slot 3 + 2 > 4
+
+    def test_encode_entry_pads(self):
+        layout = AppendLayout(base_addr=0, lists=1, capacity=4,
+                              data_bytes=4)
+        entry = layout.encode_entry(b"ab", lap=0)
+        assert entry == bytes([lap_tag(0)]) + b"ab\x00\x00"
+
+    def test_encode_entry_rejects_wide(self):
+        layout = AppendLayout(base_addr=0, lists=1, capacity=4,
+                              data_bytes=2)
+        with pytest.raises(ValueError):
+            layout.encode_entry(b"abc", lap=0)
+
+
+class TestPolling:
+    def test_poll_returns_written_entries_in_order(self):
+        store = make_store()
+        direct_write(store, 0, [b"\x01", b"\x02", b"\x03"], head=0)
+        poller = store.poller(0)
+        entries = poller.poll()
+        assert [e[0] for e in entries] == [1, 2, 3]
+
+    def test_poll_stops_at_unpublished(self):
+        store = make_store()
+        direct_write(store, 0, [b"\x01"], head=0)
+        poller = store.poller(0)
+        assert len(poller.poll()) == 1
+        assert poller.poll() == []  # nothing new
+
+    def test_poll_resumes_after_new_data(self):
+        store = make_store()
+        poller = store.poller(0)
+        direct_write(store, 0, [b"\x01"], head=0)
+        poller.poll()
+        direct_write(store, 0, [b"\x02"], head=1)
+        entries = poller.poll()
+        assert len(entries) == 1 and entries[0][0] == 2
+
+    def test_poll_max_entries(self):
+        store = make_store()
+        direct_write(store, 0, [bytes([i]) for i in range(8)], head=0)
+        poller = store.poller(0)
+        assert len(poller.poll(max_entries=3)) == 3
+        assert len(poller.poll()) == 5
+
+    def test_ring_wraparound_with_lap_tags(self):
+        store = make_store(capacity=4)
+        poller = store.poller(0)
+        # Lap 0 fills the ring.
+        direct_write(store, 0, [bytes([i]) for i in range(4)], head=0)
+        assert len(poller.poll()) == 4
+        # Lap 1 overwrites slot 0-1; tags flip so the poller sees them.
+        direct_write(store, 0, [b"\x09", b"\x0A"], head=4)
+        entries = poller.poll()
+        assert [e[0] for e in entries] == [9, 10]
+
+    def test_stale_lap_not_mistaken_for_new(self):
+        store = make_store(capacity=4)
+        direct_write(store, 0, [bytes([i]) for i in range(4)], head=0)
+        poller = store.poller(0)
+        poller.poll()
+        # No new writes: slot 0 still holds lap-0 tag, poller expects
+        # lap-1, so nothing is returned.
+        assert poller.poll() == []
+
+    def test_lists_are_independent(self):
+        store = make_store()
+        direct_write(store, 0, [b"\x01"], head=0)
+        direct_write(store, 2, [b"\x07"], head=0)
+        assert [e[0] for e in store.poller(0).poll()] == [1]
+        assert [e[0] for e in store.poller(2).poll()] == [7]
+
+    def test_entries_read_counter(self):
+        store = make_store()
+        direct_write(store, 0, [b"\x01", b"\x02"], head=0)
+        poller = store.poller(0)
+        poller.poll()
+        assert poller.entries_read == 2
+
+    def test_modelled_drain_rate_scales_with_cores(self):
+        store = make_store()
+        poller = store.poller(0)
+        assert poller.modelled_drain_rate(8) == pytest.approx(
+            8 * poller.modelled_drain_rate(1))
+
+
+class TestRecent:
+    def test_recent_returns_last_entries(self):
+        store = make_store(capacity=8)
+        direct_write(store, 0, [bytes([i]) for i in range(6)], head=0)
+        recent = store.recent(0, count=3, head=6)
+        assert [e[0] for e in recent] == [3, 4, 5]
+
+    def test_recent_caps_at_head(self):
+        store = make_store(capacity=8)
+        direct_write(store, 0, [b"\x01"], head=0)
+        assert len(store.recent(0, count=10, head=1)) == 1
+
+    def test_recent_across_wrap(self):
+        store = make_store(capacity=4)
+        direct_write(store, 0, [bytes([i]) for i in range(4)], head=0)
+        direct_write(store, 0, [b"\x09"], head=4)
+        recent = store.recent(0, count=2, head=5)
+        assert [e[0] for e in recent] == [3, 9]

@@ -1,0 +1,93 @@
+"""Sketch epochs and timeout-driven RDMA retransmission."""
+
+import pytest
+
+from repro.core.collector import Collector
+from repro.core.packets import SketchColumn, make_report
+from repro.core.reporter import Reporter
+from repro.core.translator import Translator
+
+
+class TestSketchEpochs:
+    def deploy(self):
+        col = Collector()
+        col.serve_sketch(width=8, depth=2, expected_reporters=1,
+                         batch_columns=4)
+        tr = Translator()
+        col.connect_translator(tr)
+        return col, tr
+
+    def fill_epoch(self, tr, value):
+        for column in range(8):
+            tr.handle_report(make_report(
+                SketchColumn(sketch_id=0, column=column,
+                             counters=(value, value)),
+                reporter_id=1))
+
+    def test_second_epoch_replaces_first(self):
+        col, tr = self.deploy()
+        self.fill_epoch(tr, 5)
+        assert col.sketch.column(0) == (5, 5)
+        tr.reset_sketch_epoch()
+        self.fill_epoch(tr, 2)
+        # Epoch 2's network-wide view, not 5+2.
+        assert col.sketch.column(0) == (2, 2)
+
+    def test_reset_clears_column_cursors(self):
+        col, tr = self.deploy()
+        self.fill_epoch(tr, 1)
+        tr.reset_sketch_epoch()
+        # Column 0 from the same reporter is in-order again.
+        tr.handle_report(make_report(
+            SketchColumn(sketch_id=0, column=0, counters=(7, 7)),
+            reporter_id=1))
+        assert tr.stats.sketch_column_nacks == 0
+
+    def test_reset_requires_service(self):
+        tr = Translator()
+        with pytest.raises(RuntimeError):
+            tr.reset_sketch_epoch()
+
+
+class TestTimeoutRetransmission:
+    def test_resend_outstanding_recovers_tail_loss(self):
+        """Drop the very last request; no later traffic exposes it, so
+        only the timeout path can recover."""
+        col = Collector()
+        col.serve_keywrite(slots=1024, data_bytes=4)
+        tr = Translator()
+        col.connect_translator(tr)
+
+        # Sabotage: swallow the next packet instead of delivering it.
+        client = tr.client
+        real_send = client.send_fn
+        dropped = []
+
+        def lossy_send(raw):
+            if not dropped:
+                dropped.append(raw)
+                return
+            real_send(raw)
+
+        client.send_fn = lossy_send
+        reporter = Reporter("r", 1, transmit=tr.handle_report)
+        reporter.key_write(b"tail-key", b"\x00\x00\x00\x09",
+                           redundancy=1)
+        assert not col.query_value(b"tail-key", redundancy=1).found
+        assert client.qp.outstanding == 1
+
+        resent = client.resend_outstanding()
+        assert resent == 1
+        assert client.qp.outstanding == 0
+        assert col.query_value(b"tail-key", redundancy=1).found
+
+    def test_resend_is_idempotent(self):
+        col = Collector()
+        col.serve_keywrite(slots=1024, data_bytes=4)
+        tr = Translator()
+        col.connect_translator(tr)
+        reporter = Reporter("r", 1, transmit=tr.handle_report)
+        reporter.key_write(b"dup", b"\x00\x00\x00\x01", redundancy=1)
+        # Nothing outstanding: resend is a no-op.
+        assert tr.client.resend_outstanding() == 0
+        assert col.query_value(b"dup", redundancy=1).found

@@ -1,0 +1,93 @@
+"""Flow control: loss detection, NACKs, report backup."""
+
+import pytest
+
+from repro.core.flow_control import LossDetector, ReportBackup
+from repro.core.packets import Nack
+
+
+class TestLossDetector:
+    def test_in_order_sequence_accepted(self):
+        det = LossDetector()
+        for seq in range(5):
+            assert det.check(1, seq) is None
+        assert det.expected_seq(1) == 5
+
+    def test_first_contact_accepts_any_seq(self):
+        det = LossDetector()
+        assert det.check(1, 42) is None
+        assert det.expected_seq(1) == 43
+
+    def test_gap_produces_nack(self):
+        det = LossDetector()
+        det.check(1, 0)
+        nack = det.check(1, 3)  # 1, 2 lost; 3 aborted
+        assert nack == Nack(expected_seq=1, missing=3)
+        assert det.stats.losses_detected == 2
+        assert det.stats.nacks_sent == 1
+
+    def test_sequence_resumes_after_gap(self):
+        det = LossDetector()
+        det.check(1, 0)
+        det.check(1, 3)
+        assert det.check(1, 4) is None
+
+    def test_retransmit_bypasses_sequencing(self):
+        det = LossDetector()
+        det.check(1, 0)
+        det.check(1, 3)
+        # NACKed reports come back flagged; no new NACK.
+        for seq in (1, 2, 3):
+            assert det.check(1, seq, retransmit=True) is None
+        assert det.stats.retransmits_accepted == 3
+
+    def test_stale_duplicate_processed_silently(self):
+        det = LossDetector()
+        for seq in range(5):
+            det.check(1, seq)
+        assert det.check(1, 2) is None
+        assert det.expected_seq(1) == 5
+
+    def test_reporters_tracked_independently(self):
+        det = LossDetector()
+        det.check(1, 0)
+        det.check(2, 0)
+        assert det.check(1, 1) is None
+        nack = det.check(2, 2)
+        assert nack is not None and nack.expected_seq == 1
+
+    def test_reporter_capacity_enforced(self):
+        det = LossDetector(max_reporters=2)
+        det.check(1, 0)
+        det.check(2, 0)
+        with pytest.raises(OverflowError):
+            det.check(3, 0)
+
+
+class TestReportBackup:
+    def test_store_and_fetch(self):
+        backup = ReportBackup(capacity=8)
+        backup.store(0, b"report-0")
+        backup.store(1, b"report-1")
+        got = backup.fetch(Nack(expected_seq=0, missing=2))
+        assert got == [(0, b"report-0"), (1, b"report-1")]
+
+    def test_eviction_fifo(self):
+        backup = ReportBackup(capacity=2)
+        for seq in range(4):
+            backup.store(seq, f"r{seq}".encode())
+        assert len(backup) == 2
+        assert backup.stats.evicted == 2
+        got = backup.fetch(Nack(expected_seq=0, missing=4))
+        assert [seq for seq, _ in got] == [2, 3]
+        assert backup.stats.unavailable == 2
+
+    def test_fetch_counts_retransmitted(self):
+        backup = ReportBackup(capacity=8)
+        backup.store(5, b"x")
+        backup.fetch(Nack(expected_seq=5, missing=1))
+        assert backup.stats.retransmitted == 1
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            ReportBackup(capacity=0)

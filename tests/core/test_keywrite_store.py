@@ -1,0 +1,196 @@
+"""Key-Write store: layout arithmetic, queries, voting, instrumentation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rdma.memory import ProtectionDomain
+from repro.core.stores.keywrite import KeyWriteLayout, KeyWriteStore
+
+
+def make_store(slots=1024, data_bytes=4):
+    pd = ProtectionDomain()
+    probe = KeyWriteLayout(base_addr=0, slots=slots, data_bytes=data_bytes)
+    region = pd.register(probe.region_bytes)
+    layout = KeyWriteLayout(base_addr=region.addr, slots=slots,
+                            data_bytes=data_bytes)
+    return KeyWriteStore(region, layout)
+
+
+class TestLayout:
+    def test_slot_indices_within_bounds(self):
+        layout = KeyWriteLayout(base_addr=0, slots=100, data_bytes=4)
+        for n in range(4):
+            assert 0 <= layout.slot_index(n, b"key") < 100
+
+    def test_different_hashes_differ(self):
+        layout = KeyWriteLayout(base_addr=0, slots=1 << 20, data_bytes=4)
+        indices = {layout.slot_index(n, b"key") for n in range(4)}
+        assert len(indices) == 4
+
+    def test_layout_deterministic_across_instances(self):
+        """Translator and collector must agree without coordination."""
+        a = KeyWriteLayout(base_addr=0, slots=4096, data_bytes=4)
+        b = KeyWriteLayout(base_addr=0, slots=4096, data_bytes=4)
+        assert a.slot_index(1, b"flow") == b.slot_index(1, b"flow")
+        assert a.checksum(b"flow") == b.checksum(b"flow")
+
+    def test_slot_addr_arithmetic(self):
+        layout = KeyWriteLayout(base_addr=1000, slots=10, data_bytes=4)
+        idx = layout.slot_index(0, b"k")
+        assert layout.slot_addr(0, b"k") == 1000 + idx * 8
+
+    def test_encode_pads_short_data(self):
+        layout = KeyWriteLayout(base_addr=0, slots=10, data_bytes=8)
+        entry = layout.encode_entry(b"k", b"ab")
+        assert len(entry) == 12
+        csum, value = layout.decode_entry(entry)
+        assert value == b"ab" + b"\x00" * 6
+        assert csum == layout.checksum(b"k")
+
+    def test_encode_rejects_wide_data(self):
+        layout = KeyWriteLayout(base_addr=0, slots=10, data_bytes=4)
+        with pytest.raises(ValueError):
+            layout.encode_entry(b"k", b"12345")
+
+    def test_invalid_layouts_rejected(self):
+        with pytest.raises(ValueError):
+            KeyWriteLayout(base_addr=0, slots=0, data_bytes=4)
+        with pytest.raises(ValueError):
+            KeyWriteLayout(base_addr=0, slots=4, data_bytes=0)
+
+
+class TestStoreConstruction:
+    def test_layout_must_fit_region(self):
+        pd = ProtectionDomain()
+        region = pd.register(64)
+        layout = KeyWriteLayout(base_addr=region.addr, slots=1000,
+                                data_bytes=4)
+        with pytest.raises(ValueError):
+            KeyWriteStore(region, layout)
+
+    def test_base_addr_must_match(self):
+        pd = ProtectionDomain()
+        region = pd.register(1024)
+        layout = KeyWriteLayout(base_addr=0x1234, slots=10, data_bytes=4)
+        with pytest.raises(ValueError):
+            KeyWriteStore(region, layout)
+
+
+class TestQueries:
+    def test_fresh_store_returns_empty(self):
+        store = make_store()
+        result = store.query(b"never-written", redundancy=2)
+        assert not result.found
+        assert result.candidates == []
+
+    def test_insert_then_query(self):
+        store = make_store()
+        store.local_insert(b"flow", b"\x01\x02\x03\x04", redundancy=2)
+        result = store.query(b"flow", redundancy=2)
+        assert result.found
+        assert result.value == b"\x01\x02\x03\x04"
+        assert result.matched_slots == 2
+
+    def test_query_with_higher_assumed_redundancy(self):
+        """The paper: queries may assume max N; unused slots look
+        overwritten but the write is still found."""
+        store = make_store()
+        store.local_insert(b"flow", b"\xAA\xBB\xCC\xDD", redundancy=1)
+        result = store.query(b"flow", redundancy=4)
+        assert result.found
+        assert result.value == b"\xAA\xBB\xCC\xDD"
+
+    def test_overwrite_evicts_older_key(self):
+        store = make_store(slots=1)  # every key collides
+        store.local_insert(b"old", b"\x01\x00\x00\x00", redundancy=1)
+        store.local_insert(b"new", b"\x02\x00\x00\x00", redundancy=1)
+        assert not store.query(b"old", redundancy=1).found
+        assert store.query(b"new", redundancy=1).value == \
+            b"\x02\x00\x00\x00"
+
+    def test_consensus_threshold_two(self):
+        store = make_store()
+        store.local_insert(b"flow", b"\x05\x00\x00\x00", redundancy=2)
+        assert store.query(b"flow", redundancy=2, consensus=2).found
+        store2 = make_store()
+        store2.local_insert(b"flow", b"\x05\x00\x00\x00", redundancy=1)
+        # Only one surviving copy: T=2 refuses to answer.
+        assert not store2.query(b"flow", redundancy=2, consensus=2).found
+
+    def test_conflicting_candidates_tie_is_empty_return(self):
+        """Two equal-count candidate values -> no plurality winner."""
+        store = make_store(slots=4096)
+        layout = store.layout
+        key = b"conflicted"
+        # Manufacture a conflict: write value A to slot 0's location and
+        # value B to slot 1's location, both with the right checksum.
+        for n, value in ((0, b"\x01\x00\x00\x00"), (1, b"\x02\x00\x00\x00")):
+            entry = layout.encode_entry(key, value)
+            offset = layout.slot_index(n, key) * layout.slot_bytes
+            store.region.local_write(offset, entry)
+        result = store.query(key, redundancy=2)
+        assert not result.found
+        assert result.matched_slots == 2
+
+    def test_partial_survival_still_answers(self):
+        store = make_store(slots=8192)
+        store.local_insert(b"victim", b"\x09\x00\x00\x00", redundancy=2)
+        # Overwrite exactly the first redundancy slot with another key's
+        # entry.
+        layout = store.layout
+        offset = layout.slot_index(0, b"victim") * layout.slot_bytes
+        store.region.local_write(
+            offset, layout.encode_entry(b"other", b"\xFF\x00\x00\x00"))
+        result = store.query(b"victim", redundancy=2)
+        assert result.found
+        assert result.value == b"\x09\x00\x00\x00"
+
+    @given(st.binary(min_size=1, max_size=13), st.binary(min_size=4,
+                                                         max_size=4))
+    @settings(max_examples=50, deadline=None)
+    def test_insert_query_roundtrip_property(self, key, value):
+        store = make_store(slots=4096)
+        store.local_insert(key, value, redundancy=2)
+        assert store.query(key, redundancy=2).value == value
+
+
+class TestInstrumentation:
+    def test_query_counts_work(self):
+        store = make_store()
+        store.local_insert(b"k", b"\x00\x00\x00\x01", redundancy=2)
+        store.query(b"k", redundancy=2)
+        stats = store.stats
+        assert stats.queries == 1
+        assert stats.slot_hashes == 2
+        assert stats.memory_reads == 2
+        assert stats.checksum_hashes == 1
+        assert stats.hits == 1
+
+    def test_modelled_rate_decreases_with_redundancy(self):
+        rates = []
+        for n in (1, 2, 4):
+            store = make_store()
+            for _ in range(100):
+                store.query(b"x", redundancy=n)
+            rates.append(store.stats.modelled_rate(cores=1))
+        assert rates[0] > rates[1] > rates[2]
+
+    def test_breakdown_sums_to_one(self):
+        store = make_store()
+        store.query(b"x", redundancy=2)
+        breakdown = store.stats.breakdown()
+        assert sum(breakdown.values()) == pytest.approx(1.0)
+
+    def test_crc_work_dominates(self):
+        """Fig. 9b: Get Slot + Checksum dominate the query time."""
+        store = make_store()
+        for _ in range(10):
+            store.query(b"x", redundancy=2)
+        b = store.stats.breakdown()
+        assert b["get_slot"] + b["checksum"] > 0.5
+
+    def test_reset_stats(self):
+        store = make_store()
+        store.query(b"x", redundancy=1)
+        store.reset_stats()
+        assert store.stats.queries == 0

@@ -1,0 +1,74 @@
+"""Push notifications: the immediate flag end to end (Section 6)."""
+
+import struct
+
+import pytest
+
+from repro.core.collector import Notification
+from repro.core.packets import DtaPrimitive
+
+
+class TestImmediateFlag:
+    def test_keywrite_immediate_raises_notification(self, deployment):
+        collector, translator, reporter = deployment
+        reporter.key_write(b"urgent-flow!!", b"\x00\x00\x00\x01",
+                           redundancy=2, immediate=True)
+        notes = collector.drain_notifications()
+        assert len(notes) == 1
+        assert notes[0].primitive == int(DtaPrimitive.KEY_WRITE)
+        assert notes[0].reporter_id == reporter.reporter_id
+        # The data itself landed too.
+        assert collector.query_value(b"urgent-flow!!",
+                                     redundancy=2).found
+
+    def test_only_first_write_carries_imm(self, deployment):
+        """N=4 fans out four writes but raises a single interrupt."""
+        collector, translator, reporter = deployment
+        reporter.key_write(b"fan-out", b"\x00\x00\x00\x01",
+                           redundancy=4, immediate=True)
+        assert translator.stats.immediate_writes == 1
+        assert len(collector.drain_notifications()) == 1
+
+    def test_non_immediate_reports_raise_nothing(self, deployment):
+        collector, translator, reporter = deployment
+        reporter.key_write(b"quiet", b"\x00\x00\x00\x01", redundancy=2)
+        reporter.append(0, b"\x01")
+        assert collector.drain_notifications() == []
+
+    def test_append_immediate_flushes_batch(self, deployment):
+        """The notification must not arrive before the data: immediate
+        Append flushes its batch so the CPU finds the entry."""
+        collector, translator, reporter = deployment
+        reporter.append(2, b"\x07", immediate=True)
+        notes = collector.drain_notifications()
+        assert len(notes) == 1
+        assert notes[0].primitive == int(DtaPrimitive.APPEND)
+        entries = collector.list_poller(2).poll()
+        assert [e[0] for e in entries] == [7]
+
+    def test_drain_is_destructive(self, deployment):
+        collector, translator, reporter = deployment
+        reporter.key_write(b"x", b"\x00\x00\x00\x01", redundancy=1,
+                           immediate=True)
+        assert len(collector.drain_notifications()) == 1
+        assert collector.drain_notifications() == []
+
+    def test_notification_decode(self):
+        imm = (int(DtaPrimitive.APPEND) << 16) | 513
+        note = Notification.from_imm(imm)
+        assert note.primitive == int(DtaPrimitive.APPEND)
+        assert note.reporter_id == 513
+
+    def test_multiple_reporters_identified(self, deployment):
+        from repro.core.reporter import Reporter
+
+        collector, translator, _ = deployment
+        reps = [Reporter(f"n{i}", 100 + i,
+                         transmit=translator.handle_report)
+                for i in range(3)]
+        for rep in reps:
+            rep.key_write(b"k" + bytes([rep.reporter_id & 0xFF]),
+                          b"\x00\x00\x00\x01", redundancy=1,
+                          immediate=True)
+        ids = {n.reporter_id for n in collector.drain_notifications()}
+        assert ids == {100, 101, 102}

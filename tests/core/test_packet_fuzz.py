@@ -1,0 +1,68 @@
+"""Fuzzing the DTA and RoCE decoders: garbage never crashes, only
+raises the documented decode errors."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import packets
+from repro.core.packets import PacketDecodeError, decode_report
+from repro.rdma import roce
+
+
+class TestDtaDecoderFuzz:
+    @given(st.binary(max_size=128))
+    @settings(max_examples=300, deadline=None)
+    def test_arbitrary_bytes_never_crash(self, raw):
+        try:
+            header, op = decode_report(raw)
+        except PacketDecodeError:
+            return
+        except ValueError:
+            # Subheader constructors validate field ranges.
+            return
+        # If it decoded, it must re-encode consistently.
+        assert header.primitive is not None
+
+    @given(st.binary(min_size=1, max_size=64),
+           st.binary(max_size=32), st.integers(1, 16))
+    @settings(max_examples=100, deadline=None)
+    def test_truncation_always_detected(self, key, data, redundancy):
+        raw = packets.make_report(packets.KeyWrite(
+            key=key, data=data, redundancy=redundancy))
+        # Any strict prefix either fails or decodes to something
+        # *different* (never silently equal with missing bytes).
+        for cut in range(len(raw)):
+            try:
+                _, op = decode_report(raw[:cut])
+            except (PacketDecodeError, ValueError):
+                continue
+            assert not (op.key == key and op.data == data
+                        and cut < len(raw))
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    @settings(max_examples=100, deadline=None)
+    def test_bad_version_or_primitive_rejected(self, first, flags):
+        raw = bytes([first, flags, 0, 0, 0, 0, 0, 0])
+        version, primitive = first >> 4, first & 0xF
+        valid_prims = {1, 2, 3, 4, 5, 14, 15}
+        if version != packets.DTA_VERSION or primitive not in valid_prims:
+            with pytest.raises(PacketDecodeError):
+                packets.DtaHeader.unpack(raw)
+
+
+class TestRoceDecoderFuzz:
+    @given(st.binary(max_size=96))
+    @settings(max_examples=300, deadline=None)
+    def test_arbitrary_bytes_never_crash(self, raw):
+        try:
+            roce.decode(raw)
+        except roce.RoceDecodeError:
+            pass
+
+    @given(st.binary(max_size=64), st.integers(0, 0xFFFFFF))
+    @settings(max_examples=100, deadline=None)
+    def test_nic_survives_garbage(self, raw, qpn):
+        from repro.rdma.nic import Nic
+
+        nic = Nic()
+        assert nic.receive(raw) is None  # dropped, never raises

@@ -1,0 +1,160 @@
+"""Reporter: emission API, backup, NACK handling, congestion shedding."""
+
+import pytest
+
+from repro.core import packets
+from repro.core.packets import (
+    CongestionSignal,
+    DtaFlags,
+    DtaPrimitive,
+    Nack,
+)
+from repro.core.reporter import Reporter
+from repro.core.transport import CtrlFrame
+
+
+@pytest.fixture
+def captured():
+    """A reporter whose transmissions land in a list of decoded reports."""
+    sent = []
+
+    def transmit(raw):
+        sent.append(packets.decode_report(raw))
+
+    return Reporter("r", 7, transmit=transmit), sent
+
+
+class TestEmission:
+    def test_key_write_encodes_operation(self, captured):
+        reporter, sent = captured
+        reporter.key_write(b"k", b"data", redundancy=3)
+        header, op = sent[0]
+        assert header.primitive == DtaPrimitive.KEY_WRITE
+        assert header.reporter_id == 7
+        assert op.redundancy == 3
+
+    def test_every_primitive_emits(self, captured):
+        reporter, sent = captured
+        reporter.key_write(b"k", b"d")
+        reporter.key_increment(b"k", 1)
+        reporter.postcard(b"k", 0, 5)
+        reporter.append(0, b"e")
+        reporter.sketch_column(0, 0, (1, 2))
+        primitives = [h.primitive for h, _ in sent]
+        assert primitives == [DtaPrimitive.KEY_WRITE,
+                              DtaPrimitive.KEY_INCREMENT,
+                              DtaPrimitive.POSTCARDING,
+                              DtaPrimitive.APPEND,
+                              DtaPrimitive.SKETCH_MERGE]
+        assert reporter.stats.reports_sent == 5
+
+    def test_essential_reports_numbered_sequentially(self, captured):
+        reporter, sent = captured
+        reporter.append(0, b"a", essential=True)
+        reporter.key_write(b"k", b"d")              # non-essential
+        reporter.append(0, b"b", essential=True)
+        seqs = [h.seq for h, _ in sent if h.essential]
+        assert seqs == [0, 1]
+        assert reporter.stats.essential_sent == 2
+
+    def test_essential_reports_backed_up(self, captured):
+        reporter, _ = captured
+        reporter.append(0, b"a", essential=True)
+        assert len(reporter.backup) == 1
+
+    def test_non_essential_not_backed_up(self, captured):
+        reporter, _ = captured
+        reporter.append(0, b"a")
+        assert len(reporter.backup) == 0
+
+    def test_reporter_id_range_checked(self):
+        with pytest.raises(ValueError):
+            Reporter("r", 1 << 16, transmit=lambda raw: None)
+
+    def test_no_transport_raises(self):
+        reporter = Reporter("r", 1)
+        with pytest.raises(RuntimeError):
+            reporter.append(0, b"x")
+
+
+class TestNackHandling:
+    def test_nack_triggers_retransmission(self, captured):
+        reporter, sent = captured
+        reporter.append(0, b"a", essential=True)
+        reporter.append(0, b"b", essential=True)
+        sent.clear()
+        count = reporter.handle_nack(Nack(expected_seq=0, missing=2))
+        assert count == 2
+        for header, _op in sent:
+            assert header.flags & DtaFlags.RETRANSMIT
+        assert reporter.stats.retransmitted == 2
+
+    def test_retransmission_preserves_original_seq(self, captured):
+        reporter, sent = captured
+        reporter.append(0, b"a", essential=True)
+        reporter.append(0, b"b", essential=True)
+        sent.clear()
+        reporter.handle_nack(Nack(expected_seq=1, missing=1))
+        (header, op), = sent
+        assert header.seq == 1
+        assert op.data == b"b"
+
+    def test_evicted_reports_counted_lost(self):
+        sent = []
+        reporter = Reporter("r", 1, transmit=sent.append,
+                            backup_capacity=1)
+        reporter.append(0, b"a", essential=True)
+        reporter.append(0, b"b", essential=True)  # evicts seq 0
+        count = reporter.handle_nack(Nack(expected_seq=0, missing=2))
+        assert count == 1
+        assert reporter.stats.lost_forever == 1
+
+    def test_ctrl_frame_dispatch(self, captured):
+        reporter, sent = captured
+        reporter.append(0, b"a", essential=True)
+        sent.clear()
+        raw = packets.make_report(Nack(expected_seq=0, missing=1),
+                                  reporter_id=7)
+        reporter.receive(CtrlFrame(src="t", raw=raw))
+        assert reporter.stats.nacks_received == 1
+        assert len(sent) == 1
+
+
+class TestCongestion:
+    def test_congestion_sheds_low_priority(self, captured):
+        reporter, sent = captured
+        reporter.handle_congestion(CongestionSignal(level=1))
+        assert not reporter.append(0, b"low")
+        assert reporter.stats.shed_by_congestion == 1
+        assert sent == []
+
+    def test_essential_still_sent_under_congestion(self, captured):
+        reporter, sent = captured
+        reporter.handle_congestion(CongestionSignal(level=2))
+        assert reporter.append(0, b"vital", essential=True)
+        assert len(sent) == 1
+
+    def test_relax_clears_shedding(self, captured):
+        reporter, sent = captured
+        reporter.handle_congestion(CongestionSignal(level=1))
+        reporter.relax()
+        assert reporter.append(0, b"low")
+        assert len(sent) == 1
+
+    def test_congestion_level_monotone(self, captured):
+        reporter, _ = captured
+        reporter.handle_congestion(CongestionSignal(level=2))
+        reporter.handle_congestion(CongestionSignal(level=1))
+        assert reporter.congestion_level == 2
+
+    def test_ctrl_frame_congestion_dispatch(self, captured):
+        reporter, _ = captured
+        raw = packets.make_report(CongestionSignal(level=3),
+                                  reporter_id=7)
+        reporter.receive(CtrlFrame(src="t", raw=raw))
+        assert reporter.congestion_level == 3
+
+    def test_unexpected_frame_type_rejected(self, captured):
+        reporter, _ = captured
+        with pytest.raises(TypeError):
+            reporter.receive("not-a-frame")

@@ -1,0 +1,96 @@
+"""Fat-tree topology: structure, path lengths, routing."""
+
+import random
+
+import pytest
+
+from repro.fabric.fattree import FatTree, path_length_distribution
+
+
+class TestStructure:
+    def test_switch_counts(self):
+        tree = FatTree(k=4)
+        assert len(tree.edges) == 8     # k * k/2
+        assert len(tree.aggs) == 8
+        assert len(tree.cores) == 4     # (k/2)^2
+        assert tree.switch_count == 20
+
+    def test_host_count(self):
+        assert FatTree(k=4).host_count == 16
+        assert FatTree(k=8).host_count == 128
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            FatTree(k=3)
+        with pytest.raises(ValueError):
+            FatTree(k=0)
+
+    def test_edge_degree(self):
+        """Every edge switch uplinks to all k/2 pod aggs."""
+        tree = FatTree(k=4)
+        for edge in tree.edges:
+            assert tree.graph.degree(edge) == 2
+
+    def test_core_degree(self):
+        """Every core switch touches every pod exactly once."""
+        tree = FatTree(k=4)
+        for core in tree.cores:
+            neighbors = list(tree.graph.neighbors(core))
+            assert len(neighbors) == 4
+            assert len({n.pod for n in neighbors}) == 4
+
+    def test_numeric_ids_dense(self):
+        tree = FatTree(k=4)
+        ids = {tree.numeric_id(s)
+               for s in tree.edges + tree.aggs + tree.cores}
+        assert ids == set(range(tree.switch_count))
+
+
+class TestPaths:
+    def test_same_edge_one_hop(self):
+        tree = FatTree(k=4)
+        assert len(tree.path(0, 1)) == 1  # hosts 0,1 share edge0.0
+
+    def test_same_pod_three_hops(self):
+        tree = FatTree(k=4)
+        # hosts 0 and 2 are on different edges of pod 0.
+        path = tree.path(0, 2)
+        assert len(path) == 3
+        assert path[0].layer == "edge" and path[1].layer == "agg"
+
+    def test_inter_pod_five_hops(self):
+        """The paper's B=5: edge-agg-core-agg-edge."""
+        tree = FatTree(k=4)
+        path = tree.path(0, tree.host_count - 1)
+        assert len(path) == 5
+        assert [s.layer for s in path] == \
+            ["edge", "agg", "core", "agg", "edge"]
+
+    def test_paths_never_exceed_five_hops(self):
+        tree = FatTree(k=4)
+        histogram = path_length_distribution(tree, flows=300, seed=1)
+        assert max(histogram) <= 5
+        assert set(histogram) <= {1, 3, 5}
+
+    def test_interpod_dominates_at_scale(self):
+        tree = FatTree(k=8)
+        histogram = path_length_distribution(tree, flows=400, seed=2)
+        assert histogram.get(5, 0) > histogram.get(3, 0)
+
+    def test_ecmp_uses_multiple_cores(self):
+        tree = FatTree(k=4)
+        rng = random.Random(3)
+        cores = {tree.path(0, 15, rng)[2] for _ in range(50)}
+        assert len(cores) > 1
+
+    def test_numeric_path_matches(self):
+        tree = FatTree(k=4)
+        rng = random.Random(4)
+        symbolic = tree.path(0, 15, random.Random(7))
+        numeric = [tree.numeric_id(s) for s in symbolic]
+        assert tree.numeric_path(0, 15, random.Random(7)) == numeric
+
+    def test_host_bounds(self):
+        tree = FatTree(k=4)
+        with pytest.raises(IndexError):
+            tree.host_edge(16)

@@ -1,0 +1,103 @@
+"""Links: serialisation, latency, loss, tail drop."""
+
+import pytest
+
+from repro.fabric.link import Link
+from repro.fabric.simulator import Simulator
+
+
+def collect_link(**kwargs):
+    sim = Simulator()
+    received = []
+    link = Link(sim, received.append, **kwargs)
+    return sim, link, received
+
+
+class TestDelivery:
+    def test_packet_arrives_after_serialisation_plus_latency(self):
+        sim, link, received = collect_link(rate_gbps=1.0, latency_s=1e-3)
+        link.send("pkt", 1000)
+        sim.run()
+        assert received == ["pkt"]
+        # (1000+24)B at 1 Gbps ~ 8.19us, plus 1ms propagation.
+        assert sim.now == pytest.approx(1e-3 + 1024 * 8 / 1e9)
+
+    def test_fifo_order_preserved(self):
+        sim, link, received = collect_link()
+        for i in range(10):
+            link.send(i, 200)
+        sim.run()
+        assert received == list(range(10))
+
+    def test_back_to_back_serialise_sequentially(self):
+        sim, link, received = collect_link(rate_gbps=1.0, latency_s=0.0)
+        link.send("a", 1000)
+        link.send("b", 1000)
+        sim.run()
+        per_pkt = 1024 * 8 / 1e9
+        assert sim.now == pytest.approx(2 * per_pkt)
+
+    def test_min_frame_padding(self):
+        sim, link, _ = collect_link(rate_gbps=1.0, latency_s=0.0)
+        link.send("tiny", 10)
+        sim.run()
+        assert sim.now == pytest.approx((64 + 24) * 8 / 1e9)
+
+
+class TestLossAndDrops:
+    def test_zero_loss_delivers_everything(self):
+        sim, link, received = collect_link(loss=0.0)
+        for i in range(100):
+            link.send(i, 100)
+        sim.run()
+        assert len(received) == 100
+
+    def test_total_loss_delivers_nothing(self):
+        sim, link, received = collect_link(loss=1.0)
+        for i in range(20):
+            link.send(i, 100)
+        sim.run()
+        assert received == []
+        assert link.stats.random_drops == 20
+
+    def test_partial_loss_is_roughly_proportional(self):
+        sim, link, received = collect_link(loss=0.2, seed=42,
+                                           queue_packets=4000)
+        for i in range(2000):
+            link.send(i, 100)
+        sim.run()
+        assert 0.15 < link.stats.random_drops / 2000 < 0.25
+        assert len(received) + link.stats.random_drops == 2000
+
+    def test_loss_deterministic_for_seed(self):
+        outcomes = []
+        for _ in range(2):
+            sim, link, received = collect_link(loss=0.3, seed=7)
+            for i in range(100):
+                link.send(i, 100)
+            sim.run()
+            outcomes.append(tuple(received))
+        assert outcomes[0] == outcomes[1]
+
+    def test_queue_tail_drop(self):
+        sim, link, received = collect_link(queue_packets=5)
+        results = [link.send(i, 100) for i in range(8)]
+        assert results.count(False) == 3
+        assert link.stats.queue_drops == 3
+        sim.run()
+        assert len(received) == 5
+
+    def test_invalid_loss_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Link(sim, lambda p: None, loss=1.5)
+
+    def test_stats_totals_consistent(self):
+        sim, link, received = collect_link(loss=0.1, seed=3,
+                                           queue_packets=50)
+        for i in range(200):
+            link.send(i, 100)
+        sim.run()
+        assert link.stats.sent == 200
+        assert (link.stats.delivered + link.stats.drops
+                == link.stats.sent)

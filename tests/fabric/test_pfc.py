@@ -1,0 +1,81 @@
+"""PFC link: losslessness under burst, pause behaviour."""
+
+import pytest
+
+from repro.fabric.link import Link
+from repro.fabric.pfc import PfcLink
+from repro.fabric.simulator import Simulator
+
+
+def burst(link, packets=2000, size=100):
+    for i in range(packets):
+        link.send(i, size)
+
+
+class TestLosslessness:
+    def test_burst_fully_delivered(self):
+        sim = Simulator()
+        received = []
+        link = PfcLink(sim, received.append, service_rate_pps=1e6)
+        burst(link)
+        sim.run()
+        assert len(received) == 2000
+
+    def test_ordering_preserved(self):
+        sim = Simulator()
+        received = []
+        link = PfcLink(sim, received.append, service_rate_pps=1e6)
+        burst(link, packets=500)
+        sim.run()
+        assert received == list(range(500))
+
+    def test_plain_link_drops_same_burst(self):
+        """The contrast: a tail-drop queue loses most of the burst."""
+        sim = Simulator()
+        received = []
+        plain = Link(sim, received.append, queue_packets=64)
+        burst(plain)
+        sim.run()
+        assert len(received) < 2000
+        assert plain.stats.queue_drops > 0
+
+    def test_pauses_fire_when_receiver_is_slow(self):
+        sim = Simulator()
+        link = PfcLink(sim, lambda p: None, service_rate_pps=1e5,
+                       xoff_packets=32, xon_packets=8)
+        burst(link, packets=1000)
+        sim.run()
+        assert link.stats.pause_events > 0
+        assert link.stats.paused_seconds > 0
+
+    def test_no_pauses_when_receiver_keeps_up(self):
+        sim = Simulator()
+        # 100G of 100B packets ~ 100Mpps; receiver at 200M never lags.
+        link = PfcLink(sim, lambda p: None, service_rate_pps=2e8)
+        burst(link, packets=1000)
+        sim.run()
+        assert link.stats.pause_events == 0
+
+    def test_completion_time_bounded_by_service_rate(self):
+        sim = Simulator()
+        link = PfcLink(sim, lambda p: None, service_rate_pps=1e5)
+        burst(link, packets=1000)
+        sim.run()
+        # 1000 packets at 100K/s -> ~10ms.
+        assert sim.now == pytest.approx(0.01, rel=0.05)
+
+    def test_parameter_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            PfcLink(sim, lambda p: None, service_rate_pps=0)
+        with pytest.raises(ValueError):
+            PfcLink(sim, lambda p: None, service_rate_pps=1e6,
+                    xoff_packets=8, xon_packets=8)
+
+    def test_backlog_property(self):
+        sim = Simulator()
+        link = PfcLink(sim, lambda p: None, service_rate_pps=1e5)
+        burst(link, packets=100)
+        assert link.backlog_packets > 0
+        sim.run()
+        assert link.backlog_packets == 0

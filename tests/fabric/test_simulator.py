@@ -1,0 +1,86 @@
+"""Discrete-event simulator: ordering, bounds, determinism."""
+
+import pytest
+
+from repro.fabric.simulator import Simulator
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        trace = []
+        sim.schedule(0.3, lambda: trace.append("c"))
+        sim.schedule(0.1, lambda: trace.append("a"))
+        sim.schedule(0.2, lambda: trace.append("b"))
+        sim.run()
+        assert trace == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        sim = Simulator()
+        trace = []
+        for label in "abc":
+            sim.at(1.0, lambda l=label: trace.append(l))
+        sim.run()
+        assert trace == ["a", "b", "c"]
+
+    def test_now_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(0.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [0.5]
+
+    def test_past_scheduling_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.at(0.5, lambda: None)
+        with pytest.raises(ValueError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        trace = []
+
+        def first():
+            trace.append("first")
+            sim.schedule(0.1, lambda: trace.append("second"))
+
+        sim.schedule(0.1, first)
+        sim.run()
+        assert trace == ["first", "second"]
+
+
+class TestRunBounds:
+    def test_until_leaves_later_events_queued(self):
+        sim = Simulator()
+        trace = []
+        sim.schedule(1.0, lambda: trace.append("early"))
+        sim.schedule(5.0, lambda: trace.append("late"))
+        sim.run(until=2.0)
+        assert trace == ["early"]
+        assert sim.pending == 1
+        assert sim.now == 2.0
+
+    def test_max_events_caps_processing(self):
+        sim = Simulator()
+        for i in range(10):
+            sim.schedule(i * 0.1 + 0.1, lambda: None)
+        assert sim.run(max_events=3) == 3
+        assert sim.pending == 7
+
+    def test_run_returns_processed_count(self):
+        sim = Simulator()
+        sim.schedule(0.1, lambda: None)
+        sim.schedule(0.2, lambda: None)
+        assert sim.run() == 2
+        assert sim.processed == 2
+
+    def test_resume_after_until(self):
+        sim = Simulator()
+        trace = []
+        sim.schedule(5.0, lambda: trace.append("late"))
+        sim.run(until=1.0)
+        sim.run()
+        assert trace == ["late"]

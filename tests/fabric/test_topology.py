@@ -1,0 +1,73 @@
+"""Topology wiring and the DTA star builder."""
+
+import pytest
+
+from repro.fabric.topology import Node, Topology
+
+
+class Sink(Node):
+    """Test node that records everything it receives."""
+
+    def __init__(self, name):
+        super().__init__(name)
+        self.received = []
+
+    def receive(self, packet):
+        self.received.append(packet)
+
+
+class TestWiring:
+    def test_duplicate_node_name_rejected(self):
+        topo = Topology()
+        topo.add(Sink("a"))
+        with pytest.raises(ValueError):
+            topo.add(Sink("a"))
+
+    def test_bidirectional_wire(self):
+        topo = Topology()
+        a, b = topo.add(Sink("a")), topo.add(Sink("b"))
+        topo.wire("a", "b")
+        a.send("b", "ping", 100)
+        b.send("a", "pong", 100)
+        topo.sim.run()
+        assert b.received == ["ping"]
+        assert a.received == ["pong"]
+
+    def test_unidirectional_wire(self):
+        topo = Topology()
+        a, b = topo.add(Sink("a")), topo.add(Sink("b"))
+        topo.wire("a", "b", bidirectional=False)
+        with pytest.raises(KeyError):
+            b.send("a", "pong", 100)
+
+    def test_missing_link_raises(self):
+        node = Sink("lonely")
+        with pytest.raises(KeyError):
+            node.link_to("nowhere")
+
+    def test_base_node_receive_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Node("n").receive("pkt")
+
+
+class TestDtaStar:
+    def test_star_connects_all_reporters_to_translator(self):
+        reporters = [Sink(f"r{i}") for i in range(3)]
+        translator, collector = Sink("t"), Sink("c")
+        topo = Topology.dta_star(reporters, translator, collector)
+        for reporter in reporters:
+            reporter.send("t", f"from-{reporter.name}", 100)
+        topo.sim.run()
+        assert len(translator.received) == 3
+
+    def test_translator_collector_link_lossless(self):
+        topo = Topology.dta_star([Sink("r0")], Sink("t"), Sink("c"),
+                                 reporter_loss=0.5)
+        tc_links = [l for l in topo.links if l.name == "t->c"]
+        assert tc_links and tc_links[0].loss == 0.0
+
+    def test_reporter_links_carry_loss(self):
+        topo = Topology.dta_star([Sink("r0")], Sink("t"), Sink("c"),
+                                 reporter_loss=0.5)
+        rt_links = [l for l in topo.links if l.name == "r0->t"]
+        assert rt_links and rt_links[0].loss == 0.5

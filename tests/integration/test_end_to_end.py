@@ -1,0 +1,102 @@
+"""Direct-mode end-to-end: every primitive from reporter to query."""
+
+import struct
+
+import pytest
+
+from repro.core.collector import Collector
+from repro.core.reporter import Reporter
+from repro.core.translator import Translator
+from repro.workloads.flows import FlowGenerator
+
+
+class TestAllPrimitivesTogether:
+    def test_mixed_workload_lands_correctly(self, deployment):
+        collector, translator, reporter = deployment
+
+        # Key-Write: 50 flows.
+        flows = FlowGenerator(seed=11).keys(50)
+        for i, key in enumerate(flows):
+            reporter.key_write(key, struct.pack(">I", i), redundancy=2)
+
+        # Postcarding: 10 flows with 5-hop paths.
+        pc_flows = [f"pc-{i}".encode() for i in range(10)]
+        for key in pc_flows:
+            for hop in range(5):
+                reporter.postcard(key, hop, hop + 1, path_length=5)
+
+        # Append: 20 events.
+        for i in range(20):
+            reporter.append(0, struct.pack(">I", i))
+
+        # Key-Increment: one hot counter.
+        for _ in range(10):
+            reporter.key_increment(b"hot", 5, redundancy=4)
+
+        # Verify everything.
+        found = sum(
+            1 for i, key in enumerate(flows)
+            if collector.query_value(key, redundancy=2).value
+            == struct.pack(">I", i))
+        assert found >= 49  # tiny store, rare collision tolerated
+
+        paths_ok = sum(1 for key in pc_flows
+                       if collector.query_path(key) == [1, 2, 3, 4, 5])
+        assert paths_ok >= 9
+
+        entries = collector.list_poller(0).poll()
+        assert [struct.unpack(">I", e)[0] for e in entries] == \
+            list(range(20))
+
+        assert collector.query_counter(b"hot") == 50
+
+    def test_zero_cpu_ingest(self, deployment):
+        """The collector CPU never touches a report on the ingest path:
+        all data arrives via NIC-executed writes."""
+        collector, translator, reporter = deployment
+        before = collector.nic.stats.messages
+        for i in range(10):
+            reporter.key_write(f"f{i}".encode(), b"\x00\x00\x00\x01",
+                               redundancy=1)
+        assert collector.nic.stats.messages == before + 10
+
+    def test_multiple_reporters_share_one_connection(self, deployment):
+        collector, translator, _ = deployment
+        reporters = [Reporter(f"r{i}", i, transmit=translator.handle_report)
+                     for i in range(2, 8)]
+        for i, rep in enumerate(reporters):
+            rep.key_write(f"from-{i}".encode(), struct.pack(">I", i),
+                          redundancy=2)
+        for i in range(len(reporters)):
+            assert collector.query_value(
+                f"from-{i}".encode(), redundancy=2).value == \
+                struct.pack(">I", i)
+        # Still exactly one QP at the collector (the DTA argument).
+        assert collector.nic.active_qps == 1
+
+    def test_marple_and_int_coexist(self):
+        """Section 5.1's scenario: multiple monitoring systems, one
+        collector, same translator."""
+        from repro.telemetry.inband import IntXdSwitch
+        from repro.telemetry.marple import TcpTimeoutsQuery
+        from repro.workloads.traffic import Packet
+
+        col = Collector()
+        col.serve_keywrite(slots=8192, data_bytes=4)
+        col.serve_postcarding(chunks=2048, value_set=range(64),
+                              cache_slots=512)
+        tr = Translator()
+        col.connect_translator(tr)
+        rep = Reporter("tor", 1, transmit=tr.handle_report)
+
+        switch = IntXdSwitch(rep, switch_id=7, hop=0)
+        switch.process(b"traced-flow!!", path_length=1)
+
+        marple = TcpTimeoutsQuery(rep, rto=0.1)
+        marple.process(Packet(b"A" * 13, 0, 100, 0.0))
+        marple.process(Packet(b"A" * 13, 0, 100, 5.0,
+                              is_retransmission=True))
+
+        assert col.query_path(b"traced-flow!!") == [7]
+        assert struct.unpack(
+            ">I", col.query_value(b"A" * 13, redundancy=2).value)[0] == 1

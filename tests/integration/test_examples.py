@@ -1,0 +1,34 @@
+"""Every example script runs clean — the docs never rot."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    pathlib.Path(__file__).resolve().parents[2].joinpath(
+        "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(script)], capture_output=True, text=True,
+        timeout=300)
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "examples must narrate their output"
+
+
+def test_expected_example_set():
+    """The README's examples table stays in sync with the directory."""
+    names = {path.stem for path in EXAMPLES}
+    assert names == {
+        "quickstart",
+        "int_path_tracing",
+        "marple_queries",
+        "netseer_loss_events",
+        "network_wide_sketches",
+        "fat_tree_monitoring",
+        "operations_center",
+    }

@@ -1,0 +1,77 @@
+"""Fabric-mode integration: DTA over simulated links."""
+
+import struct
+
+import pytest
+
+from repro.core.collector import Collector
+from repro.core.reporter import Reporter
+from repro.core.translator import Translator
+from repro.fabric.topology import Topology
+
+
+def build_star(reporter_count=2, reporter_loss=0.0, seed=0):
+    collector = Collector()
+    collector.serve_keywrite(slots=4096, data_bytes=4)
+    collector.serve_append(lists=4, capacity=256, data_bytes=4,
+                           batch_size=4)
+    translator = Translator()
+    reporters = [Reporter(f"r{i}", i, translator="translator")
+                 for i in range(reporter_count)]
+    topo = Topology.dta_star(reporters, translator, collector,
+                             reporter_loss=reporter_loss, seed=seed)
+    collector.connect_translator(translator, fabric=True)
+    return topo, collector, translator, reporters
+
+
+class TestFabricDelivery:
+    def test_keywrite_over_links(self):
+        topo, collector, _tr, reporters = build_star()
+        reporters[0].key_write(b"over-the-wire", b"\x01\x02\x03\x04",
+                               redundancy=2)
+        topo.sim.run()
+        result = collector.query_value(b"over-the-wire", redundancy=2)
+        assert result.value == b"\x01\x02\x03\x04"
+
+    def test_many_reports_from_many_reporters(self):
+        topo, collector, _tr, reporters = build_star(reporter_count=4)
+        for i, rep in enumerate(reporters):
+            for j in range(25):
+                rep.key_write(f"{i}-{j}".encode(),
+                              struct.pack(">I", i * 100 + j),
+                              redundancy=2)
+        topo.sim.run()
+        hits = sum(
+            1 for i in range(4) for j in range(25)
+            if collector.query_value(f"{i}-{j}".encode(),
+                                     redundancy=2).value
+            == struct.pack(">I", i * 100 + j))
+        assert hits == 100
+
+    def test_append_batches_over_links(self):
+        topo, collector, translator, reporters = build_star()
+        for i in range(16):
+            reporters[0].append(1, struct.pack(">I", i))
+        topo.sim.run()
+        entries = collector.list_poller(1).poll()
+        assert [struct.unpack(">I", e)[0] for e in entries] == \
+            list(range(16))
+
+    def test_acks_flow_back_to_translator(self):
+        topo, _collector, translator, reporters = build_star()
+        reporters[0].key_write(b"acked", b"\x00\x00\x00\x01",
+                               redundancy=1)
+        topo.sim.run()
+        assert translator.client.qp.outstanding == 0
+        completions = translator.client.drain_completions()
+        assert all(wc.ok for wc in completions)
+
+    def test_rdma_link_utilisation_tracked(self):
+        topo, _collector, _tr, reporters = build_star()
+        for i in range(50):
+            reporters[0].key_write(str(i).encode(), b"\x00\x00\x00\x01",
+                                   redundancy=1)
+        topo.sim.run()
+        tc_link = next(l for l in topo.links if l.name ==
+                       "translator->collector")
+        assert tc_link.stats.delivered >= 50

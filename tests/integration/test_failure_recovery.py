@@ -1,0 +1,74 @@
+"""Failure injection: QP teardown and reconnection."""
+
+import struct
+
+import pytest
+
+from repro.core.collector import Collector
+from repro.core.packets import KeyWrite, make_report
+from repro.core.reporter import Reporter
+from repro.core.translator import Translator
+from repro.rdma.qp import QpState
+from repro.rdma.verbs import Opcode, WorkRequest
+
+
+def deploy():
+    col = Collector()
+    col.serve_keywrite(slots=2048, data_bytes=4)
+    tr = Translator()
+    col.connect_translator(tr)
+    return col, tr
+
+
+class TestQpFailure:
+    def test_bad_rkey_errors_the_connection(self):
+        """A write with a stale rkey NAKs and moves the server QP to
+        ERROR — the collector-side teardown semantics of real NICs."""
+        col, tr = deploy()
+        tr.client.post(WorkRequest(opcode=Opcode.WRITE,
+                                   remote_addr=0xDEAD, rkey=0xBAD,
+                                   data=b"oops"))
+        server_qp = col._server_qps[0]
+        assert server_qp.state == QpState.ERROR
+        assert server_qp.counters.access_errors == 1
+
+    def test_errored_qp_stops_serving(self):
+        col, tr = deploy()
+        tr.client.post(WorkRequest(opcode=Opcode.WRITE,
+                                   remote_addr=0xDEAD, rkey=0xBAD,
+                                   data=b"oops"))
+        # Subsequent (legitimate) traffic cannot land.
+        from repro.rdma.qp import QpError
+
+        with pytest.raises(QpError):
+            tr.handle_report(make_report(KeyWrite(
+                key=b"after-error", data=b"\x00\x00\x00\x01",
+                redundancy=1)))
+
+    def test_reconnect_restores_service(self):
+        """The controller re-runs the CM handshake; data flows again
+        and previously collected data is still in memory."""
+        col, tr = deploy()
+        reporter = Reporter("r", 1, transmit=tr.handle_report)
+        reporter.key_write(b"before", b"\x00\x00\x00\x01", redundancy=2)
+
+        tr.client.post(WorkRequest(opcode=Opcode.WRITE,
+                                   remote_addr=0xDEAD, rkey=0xBAD,
+                                   data=b"kill"))
+        col.connect_translator(tr)   # fresh QP, same stores
+        reporter.key_write(b"after", b"\x00\x00\x00\x02", redundancy=2)
+
+        assert col.query_value(b"before", redundancy=2).found
+        assert col.query_value(b"after", redundancy=2).found
+        # Old errored QP no longer counts toward the perf model.
+        assert col.nic.active_qps == 1
+
+    def test_collector_nic_drops_traffic_for_dead_qpn(self):
+        col, tr = deploy()
+        dead_qpn = 0x99999
+        from repro.rdma import roce
+
+        raw = roce.encode_request(Opcode.WRITE, dest_qp=dead_qpn, psn=0,
+                                  remote_addr=0, rkey=0, payload=b"")
+        assert col.nic.receive(raw) is None
+        assert col.nic.stats.drops == 1

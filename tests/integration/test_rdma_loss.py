@@ -1,0 +1,105 @@
+"""What happens when the translator-collector link is NOT lossless.
+
+Section 2.2(3): loss on an RDMA path causes PSN gaps, NAKs, and
+go-back-N stalls.  DTA therefore keeps exactly that one link lossless
+(PFC, Section 3.1(3)).  These tests run DTA over a *lossy*
+translator-collector link anyway and watch the RC machinery: data
+eventually lands (go-back-N recovers), but at the cost of sequence
+errors and retransmission storms — the degradation the design avoids.
+"""
+
+import struct
+
+import pytest
+
+from repro.core.collector import Collector
+from repro.core.reporter import Reporter
+from repro.core.translator import Translator
+from repro.fabric.topology import Topology
+
+
+def star_with_lossy_rdma(loss: float, seed: int = 5):
+    """A star where the translator->collector link itself drops."""
+    collector = Collector()
+    collector.serve_keywrite(slots=1 << 13, data_bytes=4)
+    translator = Translator()
+    reporter = Reporter("r0", 0, translator="translator")
+    topo = Topology(None)
+    topo.add(translator)
+    topo.add(collector)
+    topo.add(reporter)
+    topo.wire("r0", "translator", loss=0.0, seed=seed)
+    topo.wire("translator", "collector", loss=loss, seed=seed + 1)
+    collector.connect_translator(translator, fabric=True)
+    return topo, collector, translator, reporter
+
+
+class TestGoBackN:
+    def test_lossy_rdma_link_still_converges(self):
+        topo, collector, translator, reporter = star_with_lossy_rdma(
+            0.10)
+        for i in range(150):
+            reporter.key_write(struct.pack(">I", i),
+                               struct.pack(">I", i), redundancy=1)
+            if i % 10 == 9:
+                topo.sim.run()
+        # Drain retransmission rounds until quiescent.
+        for _ in range(50):
+            if topo.sim.pending == 0 \
+                    and translator.client.qp.outstanding == 0:
+                break
+            topo.sim.run()
+        hits = sum(
+            collector.query_value(struct.pack(">I", i),
+                                  redundancy=1).found
+            for i in range(150))
+        assert hits == 150  # go-back-N eventually lands everything
+
+    def test_sequence_errors_recorded(self):
+        topo, collector, translator, reporter = star_with_lossy_rdma(
+            0.15, seed=8)
+        for i in range(200):
+            reporter.key_write(struct.pack(">I", i),
+                               struct.pack(">I", i), redundancy=1)
+            if i % 10 == 9:
+                topo.sim.run()
+        topo.sim.run()
+        server_qp = collector._server_qps[0]
+        # Losses manifested as PSN gaps at the responder...
+        assert server_qp.counters.sequence_errors > 0
+        # ...and as retransmission work at the requester.
+        assert translator.client.qp.counters.retransmits > 0
+
+    def test_lossless_link_sees_no_errors(self):
+        topo, collector, translator, reporter = star_with_lossy_rdma(
+            0.0)
+        for i in range(200):
+            reporter.key_write(struct.pack(">I", i),
+                               struct.pack(">I", i), redundancy=1)
+        topo.sim.run()
+        server_qp = collector._server_qps[0]
+        assert server_qp.counters.sequence_errors == 0
+        assert server_qp.counters.requests_executed == 200
+
+    def test_retransmission_amplification_measured(self):
+        """The cost: wire messages balloon versus the lossless case —
+        exactly why the paper invests in keeping this hop lossless."""
+        def wire_messages(loss, seed):
+            topo, collector, translator, reporter = \
+                star_with_lossy_rdma(loss, seed=seed)
+            for i in range(150):
+                reporter.key_write(struct.pack(">I", i),
+                                   struct.pack(">I", i), redundancy=1)
+                if i % 10 == 9:
+                    topo.sim.run()
+            for _ in range(50):
+                if topo.sim.pending == 0:
+                    break
+                topo.sim.run()
+            link = next(l for l in topo.links
+                        if l.name == "translator->collector")
+            return link.stats.sent
+
+        lossless = wire_messages(0.0, seed=11)
+        lossy = wire_messages(0.2, seed=11)
+        assert lossy > lossless * 1.3

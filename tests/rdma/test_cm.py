@@ -1,0 +1,72 @@
+"""RDMA_CM: service adverts, handshake, rejection."""
+
+import pytest
+
+from repro.rdma.cm import CmListener, ServiceAdvert
+from repro.rdma.nic import Nic
+from repro.rdma.qp import QpState
+
+
+@pytest.fixture
+def listener():
+    return CmListener(Nic("collector"))
+
+
+def advert(primitive="key_write"):
+    return ServiceAdvert(primitive=primitive, addr=0x1000, rkey=0xAA,
+                         length=4096, params={"slots": 64})
+
+
+class TestListen:
+    def test_listen_registers_port(self, listener):
+        listener.listen(9910, advert())
+        assert 9910 in listener.ports()
+
+    def test_double_bind_rejected(self, listener):
+        listener.listen(9910, advert())
+        with pytest.raises(ValueError):
+            listener.listen(9910, advert("append"))
+
+    def test_ports_returns_copy(self, listener):
+        listener.listen(9910, advert())
+        ports = listener.ports()
+        ports.clear()
+        assert 9910 in listener.ports()
+
+
+class TestConnect:
+    def test_handshake_brings_both_qps_to_rts(self, listener):
+        listener.listen(9910, advert())
+        client_nic = Nic("translator")
+        conn, _ = listener.handle_connect(9910, client_nic)
+        assert conn.local_qp.state == QpState.RTS
+        assert conn.remote_qp.state == QpState.RTS
+
+    def test_qps_point_at_each_other(self, listener):
+        listener.listen(9910, advert())
+        conn, _ = listener.handle_connect(9910, Nic("t"))
+        assert conn.local_qp.dest_qpn == conn.remote_qp.qpn
+        assert conn.remote_qp.dest_qpn == conn.local_qp.qpn
+
+    def test_psns_are_complementary(self, listener):
+        listener.listen(9910, advert())
+        conn, _ = listener.handle_connect(9910, Nic("t"))
+        assert conn.local_qp.send_psn == conn.remote_qp.expected_psn
+        assert conn.remote_qp.send_psn == conn.local_qp.expected_psn
+
+    def test_advert_returned_to_client(self, listener):
+        original = advert()
+        listener.listen(9910, original)
+        _conn, received = listener.handle_connect(9910, Nic("t"))
+        assert received == original
+        assert received.params["slots"] == 64
+
+    def test_unknown_port_refused(self, listener):
+        with pytest.raises(ConnectionRefusedError):
+            listener.handle_connect(1234, Nic("t"))
+
+    def test_connections_tracked(self, listener):
+        listener.listen(9910, advert())
+        listener.handle_connect(9910, Nic("t1"))
+        listener.handle_connect(9910, Nic("t2"))
+        assert len(listener.connections) == 2

@@ -1,0 +1,53 @@
+"""Work requests/completions: byte accounting and classification."""
+
+import pytest
+
+from repro.rdma.verbs import Opcode, WcStatus, WorkCompletion, WorkRequest
+
+
+class TestOpcodeProperties:
+    def test_atomics_classified(self):
+        assert Opcode.FETCH_ADD.is_atomic
+        assert Opcode.CMP_SWAP.is_atomic
+        assert not Opcode.WRITE.is_atomic
+        assert not Opcode.READ.is_atomic
+
+    def test_response_requirements(self):
+        assert Opcode.READ.needs_response
+        assert Opcode.FETCH_ADD.needs_response
+        assert not Opcode.WRITE.needs_response
+        assert not Opcode.SEND.needs_response
+
+
+class TestByteAccounting:
+    def test_write_payload_is_data_length(self):
+        wr = WorkRequest(opcode=Opcode.WRITE, data=b"\x00" * 24)
+        assert wr.payload_bytes == 24
+        assert wr.response_bytes == 0
+
+    def test_read_moves_bytes_backward(self):
+        wr = WorkRequest(opcode=Opcode.READ, length=128)
+        assert wr.payload_bytes == 0
+        assert wr.response_bytes == 128
+
+    def test_atomic_is_word_sized_both_ways(self):
+        wr = WorkRequest(opcode=Opcode.FETCH_ADD, swap=5)
+        assert wr.payload_bytes == 8
+        assert wr.response_bytes == 8
+
+    def test_narrow_atomic_width(self):
+        wr = WorkRequest(opcode=Opcode.FETCH_ADD, swap=5, atomic_width=4)
+        assert wr.payload_bytes == 4
+
+    def test_wr_ids_unique(self):
+        a = WorkRequest(opcode=Opcode.WRITE)
+        b = WorkRequest(opcode=Opcode.WRITE)
+        assert a.wr_id != b.wr_id
+
+
+class TestCompletion:
+    def test_ok_only_on_success(self):
+        assert WorkCompletion(wr_id=1, opcode=Opcode.WRITE,
+                              status=WcStatus.SUCCESS).ok
+        assert not WorkCompletion(wr_id=1, opcode=Opcode.WRITE,
+                                  status=WcStatus.RETRY_EXC_ERR).ok

@@ -1,0 +1,63 @@
+"""Meters: trTCM colouring under various offered loads."""
+
+import pytest
+
+from repro.switch.meters import Meter, MeterColor, MeterConfig
+
+
+def make_meter(cir=100.0, pir=200.0, burst=10.0):
+    return Meter(MeterConfig(committed_rate=cir, committed_burst=burst,
+                             peak_rate=pir, peak_burst=burst))
+
+
+class TestConfig:
+    def test_peak_below_committed_rejected(self):
+        with pytest.raises(ValueError):
+            MeterConfig(committed_rate=100, committed_burst=1,
+                        peak_rate=50, peak_burst=1)
+
+    def test_time_going_backwards_rejected(self):
+        meter = make_meter()
+        meter.mark(1.0)
+        with pytest.raises(ValueError):
+            meter.mark(0.5)
+
+
+class TestColouring:
+    def test_below_committed_is_green(self):
+        meter = make_meter(cir=100, pir=200)
+        colors = {meter.mark(t) for t in
+                  (i / 50 for i in range(1, 51))}  # 50 pkt/s offered
+        assert colors == {MeterColor.GREEN}
+
+    def test_between_rates_goes_yellow(self):
+        meter = make_meter(cir=10, pir=1000, burst=1)
+        # Offer ~100 pkt/s: way above CIR, below PIR.
+        colors = [meter.mark(i / 100) for i in range(1, 101)]
+        assert MeterColor.YELLOW in colors
+        assert MeterColor.RED not in colors
+
+    def test_above_peak_goes_red(self):
+        meter = make_meter(cir=10, pir=20, burst=1)
+        colors = [meter.mark(i / 1000) for i in range(1, 1001)]
+        assert MeterColor.RED in colors
+
+    def test_burst_tolerated(self):
+        meter = make_meter(cir=10, pir=20, burst=5)
+        # 5-packet burst at t=1 fits the burst budget.
+        colors = [meter.mark(1.0) for _ in range(5)]
+        assert all(c == MeterColor.GREEN for c in colors)
+
+    def test_counters_track_marks(self):
+        meter = make_meter(cir=1, pir=2, burst=1)
+        for i in range(100):
+            meter.mark(i / 100)
+        total = sum(meter.marked.values())
+        assert total == 100
+
+    def test_idle_refills_buckets(self):
+        meter = make_meter(cir=10, pir=20, burst=2)
+        for _ in range(2):
+            meter.mark(0.0)
+        assert meter.mark(0.0) != MeterColor.GREEN  # bucket drained
+        assert meter.mark(10.0) == MeterColor.GREEN  # long idle refilled

@@ -1,0 +1,124 @@
+"""Match-action pipeline: matching, defaults, stage constraints."""
+
+import pytest
+
+from repro.switch.pipeline import (
+    MatchType,
+    Pipeline,
+    PipelineError,
+    Stage,
+    Table,
+)
+from repro.switch.registers import RegisterArray
+
+
+class TestTable:
+    def test_exact_match_hits(self):
+        table = Table("fwd", ("dst",))
+        table.add_entry((5,), lambda pkt: pkt.update(port=2))
+        pkt = {"dst": 5}
+        table.apply(pkt)
+        assert pkt["port"] == 2
+        assert table.hits == 1
+
+    def test_miss_runs_default(self):
+        table = Table("fwd", ("dst",),
+                      default_action=lambda pkt: pkt.update(port=0))
+        pkt = {"dst": 9}
+        table.apply(pkt)
+        assert pkt["port"] == 0
+        assert table.misses == 1
+
+    def test_ternary_masked_match(self):
+        table = Table("acl", ("ip",), match_type=MatchType.TERNARY)
+        table.add_entry((0x0A000000,), lambda pkt: pkt.update(hit="10/8"),
+                        mask=(0xFF000000,))
+        pkt = {"ip": 0x0A0102FF}
+        table.apply(pkt)
+        assert pkt["hit"] == "10/8"
+
+    def test_ternary_priority_order(self):
+        table = Table("acl", ("ip",), match_type=MatchType.TERNARY)
+        table.add_entry((0,), lambda pkt: pkt.update(hit="any"),
+                        mask=(0,), priority=0)
+        table.add_entry((7,), lambda pkt: pkt.update(hit="exact"),
+                        mask=(0xFFFFFFFF,), priority=10)
+        pkt = {"ip": 7}
+        table.apply(pkt)
+        assert pkt["hit"] == "exact"
+
+    def test_capacity_enforced(self):
+        table = Table("tiny", ("k",), size=1)
+        table.add_entry((1,), lambda pkt: None)
+        with pytest.raises(PipelineError):
+            table.add_entry((2,), lambda pkt: None)
+
+    def test_key_arity_checked(self):
+        table = Table("t", ("a", "b"))
+        with pytest.raises(PipelineError):
+            table.add_entry((1,), lambda pkt: None)
+
+    def test_clear(self):
+        table = Table("t", ("k",))
+        table.add_entry((1,), lambda pkt: pkt.update(x=1))
+        table.clear()
+        pkt = {"k": 1}
+        table.apply(pkt)
+        assert "x" not in pkt
+
+
+class TestPipeline:
+    def test_stages_execute_in_order(self):
+        pipe = Pipeline("p", stages=2)
+        trace = []
+        t0 = Table("first", ("k",),
+                   default_action=lambda pkt: trace.append("s0"))
+        t1 = Table("second", ("k",),
+                   default_action=lambda pkt: trace.append("s1"))
+        pipe.stage(0).add_table(t0)
+        pipe.stage(1).add_table(t1)
+        pipe.process({"k": 0})
+        assert trace == ["s0", "s1"]
+
+    def test_drop_short_circuits(self):
+        pipe = Pipeline("p", stages=2)
+        pipe.stage(0).add_table(Table(
+            "drop", ("k",),
+            default_action=lambda pkt: pkt.update(_drop=True)))
+        ran = []
+        pipe.stage(1).add_table(Table(
+            "later", ("k",), default_action=lambda pkt: ran.append(1)))
+        pipe.process({"k": 0})
+        assert not ran
+
+    def test_register_guard_rearmed_per_traversal(self):
+        pipe = Pipeline("p", stages=1)
+        reg = RegisterArray("state", size=4)
+        pipe.stage(0).add_register(reg)
+        pipe.stage(0).add_table(Table(
+            "count", ("k",),
+            default_action=lambda pkt: reg.add(0, 1)))
+        for _ in range(3):
+            pipe.process({"k": 0})
+        assert reg.cp_read(0) == 3
+
+    def test_recirculation_counted(self):
+        pipe = Pipeline("p", stages=1)
+        pipe.process({}, recirculate=True)
+        pipe.process({})
+        assert pipe.traversals == 2
+        assert pipe.recirculations == 1
+
+    def test_tables_per_stage_bounded(self):
+        stage = Stage(0)
+        for i in range(16):
+            stage.add_table(Table(f"t{i}", ("k",)))
+        with pytest.raises(PipelineError):
+            stage.add_table(Table("overflow", ("k",)))
+
+    def test_registers_per_stage_bounded(self):
+        stage = Stage(0)
+        for i in range(4):
+            stage.add_register(RegisterArray(f"r{i}", size=1))
+        with pytest.raises(PipelineError):
+            stage.add_register(RegisterArray("overflow", size=1))

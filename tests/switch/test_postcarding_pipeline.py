@@ -1,0 +1,112 @@
+"""Postcarding cache on the pipeline model: the §4.2 hardware mapping."""
+
+import pytest
+
+from repro.switch.registers import RegisterAccessError
+from repro.switch.translator_pipeline import PostcardingCachePath
+
+
+class TestPostcardingCachePath:
+    def test_complete_path_emits_once(self):
+        path = PostcardingCachePath(slots=16, hops=5)
+        results = [path.submit(0xABC, hop, 100 + hop, path_len=5)
+                   for hop in range(5)]
+        emissions = [e for e, _ in results if e is not None]
+        assert len(emissions) == 1
+        assert emissions[0].complete
+        assert emissions[0].values == (100, 101, 102, 103, 104)
+        assert path.emissions_complete == 1
+
+    def test_announced_path_len_triggers_early_completion(self):
+        path = PostcardingCachePath(slots=16, hops=5)
+        path.submit(0xABC, 0, 1, path_len=2)
+        emitted, _ = path.submit(0xABC, 1, 2, path_len=2)
+        assert emitted is not None and emitted.complete
+        assert emitted.values == (1, 2, None, None, None)
+
+    def test_collision_evicts_resident_flow(self):
+        path = PostcardingCachePath(slots=1, hops=5)
+        path.submit(0x111, 0, 10, path_len=5)
+        path.submit(0x111, 1, 11, path_len=5)
+        emitted, evicted = path.submit(0x222, 0, 99, path_len=5)
+        assert emitted is None
+        assert evicted is not None and not evicted.complete
+        assert evicted.key_hash == 0x111
+        assert evicted.values[0] == 10 and evicted.values[1] == 11
+        assert path.emissions_early == 1
+
+    def test_row_freed_after_completion(self):
+        path = PostcardingCachePath(slots=4, hops=2)
+        path.submit(0x5, 0, 1, path_len=2)
+        path.submit(0x5, 1, 2, path_len=2)
+        # A new flow on the same row sees an empty row, not a collision.
+        _, evicted = path.submit(0x5 + 4, 0, 9, path_len=2)
+        assert evicted is None
+        assert path.emissions_early == 0
+
+    def test_stale_values_masked_by_bitmap(self):
+        """After a collision, the new flow must not inherit the old
+        flow's hop values via the shared SRAM row."""
+        path = PostcardingCachePath(slots=1, hops=3)
+        path.submit(0x111, 0, 77, path_len=3)
+        path.submit(0x111, 1, 78, path_len=3)
+        path.submit(0x222, 2, 5, path_len=3)   # evicts, starts new row
+        path.submit(0x222, 0, 6, path_len=3)
+        emitted, _ = path.submit(0x222, 1, 7, path_len=3)
+        assert emitted is not None
+        assert emitted.values == (6, 7, 5)     # none of 77/78 leaked
+
+    def test_every_array_touched_at_most_once_per_traversal(self):
+        """The guard would raise if the mapping violated the ASIC rule;
+        a long random workload keeps it silent."""
+        import random
+
+        rng = random.Random(5)
+        path = PostcardingCachePath(slots=8, hops=5)
+        # Emit flows' hops in order so some complete despite collisions.
+        active: dict = {}
+        for _ in range(2000):
+            key = rng.randint(1, 10)
+            hop = active.get(key, 0)
+            path.submit(key, hop, rng.randrange(64), path_len=5)
+            active[key] = (hop + 1) % 5
+        # Reaching here without RegisterAccessError is the assertion;
+        # sanity-check some emissions happened both ways.
+        assert path.emissions_complete > 0
+        assert path.emissions_early > 0
+
+    def test_zero_key_hash_reserved(self):
+        path = PostcardingCachePath(slots=4, hops=2)
+        with pytest.raises(ValueError):
+            path.submit(0, 0, 1)
+
+    def test_hop_bounds(self):
+        path = PostcardingCachePath(slots=4, hops=2)
+        with pytest.raises(IndexError):
+            path.submit(1, 5, 1)
+
+    def test_matches_software_cache_statistics(self):
+        """Identical workload + identical row placement through the
+        software PostcardCache and the pipeline path: the emission
+        counters must agree exactly."""
+        import random
+
+        from repro.core.postcard_cache import PostcardCache
+        from repro.switch.crc import _splitmix64
+
+        rng = random.Random(9)
+        workload = [(rng.randint(1, 30), hop)
+                    for _ in range(300) for hop in range(3)]
+        rng.shuffle(workload)
+
+        hw = PostcardingCachePath(slots=16, hops=3)
+        sw = PostcardCache(slots=16, hops=3)
+        # The software cache mixes int keys with splitmix64; feed the
+        # pipeline the same mixed hash so rows align one-to-one.
+        for key, hop in workload:
+            hw.submit(_splitmix64(key), hop, key ^ hop, path_len=3)
+        for key, hop in workload:
+            sw.insert(key, hop, key ^ hop, path_len=3)
+            sw.pending_evicted.clear()
+        assert hw.emissions_complete == sw.stats.emissions_complete
+        assert hw.emissions_early == sw.stats.emissions_early

@@ -1,0 +1,145 @@
+"""Program resource models: Fig. 7 and Table 3 reproduction at test level."""
+
+import pytest
+
+from repro.switch.programs import (
+    batching_feature,
+    dta_reporter,
+    rdma_reporter,
+    retransmission_feature,
+    translator_program,
+    udp_reporter,
+)
+from repro.switch.resources import Resource
+
+# Table 3 ground truth (percent).
+TABLE3_BASE = {Resource.SRAM: 13.2, Resource.CROSSBAR: 10.6,
+               Resource.TABLE_IDS: 49.0, Resource.TERNARY_BUS: 30.7,
+               Resource.SALU: 25.0}
+TABLE3_BATCHING = {Resource.SRAM: 3.2, Resource.CROSSBAR: 7.2,
+                   Resource.TABLE_IDS: 7.8, Resource.TERNARY_BUS: 0.0,
+                   Resource.SALU: 31.3}
+TABLE3_RETX = {Resource.SRAM: 0.6, Resource.CROSSBAR: 0.3,
+               Resource.TABLE_IDS: 1.0, Resource.TERNARY_BUS: 1.1,
+               Resource.SALU: 2.1}
+
+
+class TestTranslatorFootprint:
+    def test_base_matches_table3(self):
+        pct = translator_program().percentages()
+        for res, expected in TABLE3_BASE.items():
+            assert pct[res] == pytest.approx(expected, abs=0.15)
+
+    def test_batching_delta_matches_table3(self):
+        base = translator_program().percentages()
+        with_b = translator_program(batching=16).percentages()
+        for res, expected in TABLE3_BATCHING.items():
+            assert with_b[res] - base[res] == pytest.approx(expected,
+                                                            abs=0.15)
+
+    def test_retransmission_delta_matches_table3(self):
+        base = translator_program().percentages()
+        with_r = translator_program(
+            retransmission_reporters=65536).percentages()
+        for res, expected in TABLE3_RETX.items():
+            assert with_r[res] - base[res] == pytest.approx(expected,
+                                                            abs=0.15)
+
+    def test_full_translator_fits_the_asic(self):
+        """Section 5.3 takeaway: everything together still fits."""
+        full = translator_program(batching=16,
+                                  retransmission_reporters=65536)
+        assert full.fits()
+
+    def test_fewer_primitives_cost_less(self):
+        full = translator_program()
+        kw_only = translator_program(primitives=("keywrite",))
+        for res in Resource:
+            assert kw_only.get(res) <= full.get(res)
+
+    def test_unknown_primitive_rejected(self):
+        with pytest.raises(ValueError):
+            translator_program(primitives=("bogus",))
+
+
+class TestBatchingScaling:
+    def test_salu_scales_with_batch_size(self):
+        """Section 5.3: batch size linearly correlates with sALU calls."""
+        b8 = batching_feature(8).get(Resource.SALU)
+        b16 = batching_feature(16).get(Resource.SALU)
+        assert b8 == 7 and b16 == 15
+
+    def test_wider_entries_double_salu(self):
+        """Section 6: 8B entries need two 32-bit memory ops per entry."""
+        narrow = batching_feature(16, entry_bytes=4).get(Resource.SALU)
+        wide = batching_feature(16, entry_bytes=8).get(Resource.SALU)
+        assert wide == 2 * narrow
+
+    def test_batch_size_one_is_free(self):
+        usage = batching_feature(1)
+        assert usage.get(Resource.SALU) == 0
+
+    def test_invalid_batch_rejected(self):
+        with pytest.raises(ValueError):
+            batching_feature(0)
+
+
+class TestRetransmissionScaling:
+    def test_sram_grows_with_reporters(self):
+        small = retransmission_feature(1024).get(Resource.SRAM)
+        large = retransmission_feature(65536).get(Resource.SRAM)
+        assert large > small
+
+    def test_logic_cost_scale_free(self):
+        """The sALU/table cost is constant regardless of scale."""
+        small = retransmission_feature(1024)
+        large = retransmission_feature(65536)
+        assert small.get(Resource.SALU) == large.get(Resource.SALU)
+        assert small.get(Resource.TABLE_IDS) == large.get(
+            Resource.TABLE_IDS)
+
+
+class TestReporterComparison:
+    def test_dta_within_a_hair_of_udp(self):
+        """Fig. 7: DTA imposes an almost identical footprint to UDP."""
+        udp = udp_reporter().percentages()
+        dta = dta_reporter().percentages()
+        for res in Resource:
+            assert dta[res] - udp[res] <= 1.1
+
+    def test_rdma_roughly_double_dta(self):
+        """Fig. 7: pure RDMA generation costs ~2x DTA."""
+        dta = dta_reporter()
+        rdma = rdma_reporter()
+        for res in Resource:
+            ratio = rdma.get(res) / dta.get(res)
+            assert 1.7 <= ratio <= 2.5, f"{res}: ratio {ratio:.2f}"
+
+    def test_all_reporters_fit(self):
+        for program in (udp_reporter(), dta_reporter(), rdma_reporter()):
+            assert program.fits()
+
+
+class TestAllSixPrimitives:
+    def test_full_six_primitive_translator_fits(self):
+        """Appendix Fig. 19: a translator supporting all primitives
+        (plus batching and retransmission) still fits the ASIC."""
+        everything = translator_program(
+            primitives=("keywrite", "postcarding", "append",
+                        "keyincrement", "sketchmerge"),
+            batching=16, retransmission_reporters=65536)
+        assert everything.fits()
+
+    def test_keyincrement_rides_keywrite_machinery(self):
+        """KI's incremental cost is a fraction of KW's full path."""
+        from repro.switch.programs import keyincrement_path, keywrite_path
+
+        ki, kw = keyincrement_path(), keywrite_path()
+        for res in Resource:
+            assert ki.get(res) <= kw.get(res)
+
+    def test_sketchmerge_salus_scale_with_depth(self):
+        from repro.switch.programs import sketchmerge_path
+
+        assert sketchmerge_path(depth=4).get(Resource.SALU) == 6
+        assert sketchmerge_path(depth=8).get(Resource.SALU) == 10

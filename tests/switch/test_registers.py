@@ -1,0 +1,90 @@
+"""Register arrays: RMW semantics and ASIC access constraints."""
+
+import pytest
+
+from repro.switch.registers import RegisterAccessError, RegisterArray
+
+
+@pytest.fixture
+def reg():
+    return RegisterArray("test", size=16, width_bits=32)
+
+
+class TestRmw:
+    def test_initial_value(self):
+        reg = RegisterArray("r", size=4, initial=7)
+        assert reg.cp_read(0) == 7
+
+    def test_write_returns_old(self, reg):
+        assert reg.write(3, 10) == 0
+        reg.begin_packet()
+        assert reg.write(3, 20) == 10
+
+    def test_add_returns_new(self, reg):
+        assert reg.add(0, 5) == 5
+        reg.begin_packet()
+        assert reg.add(0, 5) == 10
+
+    def test_add_wraps_at_width(self):
+        reg = RegisterArray("r", size=1, width_bits=8)
+        reg.cp_write(0, 250)
+        assert reg.add(0, 10) == 4
+
+    def test_maximum_keeps_larger(self, reg):
+        reg.maximum(0, 5)
+        reg.begin_packet()
+        assert reg.maximum(0, 3) == 5
+        reg.begin_packet()
+        assert reg.maximum(0, 9) == 9
+
+    def test_compare_swap(self, reg):
+        assert reg.compare_swap(1, 0, 42) == 0
+        reg.begin_packet()
+        assert reg.compare_swap(1, 0, 99) == 42
+        assert reg.cp_read(1) == 42
+
+    def test_index_bounds(self, reg):
+        with pytest.raises(IndexError):
+            reg.read(16)
+        reg.begin_packet()
+        with pytest.raises(IndexError):
+            reg.read(-1)
+
+
+class TestAsicConstraints:
+    def test_double_access_per_traversal_rejected(self, reg):
+        reg.read(0)
+        with pytest.raises(RegisterAccessError):
+            reg.read(1)
+
+    def test_begin_packet_rearms(self, reg):
+        reg.read(0)
+        reg.begin_packet()
+        reg.read(1)  # no error
+
+    def test_width_cap(self):
+        with pytest.raises(RegisterAccessError):
+            RegisterArray("wide", size=4, width_bits=128)
+
+    def test_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RegisterArray("empty", size=0)
+
+    def test_control_plane_bypasses_guard(self, reg):
+        reg.read(0)
+        reg.cp_write(1, 5)       # allowed: switch CPU, not data plane
+        assert reg.cp_read(1) == 5
+
+    def test_cp_fill(self, reg):
+        reg.cp_fill(3)
+        assert all(reg.cp_read(i) == 3 for i in range(len(reg)))
+
+    def test_alu_operation_count(self, reg):
+        for i in range(4):
+            reg.begin_packet()
+            reg.add(i, 1)
+        assert reg.alu.operations == 4
+
+    def test_sram_footprint(self):
+        reg = RegisterArray("r", size=1024, width_bits=32)
+        assert reg.sram_bits == 1024 * 32

@@ -1,0 +1,62 @@
+"""Resource accounting: budgets, arithmetic, fit checks."""
+
+import pytest
+
+from repro.switch.resources import (
+    Resource,
+    ResourceBudget,
+    ResourceUsage,
+    SRAM_BLOCK_BITS,
+    sram_blocks,
+)
+
+
+class TestBudget:
+    def test_tofino1_budget_shape(self):
+        budget = ResourceBudget.tofino1()
+        assert budget.capacity(Resource.SALU) == 48       # 12 stages x 4
+        assert budget.capacity(Resource.TABLE_IDS) == 192  # 12 x 16
+        assert budget.capacity(Resource.SRAM) == 960
+
+    def test_sram_blocks_helper(self):
+        assert sram_blocks(SRAM_BLOCK_BITS) == 1.0
+        assert sram_blocks(SRAM_BLOCK_BITS // 2) == 0.5
+
+
+class TestUsage:
+    def test_add_accumulates(self):
+        usage = ResourceUsage()
+        usage.add(Resource.SRAM, 5).add(Resource.SRAM, 3)
+        assert usage.get(Resource.SRAM) == 8
+
+    def test_sum_of_usages(self):
+        a = ResourceUsage(label="a").add(Resource.SALU, 2)
+        b = ResourceUsage(label="b").add(Resource.SALU, 3)
+        combined = a + b
+        assert combined.get(Resource.SALU) == 5
+        # Operands untouched.
+        assert a.get(Resource.SALU) == 2
+
+    def test_percent(self):
+        usage = ResourceUsage().add(Resource.SALU, 12)
+        assert usage.percent(Resource.SALU) == pytest.approx(25.0)
+
+    def test_percentages_cover_all_resources(self):
+        usage = ResourceUsage().add(Resource.SRAM, 1)
+        pct = usage.percentages()
+        assert set(pct) == set(Resource)
+        assert pct[Resource.CROSSBAR] == 0.0
+
+    def test_fits_true_within_budget(self):
+        usage = ResourceUsage().add(Resource.SALU, 48)
+        assert usage.fits()
+
+    def test_fits_false_over_budget(self):
+        usage = ResourceUsage().add(Resource.SALU, 49)
+        assert not usage.fits()
+
+    def test_table_renders_every_resource(self):
+        usage = ResourceUsage().add(Resource.SRAM, 100)
+        text = usage.table()
+        for res in Resource:
+            assert res.value in text

@@ -1,0 +1,124 @@
+"""Translator pipeline paths: ASIC-rule compliance and byte parity."""
+
+import struct
+
+import pytest
+
+from repro.core.collector import Collector
+from repro.core.packets import Append, KeyWrite, make_report
+from repro.core.stores.append import AppendLayout
+from repro.core.stores.keywrite import KeyWriteLayout
+from repro.core.translator import Translator
+from repro.switch.translator_pipeline import (
+    AppendBatchingPath,
+    KeyWriteMulticastPath,
+)
+
+
+class TestAppendBatchingPath:
+    def make(self, batch=4, lists=4, capacity=64):
+        layout = AppendLayout(base_addr=0x1000, lists=lists,
+                              capacity=capacity, data_bytes=4)
+        return AppendBatchingPath(layout, batch), layout
+
+    def test_stores_until_batch_full(self):
+        path, _ = self.make(batch=4)
+        assert path.submit(0, 1) is None
+        assert path.submit(0, 2) is None
+        assert path.submit(0, 3) is None
+        intent = path.submit(0, 4)
+        assert intent is not None
+
+    def test_batch_payload_matches_software_encoding(self):
+        path, layout = self.make(batch=4)
+        for v in (1, 2, 3):
+            path.submit(1, v)
+        intent = path.submit(1, 4)
+        expected = layout.encode_batch(
+            [v.to_bytes(4, "big") for v in (1, 2, 3, 4)], head=0)
+        assert intent.payload == expected
+        assert intent.remote_addr == layout.entry_addr(1, 0)
+
+    def test_head_advances_across_batches(self):
+        path, layout = self.make(batch=2)
+        path.submit(0, 1)
+        first = path.submit(0, 2)
+        path.submit(0, 3)
+        second = path.submit(0, 4)
+        assert first.remote_addr == layout.entry_addr(0, 0)
+        assert second.remote_addr == layout.entry_addr(0, 2)
+
+    def test_lists_have_independent_batches(self):
+        path, _ = self.make(batch=3)
+        path.submit(0, 1)
+        path.submit(1, 9)
+        path.submit(0, 2)
+        intent = path.submit(0, 3)
+        values = [int.from_bytes(intent.payload[i * 5 + 1:i * 5 + 5],
+                                 "big")
+                  for i in range(3)]
+        assert values == [1, 2, 3]
+
+    def test_register_arrays_scale_with_batch(self):
+        """B-1 arrays = B-1 stateful ALUs: the Table 3 batching row."""
+        path, _ = self.make(batch=16)
+        assert len(path.slots) == 15
+
+    def test_wide_entries_rejected(self):
+        layout = AppendLayout(base_addr=0, lists=2, capacity=16,
+                              data_bytes=8)
+        with pytest.raises(ValueError):
+            AppendBatchingPath(layout, 4)
+
+    def test_agrees_with_software_translator(self):
+        """Same reports through the pipeline path and the software
+        translator produce identical collector memory."""
+        col = Collector()
+        col.serve_append(lists=2, capacity=64, data_bytes=4,
+                         batch_size=4)
+        tr = Translator()
+        col.connect_translator(tr)
+        pipeline_path = AppendBatchingPath(col.append.layout, 4)
+
+        for i in range(8):
+            tr.handle_report(make_report(Append(
+                list_id=0, data=struct.pack(">I", i))))
+            intent = pipeline_path.submit(0, i)
+            if intent is not None:
+                # The pipeline would emit exactly what the translator
+                # wrote at the same address.
+                offset = intent.remote_addr - col.append.layout.base_addr
+                stored = col.append.region.local_read(
+                    offset, len(intent.payload))
+                assert stored == intent.payload
+
+
+class TestKeyWriteMulticastPath:
+    def test_fanout_count(self):
+        layout = KeyWriteLayout(base_addr=0, slots=1024, data_bytes=4)
+        path = KeyWriteMulticastPath(layout)
+        intents = path.submit(b"key", b"\x01\x02\x03\x04", redundancy=3)
+        assert len(intents) == 3
+        assert path.multicast_copies == 3
+
+    def test_addresses_match_layout_hashes(self):
+        layout = KeyWriteLayout(base_addr=0x4000, slots=512,
+                                data_bytes=4)
+        path = KeyWriteMulticastPath(layout)
+        intents = path.submit(b"flow", b"\x00\x00\x00\x05", redundancy=2)
+        assert [i.remote_addr for i in intents] == \
+            [layout.slot_addr(0, b"flow"), layout.slot_addr(1, b"flow")]
+
+    def test_payload_parity_with_software_translator(self):
+        col = Collector()
+        col.serve_keywrite(slots=2048, data_bytes=4)
+        tr = Translator()
+        col.connect_translator(tr)
+        path = KeyWriteMulticastPath(col.keywrite.layout)
+
+        tr.handle_report(make_report(KeyWrite(
+            key=b"parity", data=b"\xAB\xCD\xEF\x01", redundancy=2)))
+        for intent in path.submit(b"parity", b"\xAB\xCD\xEF\x01", 2):
+            offset = intent.remote_addr - col.keywrite.layout.base_addr
+            assert col.keywrite.region.local_read(
+                offset, len(intent.payload)) == intent.payload

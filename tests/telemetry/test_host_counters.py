@@ -1,0 +1,88 @@
+"""Marple host counters: both Table 2 aggregation modes."""
+
+import struct
+
+import pytest
+
+from repro.core.collector import Collector
+from repro.core.reporter import Reporter
+from repro.core.translator import Translator
+from repro.telemetry.marple import HostCountersQuery
+from repro.workloads.traffic import Packet
+
+
+def pkt(src: bytes):
+    return Packet(flow_key=src + b"\x00" * 9, seq=0, size=100,
+                  timestamp=0.0)
+
+
+def deploy():
+    col = Collector()
+    col.serve_keywrite(slots=4096, data_bytes=4)
+    col.serve_keyincrement(slots_per_row=1024, rows=4)
+    tr = Translator()
+    col.connect_translator(tr)
+    return col, Reporter("sw", 1, transmit=tr.handle_report)
+
+
+class TestKeyWriteMode:
+    def test_snapshot_semantics(self):
+        """Non-merging: the collector holds the latest counter value."""
+        col, rep = deploy()
+        query = HostCountersQuery(rep, mode="key_write", export_every=8)
+        for _ in range(24):
+            query.process(pkt(b"\x0A\x00\x00\x01"))
+        result = col.query_value(b"\x0A\x00\x00\x01", redundancy=2)
+        assert struct.unpack(">I", result.value)[0] == 24
+
+    def test_hosts_tracked_separately(self):
+        col, rep = deploy()
+        query = HostCountersQuery(rep, mode="key_write", export_every=2)
+        for _ in range(4):
+            query.process(pkt(b"\x0A\x00\x00\x01"))
+        for _ in range(2):
+            query.process(pkt(b"\x0A\x00\x00\x02"))
+        a = col.query_value(b"\x0A\x00\x00\x01", redundancy=2)
+        b = col.query_value(b"\x0A\x00\x00\x02", redundancy=2)
+        assert struct.unpack(">I", a.value)[0] == 4
+        assert struct.unpack(">I", b.value)[0] == 2
+
+
+class TestKeyIncrementMode:
+    def test_delta_semantics(self):
+        """Addition-based: deltas accumulate at the collector."""
+        col, rep = deploy()
+        query = HostCountersQuery(rep, mode="key_increment",
+                                  export_every=8, redundancy=4)
+        for _ in range(24):
+            query.process(pkt(b"\x0A\x00\x00\x03"))
+        assert col.query_counter(b"\x0A\x00\x00\x03") == 24
+
+    def test_merges_across_switches(self):
+        """Two switches counting the same host sum network-wide — the
+        property key_write mode deliberately lacks."""
+        col, rep1 = deploy()
+        rep2 = Reporter("sw2", 2, transmit=rep1.transmit)
+        q1 = HostCountersQuery(rep1, mode="key_increment",
+                               export_every=4, redundancy=4)
+        q2 = HostCountersQuery(rep2, mode="key_increment",
+                               export_every=4, redundancy=4)
+        for _ in range(8):
+            q1.process(pkt(b"\x0A\x00\x00\x04"))
+            q2.process(pkt(b"\x0A\x00\x00\x04"))
+        assert col.query_counter(b"\x0A\x00\x00\x04") == 16
+
+    def test_flush_exports_partial_epochs(self):
+        col, rep = deploy()
+        query = HostCountersQuery(rep, mode="key_increment",
+                                  export_every=100, redundancy=4)
+        for _ in range(7):
+            query.process(pkt(b"\x0A\x00\x00\x05"))
+        assert col.query_counter(b"\x0A\x00\x00\x05") == 0
+        query.flush()
+        assert col.query_counter(b"\x0A\x00\x00\x05") == 7
+
+    def test_mode_validation(self):
+        _, rep = deploy()
+        with pytest.raises(ValueError):
+            HostCountersQuery(rep, mode="bogus")

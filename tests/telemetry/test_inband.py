@@ -1,0 +1,97 @@
+"""INT integration: MD sinks, XD postcards, congestion events."""
+
+import struct
+
+import pytest
+
+from repro.core.reporter import Reporter
+from repro.telemetry.inband import IntMdSink, IntStack, IntXdSwitch, trace_path
+
+
+@pytest.fixture
+def wired(deployment):
+    collector, translator, reporter = deployment
+    return collector, reporter
+
+
+class TestIntMd:
+    def test_trace_path_accumulates_metadata(self):
+        stack = trace_path(b"flow", [11, 22, 33], [5, 6, 7])
+        assert stack.switch_ids == [11, 22, 33]
+        assert stack.queue_depths == [5, 6, 7]
+
+    def test_sink_reports_path_via_keywrite(self, wired):
+        collector, reporter = wired
+        # 4B store in the fixture; use a 1-hop 4B payload.
+        sink = IntMdSink(reporter, max_hops=1)
+        sink.process(trace_path(b"flow-1", [42]))
+        result = collector.query_value(b"flow-1", redundancy=2)
+        assert result.found
+        assert struct.unpack(">I", result.value)[0] == 42
+
+    def test_path_payload_padded_and_truncated(self):
+        sink = IntMdSink(Reporter("r", 1, transmit=lambda raw: None),
+                         max_hops=5)
+        short = sink.path_payload(IntStack(b"f", [1, 2]))
+        assert struct.unpack(">5I", short) == (1, 2, 0, 0, 0)
+        long = sink.path_payload(IntStack(b"f", list(range(1, 8))))
+        assert struct.unpack(">5I", long) == (1, 2, 3, 4, 5)
+
+    def test_congestion_events_appended(self, wired):
+        collector, reporter = wired
+        sink = IntMdSink(reporter, max_hops=1, congestion_threshold=10,
+                         congestion_list=0)
+        sink.process(trace_path(b"f", [7], [50]))       # congested
+        sink.process(trace_path(b"g", [8], [2]))        # fine
+        assert sink.congestion_events == 1
+
+    def test_report_counter(self, wired):
+        _, reporter = wired
+        sink = IntMdSink(reporter, max_hops=1)
+        for i in range(3):
+            sink.process(trace_path(f"f{i}".encode(), [i]))
+        assert sink.reports == 3
+
+
+class TestIntXd:
+    def test_postcards_aggregate_to_path(self, deployment):
+        collector, _translator, reporter = deployment
+        switches = [IntXdSwitch(reporter, switch_id=100 + h, hop=h)
+                    for h in range(5)]
+        for switch in switches:
+            switch.process(b"flow-xd", path_length=5)
+        assert collector.query_path(b"flow-xd") == [100, 101, 102,
+                                                    103, 104]
+
+    def test_custom_value_overrides_switch_id(self, deployment):
+        collector, _translator, reporter = deployment
+        switch = IntXdSwitch(reporter, switch_id=9, hop=0)
+        switch.process(b"lat-flow", path_length=1, value=77)
+        assert collector.query_path(b"lat-flow") == [77]
+
+    def test_postcard_counter(self, deployment):
+        _c, _t, reporter = deployment
+        switch = IntXdSwitch(reporter, switch_id=1, hop=0)
+        for i in range(4):
+            switch.process(f"f{i}".encode(), path_length=1)
+        assert switch.postcards == 4
+
+
+class TestSpecFormatBridge:
+    def test_report_from_trace_roundtrips(self):
+        from repro.telemetry.inband import report_from_trace
+        from repro.telemetry.int_report import IntReport
+
+        stack = trace_path(b"flow", [5, 6, 7], [10, 20, 30])
+        report = report_from_trace(stack, seq=42)
+        decoded = IntReport.unpack(report.pack())
+        assert decoded.path == [5, 6, 7]
+        assert [h.queue_occupancy for h in decoded.hops] == [10, 20, 30]
+        assert decoded.report.node_id == 7  # the sink
+
+    def test_empty_trace_produces_empty_report(self):
+        from repro.telemetry.inband import report_from_trace
+        from repro.telemetry.int_report import IntReport
+
+        report = report_from_trace(trace_path(b"f", []))
+        assert IntReport.unpack(report.pack()).path == []

@@ -1,0 +1,146 @@
+"""Marple queries: lossy flows, TCP timeouts, flowlet sizes."""
+
+import struct
+
+import pytest
+
+from repro.core import packets
+from repro.telemetry.marple import (
+    FlowletSizesQuery,
+    LossyFlowsQuery,
+    TcpTimeoutsQuery,
+)
+from repro.workloads.traffic import Packet
+
+
+def pkt(flow=b"A" * 13, seq=0, ts=0.0, retx=False, size=100):
+    return Packet(flow_key=flow, seq=seq, size=size, timestamp=ts,
+                  is_retransmission=retx)
+
+
+@pytest.fixture
+def capture():
+    sent = []
+
+    def transmit(raw):
+        sent.append(packets.decode_report(raw))
+
+    from repro.core.reporter import Reporter
+
+    return Reporter("sw", 1, transmit=transmit), sent
+
+
+class TestLossyFlows:
+    def test_lossy_flow_reported_once(self, capture):
+        reporter, sent = capture
+        query = LossyFlowsQuery(reporter, threshold=0.05, min_packets=10)
+        for i in range(20):
+            query.process(pkt(seq=i, ts=i * 0.01, retx=(i % 4 == 0)))
+        appends = [op for h, op in sent
+                   if h.primitive == packets.DtaPrimitive.APPEND]
+        assert len(appends) == 1
+        assert appends[0].data == b"A" * 13
+        assert query.reports == 1
+
+    def test_clean_flow_not_reported(self, capture):
+        reporter, sent = capture
+        query = LossyFlowsQuery(reporter, threshold=0.05, min_packets=10)
+        for i in range(50):
+            query.process(pkt(seq=i, ts=i * 0.01))
+        assert sent == []
+
+    def test_loss_rate_buckets_map_to_lists(self, capture):
+        reporter, sent = capture
+        query = LossyFlowsQuery(reporter, threshold=0.05, min_packets=10,
+                                base_list=0, buckets=(0.05, 0.10, 0.20))
+        # ~50% loss -> top bucket (list 2).
+        for i in range(10):
+            query.process(pkt(flow=b"B" * 13, seq=i, ts=i * 0.01,
+                              retx=(i % 2 == 0)))
+        (_, op), = sent
+        assert op.list_id == 2
+
+    def test_below_min_packets_not_judged(self, capture):
+        reporter, sent = capture
+        query = LossyFlowsQuery(reporter, min_packets=100)
+        for i in range(50):
+            query.process(pkt(seq=i, retx=True))
+        assert sent == []
+
+
+class TestTcpTimeouts:
+    def test_timeout_detected_and_counted(self, capture):
+        reporter, sent = capture
+        query = TcpTimeoutsQuery(reporter, rto=0.2)
+        query.process(pkt(seq=0, ts=0.0))
+        query.process(pkt(seq=0, ts=0.5, retx=True))  # >RTO gap
+        (header, op), = sent
+        assert header.primitive == packets.DtaPrimitive.KEY_WRITE
+        assert struct.unpack(">I", op.data)[0] == 1
+
+    def test_fast_retransmit_not_a_timeout(self, capture):
+        reporter, sent = capture
+        query = TcpTimeoutsQuery(reporter, rto=0.2)
+        query.process(pkt(seq=0, ts=0.0))
+        query.process(pkt(seq=0, ts=0.01, retx=True))  # < RTO
+        assert sent == []
+
+    def test_count_increments_per_timeout(self, capture):
+        reporter, sent = capture
+        query = TcpTimeoutsQuery(reporter, rto=0.1)
+        ts = 0.0
+        for _ in range(3):
+            query.process(pkt(seq=0, ts=ts))
+            ts += 0.5
+            query.process(pkt(seq=0, ts=ts, retx=True))
+            ts += 0.5
+        counts = [struct.unpack(">I", op.data)[0] for _, op in sent]
+        assert counts == [1, 2, 3]
+
+    def test_queryable_at_collector(self, deployment):
+        collector, _translator, reporter = deployment
+        query = TcpTimeoutsQuery(reporter, rto=0.1)
+        query.process(pkt(seq=0, ts=0.0))
+        query.process(pkt(seq=0, ts=1.0, retx=True))
+        result = collector.query_value(b"A" * 13, redundancy=2)
+        assert struct.unpack(">I", result.value)[0] == 1
+
+
+class TestFlowletSizes:
+    def test_flowlet_closed_by_gap(self, capture):
+        reporter, sent = capture
+        query = FlowletSizesQuery(reporter, gap=0.005)
+        for i in range(3):
+            query.process(pkt(seq=i, ts=i * 0.001))
+        query.process(pkt(seq=3, ts=1.0))  # big gap closes flowlet of 3
+        (_, op), = sent
+        assert op.data == b"A" * 13
+
+    def test_size_buckets_choose_list(self, capture):
+        reporter, sent = capture
+        query = FlowletSizesQuery(reporter, gap=0.005, base_list=0,
+                                  size_buckets=(1, 4, 16))
+        query.process(pkt(seq=0, ts=0.0))
+        query.process(pkt(seq=1, ts=1.0))   # closes flowlet of size 1
+        (_, op), = sent
+        assert op.list_id == 0  # size 1 -> first bucket
+
+    def test_flush_closes_open_flowlets(self, capture):
+        reporter, sent = capture
+        query = FlowletSizesQuery(reporter, gap=0.005)
+        for i in range(5):
+            query.process(pkt(seq=i, ts=i * 0.001))
+        assert sent == []
+        query.flush()
+        assert len(sent) == 1
+
+    def test_interleaved_flows_tracked_separately(self, capture):
+        reporter, sent = capture
+        query = FlowletSizesQuery(reporter, gap=0.01)
+        query.process(pkt(flow=b"X" * 13, ts=0.0))
+        query.process(pkt(flow=b"Y" * 13, ts=0.001))
+        query.process(pkt(flow=b"X" * 13, ts=0.002))
+        query.flush()
+        sizes = {op.data for _, op in sent}
+        assert sizes == {b"X" * 13, b"Y" * 13}
+        assert query.reports == 2

@@ -1,0 +1,96 @@
+"""NetSeer loss events: record format, coalescing, export."""
+
+import pytest
+
+from repro.core import packets
+from repro.core.reporter import Reporter
+from repro.telemetry.netseer import DropReason, LossEvent, NetSeerSwitch
+
+
+@pytest.fixture
+def capture():
+    sent = []
+    reporter = Reporter("sw", 3,
+                        transmit=lambda raw: sent.append(
+                            packets.decode_report(raw)))
+    return reporter, sent
+
+
+FLOW = b"F" * 13
+
+
+class TestRecordFormat:
+    def test_pack_is_18_bytes(self):
+        event = LossEvent(flow_key=FLOW, switch_id=7,
+                          reason=DropReason.QUEUE_OVERFLOW, count=3)
+        assert len(event.pack()) == LossEvent.RECORD_BYTES
+
+    def test_roundtrip(self):
+        event = LossEvent(flow_key=FLOW, switch_id=900,
+                          reason=DropReason.TTL_EXPIRED, count=12)
+        assert LossEvent.unpack(event.pack()) == event
+
+    def test_bad_key_length_rejected(self):
+        with pytest.raises(ValueError):
+            LossEvent(flow_key=b"short", switch_id=1,
+                      reason=DropReason.ACL_DENY).pack()
+
+    def test_truncated_unpack_rejected(self):
+        with pytest.raises(ValueError):
+            LossEvent.unpack(b"\x00" * 10)
+
+
+class TestCoalescing:
+    def test_export_after_coalesce_cap(self, capture):
+        reporter, sent = capture
+        switch = NetSeerSwitch(reporter, switch_id=7, coalesce=4)
+        for _ in range(4):
+            switch.observe_drop(FLOW)
+        assert switch.events_exported == 1
+        (header, op), = sent
+        event = LossEvent.unpack(op.data)
+        assert event.count == 4
+        assert event.switch_id == 7
+
+    def test_exported_as_essential(self, capture):
+        reporter, sent = capture
+        switch = NetSeerSwitch(reporter, switch_id=7, coalesce=1)
+        switch.observe_drop(FLOW)
+        (header, _op), = sent
+        assert header.essential
+
+    def test_distinct_reasons_not_coalesced(self, capture):
+        reporter, sent = capture
+        switch = NetSeerSwitch(reporter, switch_id=7, coalesce=2)
+        switch.observe_drop(FLOW, DropReason.QUEUE_OVERFLOW)
+        switch.observe_drop(FLOW, DropReason.ACL_DENY)
+        assert switch.events_exported == 0  # neither group full
+
+    def test_flush_exports_pending(self, capture):
+        reporter, sent = capture
+        switch = NetSeerSwitch(reporter, switch_id=7, coalesce=100)
+        switch.observe_drop(FLOW)
+        switch.observe_drop(FLOW, DropReason.ACL_DENY)
+        switch.flush()
+        assert switch.events_exported == 2
+        assert switch.drops_observed == 2
+
+    def test_end_to_end_into_append_list(self):
+        """18B loss events land in a matching Append store (Table 2)."""
+        from repro.core.collector import Collector
+        from repro.core.translator import Translator
+
+        col = Collector()
+        col.serve_append(lists=4, capacity=64, data_bytes=18,
+                         batch_size=2)
+        tr = Translator()
+        col.connect_translator(tr)
+        reporter = Reporter("sw2", 9, transmit=tr.handle_report)
+        switch = NetSeerSwitch(reporter, switch_id=5, loss_list=3,
+                               coalesce=1)
+        switch.observe_drop(FLOW)
+        switch.observe_drop(FLOW, DropReason.TTL_EXPIRED)
+        entries = col.list_poller(3).poll()
+        assert len(entries) == 2
+        decoded = LossEvent.unpack(entries[0])
+        assert decoded.flow_key == FLOW

@@ -1,0 +1,80 @@
+"""TurboFlow microflow cache: eviction exports via Key-Increment."""
+
+import pytest
+
+from repro.core import packets
+from repro.core.reporter import Reporter
+from repro.telemetry.turboflow import TurboFlowCache
+
+
+@pytest.fixture
+def capture():
+    sent = []
+    reporter = Reporter("sw", 4,
+                        transmit=lambda raw: sent.append(
+                            packets.decode_report(raw)))
+    return reporter, sent
+
+
+class TestCache:
+    def test_no_export_without_collision(self, capture):
+        reporter, sent = capture
+        cache = TurboFlowCache(reporter, slots=1024)
+        for _ in range(10):
+            cache.process(b"flow-one" + b"\x00" * 5, 100)
+        assert sent == []
+        assert cache.occupancy == 1
+
+    def test_collision_exports_old_record(self, capture):
+        reporter, sent = capture
+        cache = TurboFlowCache(reporter, slots=1)  # everything collides
+        cache.process(b"A" * 13, 100)
+        cache.process(b"A" * 13, 100)
+        cache.process(b"B" * 13, 100)  # evicts A with 2 packets
+        (header, op), = sent
+        assert header.primitive == packets.DtaPrimitive.KEY_INCREMENT
+        assert op.key == b"A" * 13
+        assert op.value == 2
+        assert cache.evictions == 1
+
+    def test_flush_exports_everything(self, capture):
+        reporter, sent = capture
+        cache = TurboFlowCache(reporter, slots=64)
+        cache.process(b"X" * 13, 100)
+        cache.process(b"Y" * 13, 100)
+        cache.flush()
+        assert len(sent) == 2
+        assert cache.occupancy == 0
+
+    def test_bytes_tracked(self, capture):
+        reporter, sent = capture
+        cache = TurboFlowCache(reporter, slots=64)
+        cache.process(b"X" * 13, 1500)
+        cache.process(b"X" * 13, 500)
+        cache.flush()
+        assert cache.packets_seen == 2
+
+    def test_invalid_slots_rejected(self, capture):
+        reporter, _ = capture
+        with pytest.raises(ValueError):
+            TurboFlowCache(reporter, slots=0)
+
+    def test_counters_aggregate_at_collector(self):
+        """Partial counters from multiple evictions sum in the CMS."""
+        from repro.core.collector import Collector
+        from repro.core.translator import Translator
+
+        col = Collector()
+        col.serve_keyincrement(slots_per_row=512, rows=4)
+        tr = Translator()
+        col.connect_translator(tr)
+        reporter = Reporter("sw", 1, transmit=tr.handle_report)
+        cache = TurboFlowCache(reporter, slots=1, redundancy=4)
+        for _ in range(3):
+            cache.process(b"M" * 13, 100)
+        cache.process(b"N" * 13, 100)   # evict M(3)
+        for _ in range(2):
+            cache.process(b"M" * 13, 100)  # evicts N(1), M back with 2
+        cache.flush()                       # exports M(2)
+        assert col.query_counter(b"M" * 13) == 5
+        assert col.query_counter(b"N" * 13) == 1

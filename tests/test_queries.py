@@ -1,0 +1,129 @@
+"""Operator query layer: tracing, loss ledger, heavy hitters."""
+
+import struct
+
+import pytest
+
+from repro.core.collector import Collector
+from repro.core.reporter import Reporter
+from repro.core.translator import Translator
+from repro.queries import (
+    FlowHealthReport,
+    HeavyHitterScan,
+    LossLedger,
+    PathTracer,
+)
+from repro.telemetry.netseer import DropReason, LossEvent, NetSeerSwitch
+
+FLOW = b"Q" * 13
+
+
+@pytest.fixture
+def rig():
+    col = Collector()
+    col.serve_keywrite(slots=4096, data_bytes=20)
+    col.serve_postcarding(chunks=2048, value_set=range(256),
+                          cache_slots=256)
+    col.serve_append(lists=2, capacity=256,
+                     data_bytes=LossEvent.RECORD_BYTES, batch_size=1)
+    col.serve_keyincrement(slots_per_row=1024, rows=4)
+    col.serve_sketch(width=64, depth=4, expected_reporters=1,
+                     batch_columns=64)
+    tr = Translator()
+    col.connect_translator(tr)
+    rep = Reporter("sw", 1, transmit=tr.handle_report)
+    return col, tr, rep
+
+
+class TestPathTracer:
+    def test_prefers_postcarding(self, rig):
+        col, tr, rep = rig
+        for hop, sw in enumerate([10, 20, 30]):
+            rep.postcard(FLOW, hop, sw, path_length=3)
+        result = PathTracer(col).trace(FLOW)
+        assert result.found
+        assert result.path == [10, 20, 30]
+        assert result.source == "postcarding"
+
+    def test_falls_back_to_keywrite(self, rig):
+        col, tr, rep = rig
+        payload = struct.pack(">5I", 1, 2, 3, 0, 0)  # 3-hop, padded
+        rep.key_write(FLOW, payload, redundancy=2)
+        result = PathTracer(col).trace(FLOW)
+        assert result.source == "key_write"
+        assert result.path == [1, 2, 3]
+
+    def test_missing_flow(self, rig):
+        col, tr, rep = rig
+        result = PathTracer(col).trace(b"nobody-home!!")
+        assert not result.found
+        assert result.source == "missing"
+
+    def test_trace_many(self, rig):
+        col, tr, rep = rig
+        rep.postcard(FLOW, 0, 5, path_length=1)
+        results = PathTracer(col).trace_many([FLOW, b"missing-here!"])
+        assert results[FLOW].found
+        assert not results[b"missing-here!"].found
+
+
+class TestLossLedger:
+    def test_aggregates_by_switch_reason_flow(self, rig):
+        col, tr, rep = rig
+        switch = NetSeerSwitch(rep, switch_id=7, loss_list=0, coalesce=1)
+        for _ in range(3):
+            switch.observe_drop(FLOW, DropReason.QUEUE_OVERFLOW)
+        switch.observe_drop(b"B" * 13, DropReason.ACL_DENY)
+        ledger = LossLedger(col, list_id=0)
+        assert ledger.refresh() == 4
+        assert ledger.summary.total_drops == 4
+        assert ledger.summary.by_switch[7] == 4
+        assert ledger.summary.by_reason["QUEUE_OVERFLOW"] == 3
+        assert ledger.summary.top_flows(1)[0] == (FLOW, 3)
+
+    def test_refresh_is_incremental(self, rig):
+        col, tr, rep = rig
+        switch = NetSeerSwitch(rep, switch_id=7, loss_list=0, coalesce=1)
+        ledger = LossLedger(col, list_id=0)
+        switch.observe_drop(FLOW)
+        assert ledger.refresh() == 1
+        assert ledger.refresh() == 0
+        switch.observe_drop(FLOW)
+        assert ledger.refresh() == 1
+        assert ledger.summary.total_drops == 2
+
+
+class TestHeavyHitterScan:
+    def test_threshold_and_ordering(self, rig):
+        col, tr, rep = rig
+        from repro.sketches.countmin import CountMinSketch
+
+        sketch = CountMinSketch(width=64, depth=4)
+        for _ in range(50):
+            sketch.update(b"elephant")
+        for _ in range(5):
+            sketch.update(b"mouse")
+        for index, column in sketch.columns():
+            rep.sketch_column(0, index, column)
+
+        scan = HeavyHitterScan(col)
+        hits = scan.heavy_hitters([b"elephant", b"mouse", b"ghost"],
+                                  threshold=20)
+        assert [key for key, _ in hits] == [b"elephant"]
+        assert scan.estimate(b"elephant") >= 50
+
+    def test_requires_sketch_service(self):
+        col = Collector()
+        with pytest.raises(RuntimeError):
+            HeavyHitterScan(col)
+
+
+class TestFlowHealth:
+    def test_combined_report(self, rig):
+        col, tr, rep = rig
+        rep.postcard(FLOW, 0, 42, path_length=1)
+        rep.key_increment(FLOW, 9, redundancy=4)
+        report = FlowHealthReport(col).report(FLOW)
+        assert report["path"] == [42]
+        assert report["counter"] == 9
+        assert report["path_source"] == "postcarding"

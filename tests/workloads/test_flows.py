@@ -1,0 +1,68 @@
+"""Flow generation: shapes, determinism, keys."""
+
+import pytest
+
+from repro.workloads.flows import Flow, FlowGenerator, five_tuple_key
+
+
+class TestFlowGenerator:
+    def test_deterministic_for_seed(self):
+        a = FlowGenerator(seed=5).flows(50)
+        b = FlowGenerator(seed=5).flows(50)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = FlowGenerator(seed=1).flows(20)
+        b = FlowGenerator(seed=2).flows(20)
+        assert a != b
+
+    def test_mostly_mice(self):
+        flows = FlowGenerator(seed=3).flows(2000)
+        mice = sum(1 for f in flows if f.packets <= 10)
+        assert 0.7 < mice / len(flows) < 0.9
+
+    def test_heavy_tail_exists(self):
+        flows = FlowGenerator(seed=4).flows(5000)
+        assert max(f.packets for f in flows) > 100
+
+    def test_sizes_bounded(self):
+        flows = FlowGenerator(seed=5, max_packets=1000).flows(5000)
+        assert all(1 <= f.packets <= 1000 for f in flows)
+        assert all(64 <= f.avg_packet_bytes <= 1500 for f in flows)
+
+    def test_ips_in_host_pool(self):
+        gen = FlowGenerator(seed=6, hosts=100)
+        flows = gen.flows(100)
+        for flow in flows:
+            assert (flow.src_ip >> 24) == 10
+            assert (flow.src_ip & 0xFFFFFF) < 100
+
+    def test_keys_are_13_bytes(self):
+        for key in FlowGenerator(seed=7).keys(20):
+            assert len(key) == 13
+
+    def test_protocols_mostly_tcp(self):
+        flows = FlowGenerator(seed=8).flows(1000)
+        tcp = sum(1 for f in flows if f.protocol == 6)
+        assert tcp / len(flows) > 0.8
+
+
+class TestFlowKey:
+    def test_key_roundtrip_fields(self):
+        import struct
+
+        flow = Flow(src_ip=0x0A000001, dst_ip=0x0A000002, src_port=1234,
+                    dst_port=443, protocol=6, packets=10,
+                    avg_packet_bytes=100)
+        unpacked = struct.unpack(">IIHHB", flow.key)
+        assert unpacked == (0x0A000001, 0x0A000002, 1234, 443, 6)
+
+    def test_helper_matches_flow_key(self):
+        flow = Flow(src_ip=1, dst_ip=2, src_port=3, dst_port=4,
+                    protocol=17, packets=1, avg_packet_bytes=64)
+        assert five_tuple_key(1, 2, 3, 4, 17) == flow.key
+
+    def test_bytes_total(self):
+        flow = Flow(src_ip=1, dst_ip=2, src_port=3, dst_port=4,
+                    protocol=6, packets=10, avg_packet_bytes=100)
+        assert flow.bytes_total == 1000

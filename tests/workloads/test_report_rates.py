@@ -1,0 +1,64 @@
+"""Table 1 report-rate models."""
+
+import pytest
+
+from repro import calibration
+from repro.workloads.report_rates import (
+    int_postcard_rate,
+    network_report_rate,
+    switch_packet_rate,
+    table1_rows,
+)
+
+
+class TestSwitchPacketRate:
+    def test_headline_packet_rate(self):
+        """6.4 Tbps at 40% load with ~850B packets ~ 376 Mpps."""
+        rate = switch_packet_rate()
+        assert rate == pytest.approx(376e6, rel=0.01)
+
+    def test_scales_with_load(self):
+        assert switch_packet_rate(load=0.8) == pytest.approx(
+            2 * switch_packet_rate(load=0.4))
+
+    def test_invalid_load(self):
+        with pytest.raises(ValueError):
+            switch_packet_rate(load=0.0)
+        with pytest.raises(ValueError):
+            switch_packet_rate(load=1.5)
+
+
+class TestTable1:
+    def test_int_postcards_about_19mpps(self):
+        assert int_postcard_rate() == pytest.approx(19e6, rel=0.02)
+
+    def test_invalid_sampling(self):
+        with pytest.raises(ValueError):
+            int_postcard_rate(sampling=0)
+
+    def test_rows_match_paper(self):
+        rows = {(r.system, r.scenario): r.mpps for r in table1_rows()}
+        assert rows[("Marple", "TCP out-of-sequence")] == 6.72
+        assert rows[("Marple", "Packet counters")] == 4.29
+        assert rows[("NetSeer", "Flow events")] == 0.95
+        int_row = rows[("INT Postcards",
+                        "Per-hop latency, 0.5% sampling")]
+        assert int_row == pytest.approx(19.0, rel=0.02)
+
+    def test_ordering_matches_paper(self):
+        """INT > Marple oos > Marple counters > NetSeer."""
+        rates = [r.reports_per_second for r in table1_rows()]
+        assert rates == sorted(rates, reverse=True)
+
+
+class TestNetworkScale:
+    def test_billions_at_datacenter_scale(self):
+        """Section 2.1: even NetSeer generates billions of reports/s
+        across hundreds of thousands of switches."""
+        netseer = table1_rows()[-1]
+        total = network_report_rate(200_000, netseer)
+        assert total > 1e9
+
+    def test_invalid_switch_count(self):
+        with pytest.raises(ValueError):
+            network_report_rate(0, table1_rows()[0])

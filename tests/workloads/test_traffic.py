@@ -1,0 +1,63 @@
+"""Packet traces: ordering, loss injection, determinism."""
+
+import pytest
+
+from repro.workloads.flows import FlowGenerator
+from repro.workloads.traffic import PacketTrace
+
+
+class TestPacketTrace:
+    def test_timestamps_sorted(self):
+        trace = PacketTrace.synthetic(50, seed=1)
+        packets = list(trace.packets())
+        times = [p.timestamp for p in packets]
+        assert times == sorted(times)
+
+    def test_packet_count_matches_flows(self):
+        flows = FlowGenerator(seed=2).flows(30)
+        trace = PacketTrace(flows, seed=3)
+        expected = sum(f.packets for f in flows)
+        assert len(list(trace.packets())) == expected
+
+    def test_no_loss_no_retransmissions(self):
+        trace = PacketTrace.synthetic(30, seed=4, loss_rate=0.0)
+        assert not any(p.is_retransmission for p in trace.packets())
+
+    def test_loss_injects_retransmissions(self):
+        trace = PacketTrace.synthetic(30, seed=5, loss_rate=0.3)
+        packets = list(trace.packets())
+        retx = sum(1 for p in packets if p.is_retransmission)
+        originals = len(packets) - retx
+        assert 0.2 < retx / originals < 0.4
+
+    def test_retransmission_repeats_sequence(self):
+        trace = PacketTrace.synthetic(10, seed=6, loss_rate=0.5)
+        packets = list(trace.packets())
+        seqs = {(p.flow_key, p.seq) for p in packets
+                if not p.is_retransmission}
+        for p in packets:
+            if p.is_retransmission:
+                assert (p.flow_key, p.seq) in seqs
+
+    def test_sequence_numbers_are_byte_offsets(self):
+        flows = FlowGenerator(seed=7).flows(1)
+        trace = PacketTrace(flows, seed=8)
+        by_flow = [p for p in trace.packets() if not p.is_retransmission]
+        by_flow.sort(key=lambda p: p.seq)
+        offset = 0
+        for p in by_flow:
+            assert p.seq == offset
+            offset += p.size
+
+    def test_deterministic(self):
+        a = list(PacketTrace.synthetic(20, seed=9).packets())
+        b = list(PacketTrace.synthetic(20, seed=9).packets())
+        assert a == b
+
+    def test_invalid_loss_rejected(self):
+        with pytest.raises(ValueError):
+            PacketTrace([], loss_rate=1.0)
+
+    def test_sizes_in_ethernet_range(self):
+        trace = PacketTrace.synthetic(40, seed=10)
+        assert all(64 <= p.size <= 1500 for p in trace.packets())
