@@ -8,6 +8,7 @@
     python -m repro redundancy --load 0.5    # optimal N at a load
     python -m repro footprint                # Table 3 / Fig. 7 tables
     python -m repro rates                    # Table 1 report rates
+    python -m repro stats --loss 0.05        # obs registry after a sim
 """
 
 from __future__ import annotations
@@ -136,6 +137,66 @@ def _cmd_footprint(args) -> int:
     return 0
 
 
+def _cmd_stats(args) -> int:
+    """Run a fabric-mode deployment, then dump the obs registry."""
+    import struct
+
+    from repro import obs
+    from repro.core.collector import Collector
+    from repro.core.reporter import Reporter
+    from repro.core.translator import Translator
+    from repro.fabric.topology import Topology
+
+    if args.reporters < 1:
+        print("error: --reporters must be >= 1", file=sys.stderr)
+        return 2
+    if not 0.0 <= args.loss < 1.0:
+        print("error: --loss must be a probability in [0, 1)",
+              file=sys.stderr)
+        return 2
+    # A fresh registry so the dump shows exactly this run.
+    registry = obs.Registry()
+    previous = obs.set_registry(registry)
+    try:
+        collector = Collector()
+        collector.serve_keywrite(slots=1 << 14, data_bytes=4)
+        collector.serve_append(lists=2, capacity=1 << 12, data_bytes=4,
+                               batch_size=8)
+        collector.serve_keyincrement(slots_per_row=1 << 10, rows=4)
+        translator = Translator()
+        reporters = [Reporter(f"r{i}", i, translator="translator")
+                     for i in range(args.reporters)]
+        topo = Topology.dta_star(reporters, translator, collector,
+                                 reporter_loss=args.loss, seed=args.seed)
+        collector.connect_translator(translator, fabric=True)
+
+        for i in range(args.reports):
+            reporter = reporters[i % len(reporters)]
+            key = struct.pack(">I", i)
+            reporter.key_write(key, struct.pack(">I", i * 2), redundancy=2)
+            reporter.key_increment(key[2:], 1, redundancy=2)
+            reporter.append(i % 2, key, essential=True)
+            if i % 64 == 63:
+                topo.sim.run()   # interleave NACK traffic with reports
+        topo.sim.run()
+        translator.flush_appends()
+        topo.sim.run()
+
+        snapshot = registry.snapshot()
+        if args.json:
+            print(obs.to_jsonl(snapshot, events=registry.events))
+        else:
+            print(f"{args.reports} reports x {args.reporters} reporters, "
+                  f"link loss {args.loss:.1%}, seed {args.seed}\n")
+            print(obs.render_table(snapshot, skip_zero=not args.all))
+            if args.events:
+                print(f"\nlast {args.events} trace events:")
+                print(obs.render_events(registry, last=args.events))
+    finally:
+        obs.set_registry(previous)
+    return 0
+
+
 def _cmd_rates(args) -> int:
     from repro.workloads.report_rates import network_report_rate, table1_rows
 
@@ -203,6 +264,23 @@ def build_parser() -> argparse.ArgumentParser:
     rates = sub.add_parser("rates", help="Table 1 report rates")
     rates.add_argument("--switches", type=int, default=200_000)
     rates.set_defaults(fn=_cmd_rates)
+
+    stats = sub.add_parser(
+        "stats", help="run a simulation, dump the metrics registry")
+    stats.add_argument("--reports", type=int, default=512,
+                       help="reports per primitive to drive")
+    stats.add_argument("--reporters", type=int, default=2,
+                       help="reporter switches in the star")
+    stats.add_argument("--loss", type=float, default=0.0,
+                       help="reporter-link loss probability")
+    stats.add_argument("--seed", type=int, default=0)
+    stats.add_argument("--json", action="store_true",
+                       help="JSON-lines instead of the table")
+    stats.add_argument("--all", action="store_true",
+                       help="include zero-valued series in the table")
+    stats.add_argument("--events", type=int, default=0, metavar="N",
+                       help="also print the last N trace events")
+    stats.set_defaults(fn=_cmd_stats)
     return parser
 
 

@@ -125,15 +125,9 @@ class ClusterReporter:
     @property
     def stats(self):
         """Aggregated emission statistics across all destinations."""
-        from repro.core.reporter import ReporterStats
+        from repro.obs import aggregate
 
-        total = ReporterStats()
-        for reporter in self.reporters:
-            for field_name in vars(total):
-                setattr(total, field_name,
-                        getattr(total, field_name)
-                        + getattr(reporter.stats, field_name))
-        return total
+        return aggregate([reporter.stats for reporter in self.reporters])
 
 
 class CollectorCluster:

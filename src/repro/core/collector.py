@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro import calibration
+from repro.obs.views import InstrumentedStats, counter_field
 from repro.core.stores.append import AppendLayout, AppendStore, ListPoller
 from repro.core.stores.keyincrement import (
     KeyIncrementLayout,
@@ -56,12 +57,30 @@ class Notification:
         return cls(primitive=imm >> 16, reporter_id=imm & 0xFFFF)
 
 
+class CollectorStats(InstrumentedStats):
+    """CPU-side activity: queries answered, interrupts drained.
+
+    The data plane deliberately has nothing to count here — reports
+    land via RDMA without collector CPU involvement, which is the
+    paper's headline claim; these counters prove the CPU only ever
+    works when *asked* something.
+    """
+
+    component = "collector"
+
+    queries_value = counter_field()
+    queries_path = counter_field()
+    queries_counter = counter_field()
+    notifications_drained = counter_field()
+
+
 class Collector(Node):
     """A collector host: one RDMA NIC, several primitive services."""
 
     def __init__(self, name: str = "collector",
                  nic: Nic | None = None) -> None:
         super().__init__(name)
+        self.stats = CollectorStats(labels={"node": name})
         self.nic = nic or Nic(f"{name}-nic")
         self.cm = CmListener(self.nic)
         self.keywrite: KeyWriteStore | None = None
@@ -257,6 +276,7 @@ class Collector(Node):
         """Postcarding query: the traced path for a flow key."""
         if self.postcarding is None:
             raise RuntimeError("postcarding service not provisioned")
+        self.stats.queries_path += 1
         return self.postcarding.query(key, redundancy=redundancy)
 
     def query_value(self, key: bytes, *, redundancy: int | None = None,
@@ -264,6 +284,7 @@ class Collector(Node):
         """Key-Write query: the latest value reported for a key."""
         if self.keywrite is None:
             raise RuntimeError("key-write service not provisioned")
+        self.stats.queries_value += 1
         return self.keywrite.query(key, redundancy=redundancy,
                                    consensus=consensus)
 
@@ -272,6 +293,7 @@ class Collector(Node):
         """Key-Increment query: CMS point estimate for a key."""
         if self.keyincrement is None:
             raise RuntimeError("key-increment service not provisioned")
+        self.stats.queries_counter += 1
         return self.keyincrement.query(key, redundancy=redundancy)
 
     def list_poller(self, list_id: int) -> ListPoller:
@@ -293,4 +315,5 @@ class Collector(Node):
                 wc = qp.completions.popleft()
                 if wc.imm is not None:
                     out.append(Notification.from_imm(wc.imm))
+        self.stats.notifications_drained += len(out)
         return out

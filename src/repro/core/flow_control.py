@@ -8,24 +8,46 @@ the reporter to re-send from its local backup.  Reporters keep the most
 recent essential reports in a bounded backup buffer (switch SRAM or
 switch-CPU memory, Section 4.1) — reports evicted before a NACK arrives
 are permanently lost and counted as such.
+
+The on-wire sequence counter is 32 bits (see
+:class:`repro.core.packets.DtaHeader`), so all sequence arithmetic here
+is modulo :data:`SEQ_MOD` — a long-lived reporter wraps after 4G
+essential reports and loss detection must keep working across the wrap,
+exactly like RoCE PSNs.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
 
 from repro.core.packets import Nack
+from repro.obs.views import InstrumentedStats, counter_field
+
+#: The essential-report counter is a 32-bit wire field; all sequence
+#: comparisons are modular with this modulus.
+SEQ_MOD = 1 << 32
 
 
-@dataclass
-class LossDetectorStats:
+def seq_distance(seq: int, reference: int) -> int:
+    """Forward modular distance from ``reference`` to ``seq``.
+
+    Values above ``SEQ_MOD // 2`` mean ``seq`` is *behind* the
+    reference (a stale/duplicate report), mirroring RoCE PSN rules.
+    """
+    return (seq - reference) % SEQ_MOD
+
+
+class LossDetectorStats(InstrumentedStats):
     """Translator-side loss accounting."""
 
-    reports_checked: int = 0
-    losses_detected: int = 0
-    nacks_sent: int = 0
-    retransmits_accepted: int = 0
+    component = "loss_detector"
+
+    reports_checked = counter_field()
+    losses_detected = counter_field()
+    nacks_sent = counter_field()
+    retransmits_accepted = counter_field()
+    duplicate_retransmits = counter_field()
+    stale_duplicates = counter_field()
 
 
 class LossDetector:
@@ -36,10 +58,15 @@ class LossDetector:
     instead generate a DTA NACK which is bounced back to the reporter."
     """
 
-    def __init__(self, max_reporters: int = 65536) -> None:
+    def __init__(self, max_reporters: int = 65536, *,
+                 labels: dict | None = None) -> None:
         self.max_reporters = max_reporters
         self._expected: dict[int, int] = {}
-        self.stats = LossDetectorStats()
+        # Seqs NACKed and awaiting retransmission, per reporter — the
+        # ledger that lets duplicate retransmits be told apart from
+        # first-time recoveries (duplicate-accounting fix).
+        self._awaiting: dict[int, set[int]] = {}
+        self.stats = LossDetectorStats(labels=labels)
 
     def check(self, reporter_id: int, seq: int,
               *, retransmit: bool = False) -> Nack | None:
@@ -53,7 +80,18 @@ class LossDetector:
         self.stats.reports_checked += 1
         if retransmit:
             # Re-sent reports bypass sequencing (they fill old gaps).
-            self.stats.retransmits_accepted += 1
+            awaiting = self._awaiting.get(reporter_id)
+            if awaiting is not None and seq in awaiting:
+                awaiting.discard(seq)
+                if not awaiting:
+                    del self._awaiting[reporter_id]
+                self.stats.retransmits_accepted += 1
+            else:
+                # A retransmit nobody asked for (duplicated NACK or a
+                # re-send raced with another): count it separately so
+                # `retransmits_accepted` balances against actual NACK
+                # coverage instead of inflating with every duplicate.
+                self.stats.duplicate_retransmits += 1
             return None
         if reporter_id not in self._expected:
             if len(self._expected) >= self.max_reporters:
@@ -61,35 +99,41 @@ class LossDetector:
                     f"loss detector provisioned for {self.max_reporters} "
                     "reporters")
             # First contact: accept whatever counter the reporter is at.
-            self._expected[reporter_id] = seq + 1
+            self._expected[reporter_id] = (seq + 1) % SEQ_MOD
             return None
         expected = self._expected[reporter_id]
-        if seq == expected:
-            self._expected[reporter_id] = seq + 1
+        distance = seq_distance(seq, expected)
+        if distance == 0:
+            self._expected[reporter_id] = (seq + 1) % SEQ_MOD
             return None
-        if seq < expected:
+        if distance > SEQ_MOD // 2:
             # Stale duplicate (e.g. reordering); process it — the data
             # structures tolerate re-writes.
+            self.stats.stale_duplicates += 1
             return None
         # Gap: [expected, seq] never arrived (seq itself is aborted).
-        missing = seq - expected + 1
+        missing = distance + 1
         self.stats.losses_detected += missing - 1
         self.stats.nacks_sent += 1
-        self._expected[reporter_id] = seq + 1
+        awaiting = self._awaiting.setdefault(reporter_id, set())
+        for i in range(missing):
+            awaiting.add((expected + i) % SEQ_MOD)
+        self._expected[reporter_id] = (seq + 1) % SEQ_MOD
         return Nack(expected_seq=expected, missing=missing)
 
     def expected_seq(self, reporter_id: int) -> int | None:
         return self._expected.get(reporter_id)
 
 
-@dataclass
-class BackupStats:
+class BackupStats(InstrumentedStats):
     """Reporter-side backup accounting."""
 
-    stored: int = 0
-    evicted: int = 0
-    retransmitted: int = 0
-    unavailable: int = 0
+    component = "backup"
+
+    stored = counter_field()
+    evicted = counter_field()
+    retransmitted = counter_field()
+    unavailable = counter_field()
 
 
 class ReportBackup:
@@ -99,26 +143,32 @@ class ReportBackup:
     reporter; older entries are evicted FIFO.
     """
 
-    def __init__(self, capacity: int = 256) -> None:
+    def __init__(self, capacity: int = 256, *,
+                 labels: dict | None = None) -> None:
         if capacity <= 0:
             raise ValueError("backup capacity must be positive")
         self.capacity = capacity
         self._buf: "OrderedDict[int, bytes]" = OrderedDict()
-        self.stats = BackupStats()
+        self.stats = BackupStats(labels=labels)
 
     def store(self, seq: int, raw: bytes) -> None:
         """Retain an essential report until it is presumed delivered."""
-        self._buf[seq] = raw
+        self._buf[seq % SEQ_MOD] = raw
         self.stats.stored += 1
         while len(self._buf) > self.capacity:
             self._buf.popitem(last=False)
             self.stats.evicted += 1
 
     def fetch(self, nack: Nack) -> list:
-        """Reports to re-send for a NACK; missing ones are counted lost."""
+        """Reports to re-send for a NACK; missing ones are counted lost.
+
+        The NACKed range may straddle the 32-bit wrap; iteration is
+        modular so ``expected_seq`` near ``SEQ_MOD`` still resolves the
+        post-wrap sequences.
+        """
         out = []
-        for seq in range(nack.expected_seq,
-                         nack.expected_seq + nack.missing):
+        for i in range(nack.missing):
+            seq = (nack.expected_seq + i) % SEQ_MOD
             raw = self._buf.get(seq)
             if raw is None:
                 self.stats.unavailable += 1

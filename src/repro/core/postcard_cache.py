@@ -19,6 +19,8 @@ from dataclasses import dataclass
 
 import zlib
 
+from repro.obs.views import InstrumentedStats, counter_field
+
 
 @dataclass
 class Emission:
@@ -30,12 +32,13 @@ class Emission:
     reason: str             # "complete" | "collision"
 
 
-@dataclass
-class CacheStats:
-    postcards: int = 0
-    emissions_complete: int = 0
-    emissions_early: int = 0
-    duplicates: int = 0
+class CacheStats(InstrumentedStats):
+    component = "postcard_cache"
+
+    postcards = counter_field()
+    emissions_complete = counter_field()
+    emissions_early = counter_field()
+    duplicates = counter_field()
 
     @property
     def aggregated_fraction(self) -> float:
@@ -62,13 +65,14 @@ class PostcardCache:
         hops: B, the maximum postcards per flow.
     """
 
-    def __init__(self, slots: int = 32 * 1024, hops: int = 5) -> None:
+    def __init__(self, slots: int = 32 * 1024, hops: int = 5, *,
+                 labels: dict | None = None) -> None:
         if slots <= 0 or hops <= 0:
             raise ValueError("slots and hops must be positive")
         self.slots = slots
         self.hops = hops
         self._rows: list[_Row | None] = [None] * slots
-        self.stats = CacheStats()
+        self.stats = CacheStats(labels=labels)
         #: Collision emissions displaced by an insert whose new row
         #: completed immediately; drained by the caller alongside the
         #: returned emission.

@@ -12,10 +12,11 @@ raised).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections import OrderedDict
 
+from repro import obs
 from repro.core import packets
-from repro.core.flow_control import ReportBackup
+from repro.core.flow_control import SEQ_MOD, ReportBackup
 from repro.core.packets import (
     Append,
     CongestionSignal,
@@ -31,14 +32,16 @@ from repro.core.transport import CtrlFrame, DtaFrame
 from repro.fabric.topology import Node
 
 
-@dataclass
-class ReporterStats:
-    reports_sent: int = 0
-    essential_sent: int = 0
-    shed_by_congestion: int = 0
-    nacks_received: int = 0
-    retransmitted: int = 0
-    lost_forever: int = 0
+class ReporterStats(obs.InstrumentedStats):
+    component = "reporter"
+
+    reports_sent = obs.counter_field()
+    essential_sent = obs.counter_field()
+    shed_by_congestion = obs.counter_field()
+    nacks_received = obs.counter_field()
+    duplicate_nacks = obs.counter_field()
+    retransmitted = obs.counter_field()
+    lost_forever = obs.counter_field()
 
 
 class Reporter(Node):
@@ -65,10 +68,16 @@ class Reporter(Node):
         self.reporter_id = reporter_id
         self.translator = translator
         self.transmit = transmit
-        self.backup = ReportBackup(backup_capacity)
-        self.stats = ReporterStats()
+        self.backup = ReportBackup(backup_capacity,
+                                   labels={"node": name})
+        self.stats = ReporterStats(labels={"node": name})
         self.congestion_level = 0
         self._seq = 0
+        # Recently served NACK identities: an identical NACK can only
+        # be a duplicate (the translator advances its expected counter
+        # past every gap it NACKs), so re-serving it would double-count
+        # retransmissions and permanent losses.
+        self._served_nacks: "OrderedDict[tuple, None]" = OrderedDict()
 
     # ------------------------------------------------------------------
     # Emission API — one method per DTA primitive
@@ -134,7 +143,9 @@ class Reporter(Node):
         seq = 0
         if essential:
             seq = self._seq
-            self._seq += 1
+            # The wire counter is 32 bits; long-lived reporters wrap
+            # (loss detection is modular, see flow_control.SEQ_MOD).
+            self._seq = (self._seq + 1) % SEQ_MOD
         raw = packets.make_report(operation, reporter_id=self.reporter_id,
                                   seq=seq, flags=flags)
         if essential:
@@ -176,11 +187,28 @@ class Reporter(Node):
         """Re-send backed-up reports covered by a NACK.
 
         Returns the number retransmitted; reports already evicted from
-        the backup are lost for good and counted.
+        the backup are lost for good and counted.  A NACK identical to
+        one already served is a duplicate (the translator never NACKs
+        the same gap twice) and is dropped, so duplicated control
+        traffic cannot inflate retransmission or loss counters.
         """
         self.stats.nacks_received += 1
+        identity = (nack.expected_seq, nack.missing)
+        if identity in self._served_nacks:
+            self.stats.duplicate_nacks += 1
+            obs.emit("reporter", "duplicate_nack", node=self.name,
+                     expected_seq=nack.expected_seq,
+                     missing=nack.missing)
+            return 0
+        self._served_nacks[identity] = None
+        while len(self._served_nacks) > self.backup.capacity:
+            self._served_nacks.popitem(last=False)
         available = self.backup.fetch(nack)
-        self.stats.lost_forever += nack.missing - len(available)
+        lost = nack.missing - len(available)
+        self.stats.lost_forever += lost
+        if lost:
+            obs.emit("reporter", "reports_lost_forever", node=self.name,
+                     count=lost, expected_seq=nack.expected_seq)
         for _seq, raw in available:
             header = packets.DtaHeader.unpack(raw)
             resent = packets.DtaHeader(
@@ -194,6 +222,9 @@ class Reporter(Node):
 
     def handle_congestion(self, signal: CongestionSignal) -> None:
         """Raise the local shedding level (reset via :meth:`relax`)."""
+        if signal.level > self.congestion_level:
+            obs.emit("reporter", "congestion_raised", node=self.name,
+                     level=signal.level)
         self.congestion_level = max(self.congestion_level, signal.level)
 
     def relax(self) -> None:

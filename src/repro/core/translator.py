@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro import calibration
+from repro import calibration, obs
 from repro.core import packets
 from repro.core.flow_control import LossDetector
 from repro.core.packets import (
@@ -47,29 +47,30 @@ from repro.rdma.verbs import Opcode, WorkRequest
 from repro.switch.meters import Meter, MeterConfig
 
 
-@dataclass
-class TranslatorStats:
+class TranslatorStats(obs.InstrumentedStats):
     """Everything the evaluation wants to count."""
 
-    reports_in: int = 0
-    rdma_writes: int = 0
-    rdma_atomics: int = 0
-    rdma_payload_bytes: int = 0
-    keywrites: int = 0
-    keyincrements: int = 0
-    postcards: int = 0
-    postcard_chunks_complete: int = 0
-    postcard_chunks_early: int = 0
-    appends: int = 0
-    append_batches: int = 0
-    sketch_columns: int = 0
-    sketch_column_nacks: int = 0
-    sketch_batches: int = 0
-    nacks_sent: int = 0
-    congestion_signals: int = 0
-    low_priority_dropped: int = 0
-    rerouted_to_cpu: int = 0
-    immediate_writes: int = 0
+    component = "translator"
+
+    reports_in = obs.counter_field()
+    rdma_writes = obs.counter_field()
+    rdma_atomics = obs.counter_field()
+    rdma_payload_bytes = obs.counter_field()
+    keywrites = obs.counter_field()
+    keyincrements = obs.counter_field()
+    postcards = obs.counter_field()
+    postcard_chunks_complete = obs.counter_field()
+    postcard_chunks_early = obs.counter_field()
+    appends = obs.counter_field()
+    append_batches = obs.counter_field()
+    sketch_columns = obs.counter_field()
+    sketch_column_nacks = obs.counter_field()
+    sketch_batches = obs.counter_field()
+    nacks_sent = obs.counter_field()
+    congestion_signals = obs.counter_field()
+    low_priority_dropped = obs.counter_field()
+    rerouted_to_cpu = obs.counter_field()
+    immediate_writes = obs.counter_field()
 
     @property
     def rdma_messages(self) -> int:
@@ -145,8 +146,8 @@ class Translator(Node):
                  ) -> None:
         super().__init__(name)
         self.client: RdmaClient | None = None
-        self.stats = TranslatorStats()
-        self.loss = LossDetector(max_reporters)
+        self.stats = TranslatorStats(labels={"node": name})
+        self.loss = LossDetector(max_reporters, labels={"node": name})
         self.control_sink = None   # callable(src, raw) in direct mode
         self.cpu_backlog: list = []
         self._kw: _KeyWriteBinding | None = None
@@ -161,7 +162,12 @@ class Translator(Node):
                 committed_rate=rate_limit_mps,
                 committed_burst=max(64.0, rate_limit_mps / 1000),
                 peak_rate=rate_limit_mps * 1.25,
-                peak_burst=max(128.0, rate_limit_mps / 500)))
+                peak_burst=max(128.0, rate_limit_mps / 500)),
+                name=name)
+        self._payload_hist = obs.get_registry().declare_histogram(
+            "translator.rdma_payload_hist", node=name)
+        self._batch_hist = obs.get_registry().declare_histogram(
+            "translator.append_batch_hist", node=name)
         self.now = 0.0
 
     # ------------------------------------------------------------------
@@ -211,7 +217,7 @@ class Translator(Node):
                                        calibration.POSTCARDING_SLOT_PAD_BYTES))
         cache = PostcardCache(slots=p.get("cache_slots",
                                           calibration.POSTCARDING_CACHE_SLOTS),
-                              hops=p["hops"])
+                              hops=p["hops"], labels={"node": self.name})
         self._pc = _PostcardingBinding(layout=layout, rkey=advert.rkey,
                                        cache=cache)
 
@@ -295,6 +301,10 @@ class Translator(Node):
                 retransmit=bool(header.flags & DtaFlags.RETRANSMIT))
             if nack is not None:
                 self.stats.nacks_sent += 1
+                obs.emit("translator", "nack_sent", node=self.name,
+                         reporter=header.reporter_id,
+                         expected_seq=nack.expected_seq,
+                         missing=nack.missing)
                 self._send_control(src, header.reporter_id, nack)
                 return  # processing aborted; the report will be re-sent
 
@@ -344,6 +354,8 @@ class Translator(Node):
             return False
         # RED: signal the reporter to slow down; shed the report.
         self.stats.congestion_signals += 1
+        obs.emit("translator", "congestion_signal", node=self.name,
+                 reporter=header.reporter_id, level=2)
         self._send_control(src, header.reporter_id, CongestionSignal(level=2))
         if header.essential:
             self.cpu_backlog.append(raw)
@@ -388,6 +400,7 @@ class Translator(Node):
         else:
             self.stats.rdma_writes += 1
         self.stats.rdma_payload_bytes += wr.payload_bytes
+        self._payload_hist.observe(wr.payload_bytes)
 
     # -- Key-Write -------------------------------------------------------
 
@@ -483,6 +496,7 @@ class Translator(Node):
                 rkey=ap.rkey, data=payload))
             head += len(chunk)
             self.stats.append_batches += 1
+            self._batch_hist.observe(len(chunk))
         ap.heads[list_id] = head
         ap.batches[list_id] = []
 
@@ -553,6 +567,9 @@ class Translator(Node):
         sm.completed = [False] * width
         sm.next_column.clear()
         sm.next_transfer = 0
+        obs.emit("translator", "sketch_epoch_reset", node=self.name,
+                 sketch_id=sm.sketch_id)
+        obs.get_registry().advance_epoch()
 
     def _transfer_completed_columns(self) -> None:
         """Write batches of w contiguous completed columns."""

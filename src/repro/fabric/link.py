@@ -10,22 +10,23 @@ NACK-based retransmission recovers from on the reporter-translator path.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro import calibration
 from repro.fabric.simulator import Simulator
+from repro.obs.views import InstrumentedStats, counter_field
 
 
-@dataclass
-class LinkStats:
+class LinkStats(InstrumentedStats):
     """Per-link counters."""
 
-    sent: int = 0
-    delivered: int = 0
-    random_drops: int = 0
-    queue_drops: int = 0
-    bytes_sent: int = 0
+    component = "link"
+
+    sent = counter_field()
+    delivered = counter_field()
+    random_drops = counter_field()
+    queue_drops = counter_field()
+    bytes_sent = counter_field()
 
     @property
     def drops(self) -> int:
@@ -59,7 +60,7 @@ class Link:
         self.loss = loss
         self.queue_packets = queue_packets
         self.name = name
-        self.stats = LinkStats()
+        self.stats = LinkStats(labels={"link": name})
         self._rng = random.Random(seed)
         self._busy_until = 0.0
         self._queued = 0

@@ -17,20 +17,23 @@ flow-control handles separately at the reporters).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro import calibration
 from repro.fabric.link import Link, LinkStats
 from repro.fabric.simulator import Simulator
+from repro.obs.views import counter_field
 
 
-@dataclass
 class PfcStats(LinkStats):
-    """Link counters plus pause accounting."""
+    """Link counters plus pause accounting.
 
-    pause_events: int = 0
-    paused_seconds: float = 0.0
+    Shares the ``link.*`` namespace: constructing it rebinds the plain
+    LinkStats series the base initialiser registered for this link.
+    """
+
+    pause_events = counter_field()
+    paused_seconds = counter_field(0.0)
 
 
 class PfcLink(Link):
@@ -60,7 +63,7 @@ class PfcLink(Link):
         self.service_s = 1.0 / service_rate_pps
         self.xoff = xoff_packets
         self.xon = xon_packets
-        self.stats = PfcStats()
+        self.stats = PfcStats(labels={"link": name})
         self._receiver_free_at = 0.0
         self._paused = False
 

@@ -1,0 +1,92 @@
+"""Exporters: JSON-lines for machines, an aligned table for humans.
+
+Both operate on a :class:`~repro.obs.registry.Snapshot` so dumps are
+consistent cuts (no torn reads of a live registry) and the same code
+paths serve live registries, probe deltas, and per-epoch diffs.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.metrics import HistogramSample
+from repro.obs.registry import Registry, Snapshot
+
+
+def iter_samples(snapshot: Snapshot):
+    """Snapshot as JSON-ready dicts, one per metric series."""
+    for (name, labels), value in sorted(snapshot.samples.items()):
+        kind = snapshot.kinds.get((name, labels), "counter")
+        record = {"name": name, "kind": kind, "labels": dict(labels),
+                  "epoch": snapshot.epoch}
+        if isinstance(value, HistogramSample):
+            record["count"] = value.count
+            record["sum"] = value.total
+            record["buckets"] = list(value.buckets)
+        else:
+            record["value"] = value
+        yield record
+
+
+def to_jsonl(snapshot: Snapshot, events=()) -> str:
+    """JSON-lines dump: one line per metric series, then per event."""
+    lines = [json.dumps(record, sort_keys=True)
+             for record in iter_samples(snapshot)]
+    lines += [json.dumps({"trace": event.as_dict()}, sort_keys=True)
+              for event in events]
+    return "\n".join(lines)
+
+
+def _format_value(value) -> str:
+    if isinstance(value, HistogramSample):
+        nonzero = " ".join(f"2^{max(0, i - 1)}:{n}"
+                           for i, n in enumerate(value.buckets) if n)
+        return f"n={value.count} sum={value.total} [{nonzero}]"
+    if isinstance(value, float):
+        return f"{value:,.1f}"
+    return f"{value:,}"
+
+
+def render_table(snapshot: Snapshot, *, skip_zero: bool = False) -> str:
+    """Human-readable registry table, grouped by component.
+
+    Args:
+        snapshot: What to render.
+        skip_zero: Hide series whose value (or count) is zero.
+    """
+    rows = []
+    for (name, labels), value in sorted(snapshot.samples.items()):
+        if skip_zero:
+            flat = value.count if isinstance(value, HistogramSample) \
+                else value
+            if not flat:
+                continue
+        component, _, metric = name.partition(".")
+        label_text = ",".join(f"{k}={v}" for k, v in labels)
+        rows.append((component, metric or name, label_text,
+                     _format_value(value)))
+    if not rows:
+        if snapshot.samples:
+            return "(every series is zero)"
+        return "(no metrics registered)"
+    widths = [max(len(row[i]) for row in rows) for i in range(3)]
+    widths = [max(w, len(h)) for w, h in
+              zip(widths, ("component", "metric", "labels"))]
+    header = (f"{'component':<{widths[0]}}  {'metric':<{widths[1]}}  "
+              f"{'labels':<{widths[2]}}  value")
+    lines = [header, "-" * len(header)]
+    previous_component = None
+    for component, metric, label_text, value_text in rows:
+        shown = component if component != previous_component else ""
+        lines.append(f"{shown:<{widths[0]}}  {metric:<{widths[1]}}  "
+                     f"{label_text:<{widths[2]}}  {value_text}")
+        previous_component = component
+    return "\n".join(lines)
+
+
+def render_events(registry: Registry, *, last: int = 20) -> str:
+    """The most recent ``last`` trace events, one per line."""
+    tail = list(registry.events)[-last:]
+    if not tail:
+        return "(no trace events)"
+    return "\n".join(str(event) for event in tail)

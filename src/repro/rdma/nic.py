@@ -15,24 +15,24 @@ Two concerns live here:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 from repro import calibration
 from repro.calibration import NicModel
+from repro.obs.views import InstrumentedStats, counter_field
 from repro.rdma import roce
 from repro.rdma.memory import AccessFlags, MemoryRegion, ProtectionDomain
 from repro.rdma.qp import QpState, QueuePair
 
 
-@dataclass
-class NicStats:
+class NicStats(InstrumentedStats):
     """Aggregate counters + modelled busy time for one NIC."""
 
-    messages: int = 0
-    payload_bytes: int = 0
-    atomics: int = 0
-    drops: int = 0
-    busy_ns: float = 0.0
+    component = "nic"
+
+    messages = counter_field()
+    payload_bytes = counter_field()
+    atomics = counter_field()
+    drops = counter_field()
+    busy_ns = counter_field(0.0)
 
     def message_rate(self) -> float:
         """Achieved messages/s implied by the cost model."""
@@ -62,7 +62,7 @@ class Nic:
         self.model = model or calibration.DEFAULT_NIC_MODEL
         self.pd = ProtectionDomain()
         self.qps: dict[int, QueuePair] = {}
-        self.stats = NicStats()
+        self.stats = NicStats(labels={"nic": name})
         self._next_qpn = 0x11
 
     # ------------------------------------------------------------------
@@ -150,7 +150,7 @@ class Nic:
                                        active_qps=max(1, self.active_qps))
 
     def reset_stats(self) -> None:
-        self.stats = NicStats()
+        self.stats = NicStats(labels={"nic": self.name})
 
 
 def modelled_collection_rate(payload_bytes: int, reports_per_message: int,

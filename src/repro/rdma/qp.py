@@ -11,8 +11,8 @@ from __future__ import annotations
 
 import enum
 from collections import deque
-from dataclasses import dataclass
 
+from repro.obs.views import InstrumentedStats, counter_field
 from repro.rdma import roce
 from repro.rdma.memory import ProtectionDomain, RemoteAccessError
 from repro.rdma.verbs import Opcode, WcStatus, WorkCompletion, WorkRequest
@@ -39,20 +39,21 @@ class QpError(Exception):
     """Operation attempted in an incompatible QP state."""
 
 
-@dataclass
-class QpCounters:
+class QpCounters(InstrumentedStats):
     """Observable per-QP statistics (exported by the NIC's telemetry)."""
 
-    requests_executed: int = 0
-    bytes_written: int = 0
-    bytes_read: int = 0
-    atomics: int = 0
-    duplicates: int = 0
-    sequence_errors: int = 0
-    access_errors: int = 0
-    acks_sent: int = 0
-    naks_sent: int = 0
-    retransmits: int = 0
+    component = "qp"
+
+    requests_executed = counter_field()
+    bytes_written = counter_field()
+    bytes_read = counter_field()
+    atomics = counter_field()
+    duplicates = counter_field()
+    sequence_errors = counter_field()
+    access_errors = counter_field()
+    acks_sent = counter_field()
+    naks_sent = counter_field()
+    retransmits = counter_field()
 
 
 class QueuePair:
@@ -76,7 +77,7 @@ class QueuePair:
         self.expected_psn = expected_psn % PSN_MOD
         self.msn = 0
         self.max_outstanding = max_outstanding
-        self.counters = QpCounters()
+        self.counters = QpCounters(labels={"qpn": f"0x{qpn:x}"})
         self.completions: deque[WorkCompletion] = deque()
         # Requester retransmission window: psn -> (wire bytes, wr)
         self._unacked: "deque[tuple[int, bytes, WorkRequest]]" = deque()

@@ -16,6 +16,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from repro.obs.views import InstrumentedStats, counter_field
+
 
 class MeterColor(enum.Enum):
     GREEN = "green"
@@ -25,7 +27,12 @@ class MeterColor(enum.Enum):
 
 @dataclass
 class MeterConfig:
-    """Two-rate three-colour meter parameters (bytes/s and burst bytes)."""
+    """Two-rate three-colour meter parameters (bytes/s and burst bytes).
+
+    A zero-rate configuration is legal (an administratively closed
+    meter: bursts drain, then everything marks RED); negative rates or
+    bursts are not.
+    """
 
     committed_rate: float
     committed_burst: float
@@ -33,8 +40,21 @@ class MeterConfig:
     peak_burst: float
 
     def __post_init__(self) -> None:
+        if min(self.committed_rate, self.committed_burst,
+               self.peak_rate, self.peak_burst) < 0:
+            raise ValueError("meter rates and bursts must be >= 0")
         if self.peak_rate < self.committed_rate:
             raise ValueError("peak rate must be >= committed rate")
+
+
+class MeterStats(InstrumentedStats):
+    """Per-colour mark counts, published as ``meter.marked_*``."""
+
+    component = "meter"
+
+    marked_green = counter_field()
+    marked_yellow = counter_field()
+    marked_red = counter_field()
 
 
 class Meter:
@@ -43,15 +63,23 @@ class Meter:
     Args:
         config: Rates/bursts.  Units are caller-defined (the translator
             meters RDMA *messages*, so rates are messages/s and sizes 1).
+        name: Label for the published counters.
     """
 
-    def __init__(self, config: MeterConfig) -> None:
+    def __init__(self, config: MeterConfig, *, name: str = "meter") -> None:
         self.config = config
+        self.name = name
         self._tc = config.committed_burst  # committed bucket tokens
         self._tp = config.peak_burst       # peak bucket tokens
         self._last_time = 0.0
-        self.marked = {MeterColor.GREEN: 0, MeterColor.YELLOW: 0,
-                       MeterColor.RED: 0}
+        self.stats = MeterStats(labels={"name": name})
+
+    @property
+    def marked(self) -> dict:
+        """Legacy mapping view: colour -> marks so far."""
+        return {MeterColor.GREEN: self.stats.marked_green,
+                MeterColor.YELLOW: self.stats.marked_yellow,
+                MeterColor.RED: self.stats.marked_red}
 
     def _refill(self, now: float) -> None:
         dt = now - self._last_time
@@ -67,12 +95,14 @@ class Meter:
         self._refill(now)
         if self._tp < size:
             color = MeterColor.RED
+            self.stats.marked_red += 1
         elif self._tc < size:
             self._tp -= size
             color = MeterColor.YELLOW
+            self.stats.marked_yellow += 1
         else:
             self._tc -= size
             self._tp -= size
             color = MeterColor.GREEN
-        self.marked[color] += 1
+            self.stats.marked_green += 1
         return color

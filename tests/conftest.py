@@ -4,9 +4,32 @@ from __future__ import annotations
 
 import pytest
 
+from repro import obs
 from repro.core.collector import Collector
 from repro.core.reporter import Reporter
 from repro.core.translator import Translator
+
+
+@pytest.fixture
+def obs_probe() -> obs.ObsProbe:
+    """A delta probe over the metrics registry.
+
+    Usage::
+
+        def test_conservation(obs_probe, deployment):
+            with obs_probe as p:
+                drive_traffic()
+            p.assert_balance("reporter.reports_sent",
+                             "translator.reports_in")
+
+    Each test gets a *fresh* registry (swapped back afterwards) so
+    deltas never see metrics from other tests.
+    """
+    previous = obs.set_registry(obs.Registry())
+    try:
+        yield obs.ObsProbe()
+    finally:
+        obs.set_registry(previous)
 
 
 @pytest.fixture

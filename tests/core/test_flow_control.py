@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.core.flow_control import LossDetector, ReportBackup
+from repro.core.flow_control import (
+    SEQ_MOD,
+    LossDetector,
+    ReportBackup,
+    seq_distance,
+)
 from repro.core.packets import Nack
 
 
@@ -91,3 +96,83 @@ class TestReportBackup:
     def test_capacity_validation(self):
         with pytest.raises(ValueError):
             ReportBackup(capacity=0)
+
+
+class TestSequenceWraparound:
+    """The wire counter is 32 bits; a long-lived reporter wraps."""
+
+    def test_seq_distance_is_modular(self):
+        assert seq_distance(0, SEQ_MOD - 1) == 1
+        assert seq_distance(5, SEQ_MOD - 5) == 10
+        assert seq_distance(SEQ_MOD - 1, 0) == SEQ_MOD - 1  # behind
+
+    def test_in_order_across_the_wrap(self):
+        det = LossDetector()
+        for seq in (SEQ_MOD - 2, SEQ_MOD - 1, 0, 1):
+            assert det.check(1, seq) is None
+        assert det.expected_seq(1) == 2
+        assert det.stats.losses_detected == 0
+
+    def test_gap_straddling_the_wrap(self):
+        det = LossDetector()
+        det.check(1, SEQ_MOD - 2)
+        nack = det.check(1, 1)  # SEQ_MOD-1 and 0 lost; 1 aborted
+        assert nack == Nack(expected_seq=SEQ_MOD - 1, missing=3)
+        assert det.stats.losses_detected == 2
+        assert det.expected_seq(1) == 2
+
+    def test_stale_duplicate_after_the_wrap(self):
+        det = LossDetector()
+        for seq in (SEQ_MOD - 1, 0, 1):
+            det.check(1, seq)
+        assert det.check(1, SEQ_MOD - 1) is None
+        assert det.stats.stale_duplicates == 1
+        assert det.expected_seq(1) == 2  # not rewound
+
+    def test_backup_fetch_across_the_wrap(self):
+        backup = ReportBackup(capacity=8)
+        backup.store(SEQ_MOD - 1, b"pre-wrap")
+        backup.store(SEQ_MOD, b"post-wrap")  # stored as seq 0
+        got = backup.fetch(Nack(expected_seq=SEQ_MOD - 1, missing=2))
+        assert got == [(SEQ_MOD - 1, b"pre-wrap"), (0, b"post-wrap")]
+        assert backup.stats.unavailable == 0
+
+
+class TestDuplicateRetransmitAccounting:
+    """A NACKed seq is a recovery once; every re-arrival is a dup."""
+
+    def test_second_identical_retransmit_counts_as_duplicate(self):
+        det = LossDetector()
+        det.check(1, 0)
+        det.check(1, 3)  # NACKs 1, 2, 3
+        for seq in (1, 2, 3):
+            assert det.check(1, seq, retransmit=True) is None
+        assert det.stats.retransmits_accepted == 3
+        # The same retransmits arrive again (duplicated NACK upstream).
+        for seq in (1, 2, 3):
+            assert det.check(1, seq, retransmit=True) is None
+        assert det.stats.retransmits_accepted == 3
+        assert det.stats.duplicate_retransmits == 3
+
+    def test_unsolicited_retransmit_is_a_duplicate(self):
+        det = LossDetector()
+        det.check(1, 0)
+        det.check(1, 1)
+        # Nothing was NACKed, so any retransmit-flagged arrival is noise.
+        det.check(1, 0, retransmit=True)
+        assert det.stats.retransmits_accepted == 0
+        assert det.stats.duplicate_retransmits == 1
+
+    def test_awaiting_ledgers_are_per_reporter(self):
+        det = LossDetector()
+        for reporter_id in (1, 2):
+            det.check(reporter_id, 0)
+            det.check(reporter_id, 2)  # NACKs 1, 2 for each
+        det.check(1, 1, retransmit=True)
+        det.check(2, 1, retransmit=True)
+        assert det.stats.retransmits_accepted == 2
+        # Reporter 1 re-serving does not spend reporter 2's ledger.
+        det.check(1, 1, retransmit=True)
+        assert det.stats.duplicate_retransmits == 1
+        det.check(2, 2, retransmit=True)
+        assert det.stats.retransmits_accepted == 3

@@ -109,6 +109,57 @@ class TestNackHandling:
         assert count == 1
         assert reporter.stats.lost_forever == 1
 
+    def test_duplicate_nack_served_once(self, captured):
+        """A re-delivered NACK must not double-count anything."""
+        reporter, sent = captured
+        reporter.append(0, b"a", essential=True)
+        reporter.append(0, b"b", essential=True)
+        sent.clear()
+        nack = Nack(expected_seq=0, missing=2)
+        assert reporter.handle_nack(nack) == 2
+        assert reporter.handle_nack(nack) == 0
+        assert reporter.stats.nacks_received == 2
+        assert reporter.stats.duplicate_nacks == 1
+        assert reporter.stats.retransmitted == 2  # not 4
+        assert len(sent) == 2
+
+    def test_duplicate_nack_does_not_double_count_losses(self):
+        reporter = Reporter("r", 1, transmit=lambda raw: None,
+                            backup_capacity=1)
+        reporter.append(0, b"a", essential=True)
+        reporter.append(0, b"b", essential=True)  # evicts seq 0
+        nack = Nack(expected_seq=0, missing=2)
+        reporter.handle_nack(nack)
+        reporter.handle_nack(nack)
+        assert reporter.stats.lost_forever == 1  # not 2
+
+    def test_distinct_nacks_both_served(self, captured):
+        reporter, sent = captured
+        for data in (b"a", b"b", b"c"):
+            reporter.append(0, data, essential=True)
+        sent.clear()
+        assert reporter.handle_nack(Nack(expected_seq=0, missing=1)) == 1
+        assert reporter.handle_nack(Nack(expected_seq=2, missing=1)) == 1
+        assert reporter.stats.duplicate_nacks == 0
+
+    def test_sequence_wraps_at_32_bits(self, captured):
+        """The emitted counter must wrap with the 32-bit wire field."""
+        from repro.core.flow_control import SEQ_MOD
+
+        reporter, sent = captured
+        reporter._seq = SEQ_MOD - 2
+        for data in (b"a", b"b", b"c", b"d"):
+            reporter.append(0, data, essential=True)
+        seqs = [header.seq for header, _op in sent]
+        assert seqs == [SEQ_MOD - 2, SEQ_MOD - 1, 0, 1]
+        # The backup holds the wrapped seqs and can serve a NACK
+        # straddling the wrap.
+        sent.clear()
+        count = reporter.handle_nack(
+            Nack(expected_seq=SEQ_MOD - 1, missing=2))
+        assert count == 2
+        assert [h.seq for h, _ in sent] == [SEQ_MOD - 1, 0]
+
     def test_ctrl_frame_dispatch(self, captured):
         reporter, sent = captured
         reporter.append(0, b"a", essential=True)

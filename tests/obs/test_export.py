@@ -1,0 +1,82 @@
+"""Exporters: JSON-lines and the human-readable table."""
+
+import json
+
+from repro.obs import (
+    Registry,
+    iter_samples,
+    render_events,
+    render_table,
+    to_jsonl,
+)
+
+
+def populated():
+    reg = Registry()
+    reg.counter("link.sent", link="a->b").inc(1004)
+    reg.counter("link.sent", link="b->a").inc(12)
+    reg.counter("nic.busy_ns").inc(14692.5)
+    reg.histogram("translator.sizes").observe(6)
+    reg.counter("meter.marked_red", name="tx").set(0)
+    return reg
+
+
+class TestJsonLines:
+    def test_every_series_one_parseable_line(self):
+        reg = populated()
+        reg.emit("translator", "nack_sent", reporter=3)
+        lines = to_jsonl(reg.snapshot(), events=reg.events).splitlines()
+        records = [json.loads(line) for line in lines]
+        assert len(records) == 6  # 5 series + 1 event
+        by_name = {r["name"]: r for r in records if "name" in r}
+        assert by_name["link.sent"]["labels"] in (
+            {"link": "a->b"}, {"link": "b->a"})
+        hist = by_name["translator.sizes"]
+        assert hist["kind"] == "histogram"
+        assert hist["count"] == 1 and hist["sum"] == 6
+        assert len(hist["buckets"]) == 32
+        (trace,) = [r for r in records if "trace" in r]
+        assert trace["trace"]["event"] == "nack_sent"
+
+    def test_iter_samples_sorted_and_epoch_stamped(self):
+        reg = populated()
+        reg.advance_epoch()
+        records = list(iter_samples(reg.snapshot()))
+        assert [r["name"] for r in records] == sorted(
+            r["name"] for r in records)
+        assert all(r["epoch"] == 1 for r in records)
+
+
+class TestTable:
+    def test_groups_by_component_and_aligns(self):
+        table = render_table(populated().snapshot())
+        lines = table.splitlines()
+        assert lines[0].startswith("component")
+        # Component name printed once per group.
+        assert sum("link" in line.split()[:1] for line in lines) == 1
+        assert "1,004" in table          # thousands separators
+        assert "14,692.5" in table       # floats keep one decimal
+        assert "n=1 sum=6 [2^2:1]" in table
+
+    def test_skip_zero_hides_quiet_series(self):
+        table = render_table(populated().snapshot(), skip_zero=True)
+        assert "marked_red" not in table
+        assert "meter" not in table  # whole component went quiet
+        assert "sent" in table
+
+    def test_empty_snapshot(self):
+        assert render_table(Registry().snapshot()) == \
+            "(no metrics registered)"
+
+
+class TestEvents:
+    def test_tail_rendering(self):
+        reg = Registry()
+        for i in range(5):
+            reg.emit("c", "tick", i=i)
+        out = render_events(reg, last=2)
+        assert out.splitlines() == ["#3 epoch=0 c.tick i=3",
+                                    "#4 epoch=0 c.tick i=4"]
+
+    def test_no_events(self):
+        assert render_events(Registry()) == "(no trace events)"

@@ -22,6 +22,19 @@ class TestConfig:
         with pytest.raises(ValueError):
             meter.mark(0.5)
 
+    def test_negative_rates_and_bursts_rejected(self):
+        for bad in ({"committed_rate": -1}, {"committed_burst": -1},
+                    {"peak_rate": -1, "committed_rate": -2},
+                    {"peak_burst": -1}):
+            kwargs = {"committed_rate": 10, "committed_burst": 1,
+                      "peak_rate": 20, "peak_burst": 1, **bad}
+            with pytest.raises(ValueError):
+                MeterConfig(**kwargs)
+
+    def test_zero_rate_config_is_legal(self):
+        MeterConfig(committed_rate=0, committed_burst=0,
+                    peak_rate=0, peak_burst=0)
+
 
 class TestColouring:
     def test_below_committed_is_green(self):
@@ -61,3 +74,38 @@ class TestColouring:
             meter.mark(0.0)
         assert meter.mark(0.0) != MeterColor.GREEN  # bucket drained
         assert meter.mark(10.0) == MeterColor.GREEN  # long idle refilled
+
+
+class TestEdgeCases:
+    def test_zero_rate_meter_drains_burst_then_goes_red(self):
+        """An administratively closed meter: the pre-loaded burst is
+        honoured, then everything is RED forever — idle time must not
+        refill a bucket whose rate is zero."""
+        meter = Meter(MeterConfig(committed_rate=0, committed_burst=3,
+                                  peak_rate=0, peak_burst=3))
+        assert [meter.mark(0.0) for _ in range(3)] == (
+            [MeterColor.GREEN] * 3)
+        assert meter.mark(0.0) == MeterColor.RED
+        assert meter.mark(1e9) == MeterColor.RED  # eons of idle: still shut
+        assert meter.stats.marked_red == 2
+
+    def test_burst_exactly_at_capacity_is_green(self):
+        """size == remaining tokens must pass (strict < comparison)."""
+        meter = make_meter(cir=10, pir=20, burst=5)
+        assert meter.mark(0.0, size=5.0) == MeterColor.GREEN
+        # The bucket is now exactly empty; the next byte is not green.
+        assert meter.mark(0.0, size=1.0) != MeterColor.GREEN
+
+    def test_oversized_packet_red_even_on_full_buckets(self):
+        meter = make_meter(cir=10, pir=20, burst=5)
+        assert meter.mark(0.0, size=6.0) == MeterColor.RED
+
+    def test_stats_and_legacy_marked_view_agree(self):
+        meter = make_meter(cir=10, pir=20, burst=1)
+        for i in range(50):
+            meter.mark(i / 100)
+        assert meter.marked == {
+            MeterColor.GREEN: meter.stats.marked_green,
+            MeterColor.YELLOW: meter.stats.marked_yellow,
+            MeterColor.RED: meter.stats.marked_red}
+        assert sum(meter.marked.values()) == 50

@@ -73,6 +73,41 @@ class TestSubcommands:
         assert "NetSeer" in out
         assert "B reports/s" in out
 
+    def test_stats_renders_component_rows(self, capsys):
+        assert main(["stats", "--reports", "64", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        # Every hot-path component publishes through repro.obs.
+        for component in ("reporter", "translator", "link", "nic",
+                          "backup", "loss_detector"):
+            assert component in out, f"{component} missing from table"
+        assert "reports_sent" in out
+
+    def test_stats_lossy_run_shows_recovery_counters(self, capsys):
+        assert main(["stats", "--reports", "256", "--loss", "0.05",
+                     "--seed", "7", "--events", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "random_drops" in out
+        assert "nacks_sent" in out
+        assert "trace events" in out
+        assert "translator.nack_sent" in out
+
+    def test_stats_json_lines_parse(self, capsys):
+        import json
+
+        assert main(["stats", "--reports", "32", "--json"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        records = [json.loads(line) for line in lines]
+        names = {r["name"] for r in records if "name" in r}
+        assert "translator.reports_in" in names
+        assert "link.sent" in names
+
+    def test_stats_does_not_pollute_default_registry(self):
+        from repro import obs
+
+        before = len(obs.get_registry())
+        main(["stats", "--reports", "16"])
+        assert len(obs.get_registry()) == before
+
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["bogus"])
