@@ -1,0 +1,24 @@
+#!/usr/bin/env python
+"""Perf-regression harness entry point.
+
+Thin wrapper over ``repro bench`` so the harness can run from a
+checkout without installing the package::
+
+    python benchmarks/harness.py --quick
+
+Runs the fixed workload matrix (Key-Write, Key-Increment, Postcarding,
+Append; unbatched vs batched), writes ``BENCH_<date>.json``, and exits
+non-zero if batched Key-Write falls below 2x the per-report path or any
+batched/unbatched obs digest diverges.  See docs/BENCHMARKS.md for the
+JSON schema and how to compare runs.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main(["bench", *sys.argv[1:]]))

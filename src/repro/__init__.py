@@ -27,11 +27,12 @@ paper-vs-reproduction results of every table and figure.
 """
 
 from repro import calibration
+from repro.core.batch import ReportBatch
 from repro.core.collector import Collector
 from repro.core.reporter import Reporter
 from repro.core.translator import Translator
 
 __version__ = "1.0.0"
 
-__all__ = ["calibration", "Collector", "Reporter", "Translator",
-           "__version__"]
+__all__ = ["calibration", "Collector", "Reporter", "ReportBatch",
+           "Translator", "__version__"]

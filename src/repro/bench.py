@@ -1,0 +1,281 @@
+"""The perf-regression harness behind ``repro bench``.
+
+Runs a fixed, seeded workload matrix — every batched DTA primitive in
+both per-report and batched mode — against a direct-mode deployment,
+and writes a machine-readable ``BENCH_<date>.json`` so later changes
+have a throughput trajectory to regress against (see
+``docs/BENCHMARKS.md`` for the schema).
+
+Measured quantities per (primitive, mode) cell:
+
+* ``reports_per_sec`` — wall-clock Python throughput of the pipeline
+  (the thing the batched hot path exists to raise).
+* ``verbs_per_sec`` — RDMA messages emitted per wall-clock second.
+* ``modelled_latency_ns`` — p50/p99 per-message service latency under
+  the calibrated NIC cost model (:mod:`repro.calibration`), derived
+  from the translator's payload-size histogram.  This is model output,
+  not wall-clock measurement: it tracks what the workload would cost on
+  the paper's hardware.
+* ``obs_digest`` — SHA-256 over the final obs-registry snapshot.  The
+  batched and unbatched digests must match: the harness doubles as an
+  end-to-end check that batching changes *speed* and nothing else.
+
+The harness enforces one gate: batched Key-Write throughput must be at
+least ``SPEEDUP_GATE`` (2x) the per-report path, or :func:`run_bench`
+reports failure (and the CLI exits non-zero).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+import struct
+import time
+
+from repro import calibration, obs
+from repro.core.batch import ReportBatch
+from repro.core.collector import Collector
+from repro.core.reporter import Reporter
+from repro.core.translator import Translator
+
+SPEEDUP_GATE = 2.0
+SCHEMA = "repro-bench/1"
+
+# Deployment constants — sized so the quick and full workloads both fit
+# without ring wrap-around dominating the run.
+_KW_SLOTS = 1 << 16
+_KW_DATA_BYTES = 16
+_KI_SLOTS_PER_ROW = 1 << 12
+_KI_ROWS = 4
+_PC_CHUNKS = 1 << 14
+_PC_HOPS = 5
+_PC_VALUES = range(256)
+_AP_LISTS = 4
+_AP_CAPACITY = 1 << 15
+_AP_DATA_BYTES = 16
+_AP_BATCH = 16
+
+
+def _deploy() -> tuple:
+    """A fresh direct-mode deployment on a fresh registry."""
+    registry = obs.Registry()
+    previous = obs.set_registry(registry)
+    collector = Collector()
+    collector.serve_keywrite(slots=_KW_SLOTS, data_bytes=_KW_DATA_BYTES)
+    collector.serve_keyincrement(slots_per_row=_KI_SLOTS_PER_ROW,
+                                 rows=_KI_ROWS)
+    collector.serve_postcarding(chunks=_PC_CHUNKS, value_set=_PC_VALUES,
+                                hops=_PC_HOPS)
+    collector.serve_append(lists=_AP_LISTS, capacity=_AP_CAPACITY,
+                           data_bytes=_AP_DATA_BYTES, batch_size=_AP_BATCH)
+    translator = Translator()
+    collector.connect_translator(translator)
+    reporter = Reporter("bench", 1, transmit=translator.handle_report,
+                        transmit_batch=translator.process_batch)
+    return registry, previous, collector, translator, reporter
+
+
+def _workload(primitive: str, reports: int, seed: int) -> dict:
+    """Seeded struct-of-arrays columns for one primitive."""
+    rng = random.Random(seed)
+    if primitive == "key_write":
+        return {
+            "keys": [struct.pack(">I", rng.getrandbits(32))
+                     for _ in range(reports)],
+            "datas": [struct.pack(">QQ", i, rng.getrandbits(63))
+                      for i in range(reports)],
+        }
+    if primitive == "key_increment":
+        return {
+            "keys": [struct.pack(">I", rng.getrandbits(32))
+                     for _ in range(reports)],
+            "values": [rng.randrange(1, 100) for _ in range(reports)],
+        }
+    if primitive == "postcarding":
+        flows = max(1, reports // _PC_HOPS)
+        keys = []
+        hops = []
+        values = []
+        for i in range(reports):
+            keys.append(struct.pack(">I", (i // _PC_HOPS) % flows))
+            hops.append(i % _PC_HOPS)
+            values.append(rng.choice(_PC_VALUES))
+        return {"keys": keys, "hops": hops, "values": values,
+                "path_lengths": [_PC_HOPS] * reports}
+    if primitive == "append":
+        return {
+            "list_ids": [i % _AP_LISTS for i in range(reports)],
+            "datas": [struct.pack(">QQ", i, rng.getrandbits(63))
+                      for i in range(reports)],
+        }
+    raise ValueError(f"unknown benchmark primitive '{primitive}'")
+
+
+def _run_unbatched(reporter: Reporter, translator: Translator,
+                   primitive: str, work: dict) -> float:
+    start = time.perf_counter()
+    if primitive == "key_write":
+        for key, data in zip(work["keys"], work["datas"]):
+            reporter.key_write(key, data, redundancy=2)
+    elif primitive == "key_increment":
+        for key, value in zip(work["keys"], work["values"]):
+            reporter.key_increment(key, value, redundancy=2)
+    elif primitive == "postcarding":
+        for key, hop, value in zip(work["keys"], work["hops"],
+                                   work["values"]):
+            reporter.postcard(key, hop, value, path_length=_PC_HOPS,
+                              redundancy=1)
+    else:
+        for list_id, data in zip(work["list_ids"], work["datas"]):
+            reporter.append(list_id, data)
+        translator.flush_appends()
+    return time.perf_counter() - start
+
+
+def _run_batched(reporter: Reporter, translator: Translator,
+                 primitive: str, work: dict, batch_size: int) -> float:
+    start = time.perf_counter()
+    n = len(next(iter(work.values())))
+    for s in range(0, n, batch_size):
+        e = s + batch_size
+        if primitive == "key_write":
+            batch = ReportBatch.key_writes(work["keys"][s:e],
+                                           work["datas"][s:e],
+                                           redundancy=2)
+        elif primitive == "key_increment":
+            batch = ReportBatch.key_increments(work["keys"][s:e],
+                                               work["values"][s:e],
+                                               redundancy=2)
+        elif primitive == "postcarding":
+            batch = ReportBatch.postcards(
+                work["keys"][s:e], work["hops"][s:e], work["values"][s:e],
+                path_lengths=work["path_lengths"][s:e], redundancy=1)
+        else:
+            batch = ReportBatch.appends(work["list_ids"][s:e],
+                                        work["datas"][s:e])
+        reporter.send_batch(batch)
+    if primitive == "append":
+        translator.flush_appends()
+    return time.perf_counter() - start
+
+
+def _latency_percentiles(snapshot, model: calibration.NicModel,
+                         atomic: bool) -> dict:
+    """p50/p99 modelled per-message latency from the payload histogram."""
+    sample = snapshot.value("translator.rdma_payload_hist",
+                            node="translator")
+    if not getattr(sample, "count", 0):
+        return {"p50": None, "p99": None}
+    out = {}
+    for label, q in (("p50", 0.50), ("p99", 0.99)):
+        target = q * sample.count
+        cumulative = 0
+        payload = 0
+        for index, count in enumerate(sample.buckets):
+            cumulative += count
+            if count and cumulative >= target:
+                payload = obs.Histogram.bucket_bounds(index)[0]
+                break
+        t = model.t_msg_ns + payload * model.t_byte_ns
+        if atomic:
+            t *= model.fetch_add_penalty
+        out[label] = round(t, 3)
+    return out
+
+
+def _digest(snapshot) -> str:
+    return "sha256:" + hashlib.sha256(
+        obs.to_jsonl(snapshot).encode()).hexdigest()
+
+
+def _run_cell(primitive: str, mode: str, reports: int, batch_size: int,
+              seed: int) -> dict:
+    """One (primitive, mode) cell on a fresh deployment."""
+    work = _workload(primitive, reports, seed)
+    registry, previous, _collector, translator, reporter = _deploy()
+    try:
+        if mode == "batched":
+            elapsed = _run_batched(reporter, translator, primitive, work,
+                                   batch_size)
+        else:
+            elapsed = _run_unbatched(reporter, translator, primitive, work)
+        snapshot = registry.snapshot()
+    finally:
+        obs.set_registry(previous)
+    verbs = translator.stats.rdma_messages
+    atomic = primitive == "key_increment"
+    return {
+        "mode": mode,
+        "reports": reports,
+        "elapsed_s": round(elapsed, 6),
+        "reports_per_sec": round(reports / elapsed, 1) if elapsed else None,
+        "rdma_messages": verbs,
+        "verbs_per_sec": round(verbs / elapsed, 1) if elapsed else None,
+        "modelled_latency_ns": _latency_percentiles(
+            snapshot, calibration.DEFAULT_NIC_MODEL, atomic),
+        "obs_digest": _digest(snapshot),
+    }
+
+
+def run_bench(*, reports: int = 20000, batch_size: int = 64,
+              seed: int = 1, date: str = "unknown") -> dict:
+    """Run the full workload matrix; returns the BENCH document."""
+    results = {}
+    ok = True
+    for primitive in ("key_write", "key_increment", "postcarding",
+                      "append"):
+        unbatched = _run_cell(primitive, "unbatched", reports, batch_size,
+                              seed)
+        batched = _run_cell(primitive, "batched", reports, batch_size, seed)
+        speedup = None
+        if unbatched["elapsed_s"] and batched["elapsed_s"]:
+            speedup = round(unbatched["elapsed_s"] / batched["elapsed_s"], 2)
+        digest_match = unbatched["obs_digest"] == batched["obs_digest"]
+        results[primitive] = {
+            "unbatched": unbatched,
+            "batched": batched,
+            "speedup": speedup,
+            "digest_match": digest_match,
+        }
+        if not digest_match:
+            ok = False
+        if primitive == "key_write" and (speedup is None
+                                         or speedup < SPEEDUP_GATE):
+            ok = False
+    return {
+        "schema": SCHEMA,
+        "date": date,
+        "config": {"reports": reports, "batch_size": batch_size,
+                   "seed": seed, "speedup_gate": SPEEDUP_GATE},
+        "results": results,
+        "pass": ok,
+    }
+
+
+def render_report(document: dict) -> str:
+    """Human-readable summary of a BENCH document."""
+    lines = [f"{'primitive':<14}{'unbatched rps':>14}{'batched rps':>14}"
+             f"{'speedup':>9}{'verbs/s (batched)':>19}  digests"]
+    lines.append("-" * len(lines[0]))
+    for primitive, cell in document["results"].items():
+        unbatched = cell["unbatched"]
+        batched = cell["batched"]
+        lines.append(
+            f"{primitive:<14}"
+            f"{unbatched['reports_per_sec'] or 0:>14,.0f}"
+            f"{batched['reports_per_sec'] or 0:>14,.0f}"
+            f"{cell['speedup'] or 0:>8.2f}x"
+            f"{batched['verbs_per_sec'] or 0:>19,.0f}"
+            f"  {'match' if cell['digest_match'] else 'MISMATCH'}")
+    gate = document["config"]["speedup_gate"]
+    verdict = "PASS" if document["pass"] else "FAIL"
+    lines.append(f"gate: key_write speedup >= {gate}x and all digests "
+                 f"match -> {verdict}")
+    return "\n".join(lines)
+
+
+def write_document(document: dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -9,6 +9,7 @@
     python -m repro footprint                # Table 3 / Fig. 7 tables
     python -m repro rates                    # Table 1 report rates
     python -m repro stats --loss 0.05        # obs registry after a sim
+    python -m repro bench --quick            # batched-vs-unbatched perf
 """
 
 from __future__ import annotations
@@ -197,6 +198,23 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    """Run the perf-regression matrix; non-zero exit if the gate fails."""
+    import datetime
+
+    from repro import bench
+
+    reports = min(args.reports, 2000) if args.quick else args.reports
+    date = datetime.date.today().strftime("%Y%m%d")
+    document = bench.run_bench(reports=reports, batch_size=args.batch_size,
+                               seed=args.seed, date=date)
+    out = args.out or f"BENCH_{date}.json"
+    bench.write_document(document, out)
+    print(bench.render_report(document))
+    print(f"wrote {out}")
+    return 0 if document["pass"] else 1
+
+
 def _cmd_rates(args) -> int:
     from repro.workloads.report_rates import network_report_rate, table1_rows
 
@@ -281,6 +299,20 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--events", type=int, default=0, metavar="N",
                        help="also print the last N trace events")
     stats.set_defaults(fn=_cmd_stats)
+
+    bench = sub.add_parser(
+        "bench", help="batched-vs-unbatched perf regression matrix")
+    bench.add_argument("--reports", type=int, default=20000,
+                       help="reports per (primitive, mode) cell")
+    bench.add_argument("--batch-size", type=int, default=64,
+                       help="reports per ReportBatch on the batched path")
+    bench.add_argument("--seed", type=int, default=1,
+                       help="workload RNG seed")
+    bench.add_argument("--quick", action="store_true",
+                       help="cap at 2000 reports per cell (CI smoke)")
+    bench.add_argument("--out", default=None, metavar="PATH",
+                       help="output path (default BENCH_<date>.json)")
+    bench.set_defaults(fn=_cmd_bench)
     return parser
 
 

@@ -22,8 +22,12 @@ The pieces mirror Figure 1's data flow:
   (Equations 1-12 and Appendix A.6/A.7).
 * :mod:`repro.core.flow_control` — sequence tracking and NACK logic
   (Figure 5).
+* :mod:`repro.core.batch` — the struct-of-arrays
+  :class:`~repro.core.batch.ReportBatch` carrier driving the batched
+  hot path through reporter, translator, fabric, and NIC.
 """
 
+from repro.core.batch import ReportBatch
 from repro.core.collector import Collector
 from repro.core.packets import (
     CongestionSignal,
@@ -43,5 +47,6 @@ __all__ = [
     "Nack",
     "decode_report",
     "Reporter",
+    "ReportBatch",
     "Translator",
 ]

@@ -55,19 +55,24 @@ class Reporter(Node):
         transmit: Optional ``callable(raw_bytes)`` used instead of a
             fabric link — unit tests and benchmarks wire this straight
             into ``Translator.handle_report``.
+        transmit_batch: Optional ``callable(ReportBatch)`` for the
+            batched hot path — typically
+            ``Translator.process_batch``; used by :meth:`send_batch`
+            when available.
         backup_capacity: Essential reports retained for retransmission
             (Section 5.3 provisions 256).
     """
 
     def __init__(self, name: str, reporter_id: int, *,
                  translator: str | None = None, transmit=None,
-                 backup_capacity: int = 256) -> None:
+                 transmit_batch=None, backup_capacity: int = 256) -> None:
         super().__init__(name)
         if not 0 <= reporter_id < (1 << 16):
             raise ValueError("reporter_id must fit 16 bits")
         self.reporter_id = reporter_id
         self.translator = translator
         self.transmit = transmit
+        self.transmit_batch = transmit_batch
         self.backup = ReportBackup(backup_capacity,
                                    labels={"node": name})
         self.stats = ReporterStats(labels={"node": name})
@@ -125,6 +130,46 @@ class Reporter(Node):
         return self._emit(SketchColumn(sketch_id=sketch_id, column=column,
                                        counters=tuple(counters)),
                           essential, False)
+
+    def send_batch(self, batch) -> int:
+        """Emit a prepared :class:`~repro.core.batch.ReportBatch`.
+
+        The batched twin of the per-primitive emission methods: one
+        congestion check and one stats pass cover the whole batch, and
+        when a ``transmit_batch`` callable is wired the batch object
+        travels to the translator without per-report wire encoding.
+        Congestion shedding, sequence assignment, and backup semantics
+        match per-report emission exactly (an essential batch claims the
+        same consecutive sequence numbers and backup entries the loop
+        would have).
+
+        Returns the number of reports sent — ``0`` when the whole batch
+        was shed by congestion (batches are homogeneous, so shedding is
+        all-or-nothing, just as every report of the batch would have
+        been shed individually).
+        """
+        n = len(batch)
+        if n == 0:
+            return 0
+        if self.congestion_level > 0 and not batch.essential:
+            self.stats.shed_by_congestion += n
+            return 0
+        batch.reporter_id = self.reporter_id
+        if batch.essential:
+            seq = self._seq
+            batch.seqs = [(seq + i) % SEQ_MOD for i in range(n)]
+            self._seq = (seq + n) % SEQ_MOD
+            for s, raw in zip(batch.seqs, batch.iter_raw()):
+                self.backup.store(s, raw)
+                self._transmit(raw)
+            self.stats.essential_sent += n
+        elif self.transmit_batch is not None:
+            self.transmit_batch(batch)
+        else:
+            for raw in batch.iter_raw():
+                self._transmit(raw)
+        self.stats.reports_sent += n
+        return n
 
     # ------------------------------------------------------------------
 

@@ -51,6 +51,18 @@ class KeyIncrementLayout:
     def counter_addr(self, n: int, key: bytes) -> int:
         return self.base_addr + self.counter_index(n, key) * COUNTER_BYTES
 
+    def counter_addrs(self, key: bytes, rows: int) -> list:
+        """The key's counter addresses in rows ``0..rows-1``, one pass.
+
+        Hot-path form of ``[counter_addr(n, key) for n in range(rows)]``
+        for the batched Key-Increment lane (``rows`` must already be
+        clamped to ``self.rows``).
+        """
+        base = self.base_addr
+        spr = self.slots_per_row
+        return [base + (n * spr + h(key) % spr) * COUNTER_BYTES
+                for n, h in enumerate(self._hashes[:rows])]
+
 
 class KeyIncrementStore:
     """Collector-side Key-Increment queries (CMS point estimates)."""

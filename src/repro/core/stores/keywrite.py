@@ -66,6 +66,19 @@ class KeyWriteLayout:
     def slot_addr(self, n: int, key: bytes) -> int:
         return self.base_addr + self.slot_index(n, key) * self.slot_bytes
 
+    def slot_addrs(self, key: bytes, redundancy: int) -> list:
+        """All N slot addresses of ``key`` in one hash pass.
+
+        Hot-path form of ``[slot_addr(n, key) for n in range(N)]``:
+        attribute lookups are hoisted so the batched Key-Write lane pays
+        only the N hash evaluations per key.
+        """
+        base = self.base_addr
+        slots = self.slots
+        width = self.slot_bytes
+        return [base + (h(key) % slots) * width
+                for h in self._slot_hashes[:redundancy]]
+
     def checksum(self, key: bytes) -> int:
         """The 32-bit key checksum stored alongside each value."""
         return self._csum_hash(key)

@@ -14,7 +14,16 @@ This is the system's centrepiece (Sections 3.1 and 4.2).  The translator
 * detects lost essential reports via per-reporter counters and bounces
   NACKs (Figure 5), and
 * meters its own RDMA generation rate, shedding low-priority reports
-  and signalling congestion upstream when the collector saturates.
+  and signalling congestion upstream when the collector saturates
+  (Section 3.3).
+
+Two entry points drive the data plane: :meth:`Translator.handle_report`
+processes one wire-format DTA report, and
+:meth:`Translator.process_batch` consumes a whole
+:class:`~repro.core.batch.ReportBatch` — the hot path that amortises
+counter updates and posts RDMA verbs in bursts (the software analogue
+of Section 4.3's aggregation argument).  The two are differentially
+tested to be bit-identical in counters and collector memory.
 """
 
 from __future__ import annotations
@@ -336,6 +345,148 @@ class Translator(Node):
             raise ValueError(f"translator cannot process {op!r}")
         self._pending_imm = None
 
+    # ------------------------------------------------------------------
+    # Batched data plane
+    # ------------------------------------------------------------------
+
+    def process_batch(self, batch, *, src: str | None = None,
+                      now: float | None = None) -> None:
+        """Process a :class:`~repro.core.batch.ReportBatch` end to end.
+
+        The hot path: per-batch counter updates and burst-posted RDMA
+        verbs, with collector memory and every obs counter bit-identical
+        to feeding the batch's reports through :meth:`handle_report`
+        one by one (enforced by ``tests/core/test_batch_differential``).
+
+        Reports that involve per-report control-plane state — a
+        configured rate meter, essential sequence tracking, immediate
+        flags, or any primitive without a fast lane — take the
+        per-report path via :meth:`handle_report`, which keeps their
+        semantics (shedding order, NACK generation, WRITE_IMM
+        conversion) exactly as specified.  Unlike the per-report entry
+        point, a batch is validated whole, so a malformed batch raises
+        before any state changes.
+        """
+        if now is not None:
+            self.now = now
+        n = len(batch)
+        if n == 0:
+            return
+        if (self._meter is not None or batch.essential or batch.immediate):
+            for raw in batch.iter_raw():
+                self.handle_report(raw, src=src)
+            return
+        # Each fast lane bumps reports_in itself, *after* its own
+        # validation, so a rejected batch leaves every counter untouched.
+        primitive = batch.primitive
+        if primitive is packets.DtaPrimitive.KEY_WRITE:
+            self._batch_keywrite(batch)
+        elif primitive is packets.DtaPrimitive.KEY_INCREMENT:
+            self._batch_keyincrement(batch)
+        elif primitive is packets.DtaPrimitive.POSTCARDING:
+            self._batch_postcard(batch)
+        elif primitive is packets.DtaPrimitive.APPEND:
+            self._batch_append(batch)
+        else:
+            for raw in batch.iter_raw():
+                self.handle_report(raw, src=src)
+
+    def _batch_keywrite(self, batch) -> None:
+        """Key-Write fast lane: one burst of N x len(batch) writes."""
+        if self._kw is None:
+            raise RuntimeError("Key-Write service not configured")
+        self.stats.reports_in += len(batch.keys)
+        self.stats.keywrites += len(batch.keys)
+        layout = self._kw.layout
+        rkey = self._kw.rkey
+        redundancy = batch.redundancy
+        encode = layout.encode_entry
+        slot_addrs = layout.slot_addrs
+        wrs = []
+        append = wrs.append
+        for key, data in zip(batch.keys, batch.datas):
+            entry = encode(key, data)
+            for addr in slot_addrs(key, redundancy):
+                append(WorkRequest(opcode=Opcode.WRITE, remote_addr=addr,
+                                   rkey=rkey, data=entry))
+        self._post_burst(wrs)
+
+    def _batch_keyincrement(self, batch) -> None:
+        """Key-Increment fast lane: one burst of Fetch-and-Adds."""
+        if self._ki is None:
+            raise RuntimeError("Key-Increment service not configured")
+        self.stats.reports_in += len(batch.keys)
+        self.stats.keyincrements += len(batch.keys)
+        layout = self._ki.layout
+        rkey = self._ki.rkey
+        rows = min(batch.redundancy, layout.rows)
+        counter_addrs = layout.counter_addrs
+        wrs = []
+        append = wrs.append
+        for key, value in zip(batch.keys, batch.values):
+            for addr in counter_addrs(key, rows):
+                append(WorkRequest(opcode=Opcode.FETCH_ADD,
+                                   remote_addr=addr, rkey=rkey,
+                                   swap=value))
+        self._post_burst(wrs)
+
+    def _batch_postcard(self, batch) -> None:
+        """Postcarding fast lane: cache inserts, then one write burst.
+
+        Cache state transitions are inherently per-report (each insert
+        may evict or complete a chunk), but every resulting chunk write
+        is collected into a single burst.
+        """
+        if self._pc is None:
+            raise RuntimeError("Postcarding service not configured")
+        self.stats.reports_in += len(batch.keys)
+        self.stats.postcards += len(batch.keys)
+        cache = self._pc.cache
+        redundancy = batch.redundancy
+        wrs: list = []
+        for key, hop, value, path_len in zip(batch.keys, batch.hops,
+                                             batch.values,
+                                             batch.path_lengths):
+            emission = cache.insert(key, hop, value,
+                                    path_len=path_len or None)
+            if emission is not None:
+                self._emit_chunk(emission, redundancy, sink=wrs)
+            while cache.pending_evicted:
+                self._emit_chunk(cache.pending_evicted.pop(), redundancy,
+                                 sink=wrs)
+        self._post_burst(wrs)
+
+    def _batch_append(self, batch) -> None:
+        """Append fast lane: same flush points, burst-posted writes.
+
+        The per-report flush rule (flush when a list's pending batch
+        reaches the configured size or the ring-boundary room) is
+        evaluated after every entry so write boundaries — and therefore
+        ``append_batches``/histogram accounting — match the per-report
+        path exactly.
+        """
+        if self._ap is None:
+            raise RuntimeError("Append service not configured")
+        ap = self._ap
+        lists = ap.layout.lists
+        for list_id in batch.list_ids:
+            if list_id >= lists:
+                raise ValueError(f"list {list_id} not provisioned")
+        self.stats.reports_in += len(batch.list_ids)
+        self.stats.appends += len(batch.list_ids)
+        capacity = ap.layout.capacity
+        batch_size = ap.batch_size
+        batches = ap.batches
+        heads = ap.heads
+        wrs: list = []
+        for list_id, data in zip(batch.list_ids, batch.datas):
+            pending = batches.setdefault(list_id, [])
+            pending.append(data)
+            room = capacity - (heads.get(list_id, 0) % capacity)
+            if len(pending) >= batch_size or len(pending) >= room:
+                self._flush_list(list_id, sink=wrs)
+        self._post_burst(wrs)
+
     # -- flow control --------------------------------------------------
 
     def _admit(self, header, raw: bytes, src: str | None) -> bool:
@@ -387,6 +538,7 @@ class Translator(Node):
     # -- RDMA emission ---------------------------------------------------
 
     def _post(self, wr: WorkRequest) -> None:
+        """Post one verb, with immediate-flag conversion and accounting."""
         if self.client is None:
             raise RuntimeError("translator has no RDMA connection")
         if self._pending_imm is not None and wr.opcode == Opcode.WRITE:
@@ -401,6 +553,43 @@ class Translator(Node):
             self.stats.rdma_writes += 1
         self.stats.rdma_payload_bytes += wr.payload_bytes
         self._payload_hist.observe(wr.payload_bytes)
+
+    def _post_burst(self, wrs: list) -> None:
+        """Post a burst of verbs with one accounting pass.
+
+        Same counters and histogram observations as :meth:`_post` per
+        verb; the immediate-flag conversion is absent because immediate
+        batches take the per-report lane (see :meth:`process_batch`).
+        """
+        if not wrs:
+            return
+        client = self.client
+        if client is None:
+            raise RuntimeError("translator has no RDMA connection")
+        post_burst = getattr(client, "post_burst", None)
+        if post_burst is None:
+            for wr in wrs:
+                self._post(wr)
+            return
+        post_burst(wrs)
+        writes = 0
+        atomics = 0
+        sizes = []
+        payload = 0
+        for wr in wrs:
+            if wr.opcode.is_atomic:
+                atomics += 1
+            else:
+                writes += 1
+            size = wr.payload_bytes
+            sizes.append(size)
+            payload += size
+        if atomics:
+            self.stats.rdma_atomics += atomics
+        if writes:
+            self.stats.rdma_writes += writes
+        self.stats.rdma_payload_bytes += payload
+        self._payload_hist.observe_many(sizes)
 
     # -- Key-Write -------------------------------------------------------
 
@@ -446,7 +635,8 @@ class Translator(Node):
         while cache.pending_evicted:
             self._emit_chunk(cache.pending_evicted.pop(), op.redundancy)
 
-    def _emit_chunk(self, emission, redundancy: int) -> None:
+    def _emit_chunk(self, emission, redundancy: int, sink=None) -> None:
+        """Write one postcard chunk (``sink`` collects into a burst)."""
         assert self._pc is not None
         layout = self._pc.layout
         if emission.complete:
@@ -456,10 +646,14 @@ class Translator(Node):
         values = [BLANK if v is None else v for v in emission.values]
         payload = layout.encode_chunk(emission.key, values)
         for j in range(max(1, redundancy)):
-            self._post(WorkRequest(
+            wr = WorkRequest(
                 opcode=Opcode.WRITE,
                 remote_addr=layout.chunk_addr(emission.key, j),
-                rkey=self._pc.rkey, data=payload))
+                rkey=self._pc.rkey, data=payload)
+            if sink is None:
+                self._post(wr)
+            else:
+                sink.append(wr)
 
     # -- Append ------------------------------------------------------------
 
@@ -477,7 +671,8 @@ class Translator(Node):
         if len(batch) >= ap.batch_size or len(batch) >= room:
             self._flush_list(op.list_id)
 
-    def _flush_list(self, list_id: int) -> None:
+    def _flush_list(self, list_id: int, sink=None) -> None:
+        """Flush a list's pending entries (``sink`` collects a burst)."""
         assert self._ap is not None
         ap = self._ap
         batch = ap.batches.get(list_id)
@@ -490,10 +685,14 @@ class Translator(Node):
             room = ap.layout.capacity - slot
             chunk, batch = batch[:room], batch[room:]
             payload = ap.layout.encode_batch(chunk, head)
-            self._post(WorkRequest(
+            wr = WorkRequest(
                 opcode=Opcode.WRITE,
                 remote_addr=ap.layout.entry_addr(list_id, slot),
-                rkey=ap.rkey, data=payload))
+                rkey=ap.rkey, data=payload)
+            if sink is None:
+                self._post(wr)
+            else:
+                sink.append(wr)
             head += len(chunk)
             self.stats.append_batches += 1
             self._batch_hist.observe(len(chunk))

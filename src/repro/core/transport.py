@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.rdma.nic import Nic
-from repro.rdma.qp import QueuePair
+from repro.rdma.qp import QpState, QueuePair
 from repro.rdma.verbs import WorkRequest
 
 
@@ -67,6 +67,30 @@ class RdmaClient:
         self.payload_bytes += wr.payload_bytes
         self.send_fn(raw)
 
+    def post_burst(self, wrs: list) -> None:
+        """Post a burst of verbs with per-burst bookkeeping.
+
+        When the transport can execute bursts natively (direct mode's
+        :meth:`DirectRdmaTransport.execute_burst`), the burst bypasses
+        wire (de)serialisation entirely; otherwise — fabric mode, or a
+        burst the transport declines (e.g. the destination QP is
+        unknown, whose per-packet semantics are silent drops) — it
+        degrades to per-verb :meth:`post` calls, which reproduce those
+        semantics exactly.  End state is identical either way.
+        """
+        if not wrs:
+            return
+        execute = getattr(self.send_fn, "execute_burst", None)
+        if execute is None or not execute(self.qp, wrs):
+            for wr in wrs:
+                self.post(wr)
+            return
+        payload = 0
+        for wr in wrs:
+            payload += wr.payload_bytes
+        self.posted += len(wrs)
+        self.payload_bytes += payload
+
     def deliver_response(self, raw: bytes) -> None:
         """Feed an ACK/NAK back in; retransmits on go-back-N rewind."""
         for packet in self.qp.requester_receive(raw):
@@ -111,6 +135,27 @@ class DirectRdmaTransport:
         response = self.nic.receive(raw)
         if response is not None and self._client is not None:
             self._client.deliver_response(response)
+
+    def execute_burst(self, qp: QueuePair, wrs: list) -> bool:
+        """Execute a verb burst without touching the wire format.
+
+        The requester QP is window-checked once, the collector NIC
+        charges and executes the whole burst, and completions are
+        committed in one pass — the per-report path's encode/decode
+        round trip per verb is skipped while every counter, PSN, and
+        memory byte ends up identical.  Returns False (caller falls
+        back to per-packet posts) when the destination QP is not a
+        live responder on this NIC, since per-packet traffic to such a
+        QP is silently dropped and the burst path must not invent a
+        different outcome.
+        """
+        server = self.nic.qps.get(qp.dest_qpn)
+        if server is None or server.state not in (QpState.RTR, QpState.RTS):
+            return False
+        qp.requester_begin_burst(len(wrs))
+        responses, fault = self.nic.execute_burst(server, wrs)
+        qp.requester_complete_burst(wrs, responses, fault=fault)
+        return True
 
 
 def make_direct_client(nic: Nic, server_qp: QueuePair,

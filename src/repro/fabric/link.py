@@ -76,8 +76,40 @@ class Link:
         if self._queued >= self.queue_packets:
             self.stats.queue_drops += 1
             return False
-        self._queued += 1
         self.stats.bytes_sent += size_bytes
+        self._enqueue(packet, size_bytes)
+        return True
+
+    def send_batch(self, items) -> int:
+        """Enqueue ``(packet, size_bytes)`` pairs in one stats pass.
+
+        Per-packet mechanics — tail-drop decisions, serialisation
+        ordering, and (crucially for determinism) the per-packet loss
+        RNG draws — are identical to calling :meth:`send` per item;
+        only the counter updates are amortised.  Returns the number of
+        packets accepted into the queue.
+        """
+        sent = 0
+        accepted = 0
+        tail_drops = 0
+        sent_bytes = 0
+        for packet, size_bytes in items:
+            sent += 1
+            if self._queued >= self.queue_packets:
+                tail_drops += 1
+                continue
+            sent_bytes += size_bytes
+            self._enqueue(packet, size_bytes)
+            accepted += 1
+        self.stats.sent += sent
+        if tail_drops:
+            self.stats.queue_drops += tail_drops
+        self.stats.bytes_sent += sent_bytes
+        return accepted
+
+    def _enqueue(self, packet: Any, size_bytes: int) -> None:
+        """Schedule one accepted packet (serialise, propagate, lose)."""
+        self._queued += 1
 
         serialise = self.wire_bytes(size_bytes) * 8 / self.rate_bps
         start = max(self.sim.now, self._busy_until)
@@ -95,7 +127,6 @@ class Link:
             self.deliver(packet)
 
         self.sim.at(done, arrive)
-        return True
 
     @property
     def utilisation_until_now(self) -> float:

@@ -106,6 +106,21 @@ class PfcLink(Link):
         self.sim.at(done, arrive)
         return True
 
+    def send_batch(self, items) -> int:
+        """Transmit ``(packet, size_bytes)`` pairs; never drops.
+
+        PFC pause decisions depend on the backlog each packet meets, so
+        the burst is processed strictly in order through :meth:`send`;
+        the method exists so batched senders can treat lossy and
+        lossless hops uniformly.  Returns the number of packets sent
+        (always all of them).
+        """
+        count = 0
+        for packet, size_bytes in items:
+            self.send(packet, size_bytes)
+            count += 1
+        return count
+
     @property
     def backlog_packets(self) -> float:
         """Current receiver backlog in packets."""

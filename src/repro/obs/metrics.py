@@ -136,6 +136,27 @@ class Histogram(Metric):
         self.count += 1
         self.total += value
 
+    def observe_many(self, values) -> None:
+        """Observe a burst of values with one pass of bookkeeping.
+
+        Identical end state to calling :meth:`observe` per value (the
+        batched hot path relies on that equivalence); the per-value
+        work is reduced to the bucket update itself.
+        """
+        buckets = self.buckets
+        last = self.NUM_BUCKETS - 1
+        count = 0
+        total = self.total
+        for value in values:
+            v = int(value)
+            if v < 0:
+                raise ValueError("histogram observations must be >= 0")
+            buckets[min(v.bit_length(), last)] += 1
+            count += 1
+            total += value
+        self.count += count
+        self.total = total
+
     @staticmethod
     def bucket_bounds(index: int) -> tuple[int, float]:
         """[lo, hi) value range covered by bucket ``index``."""

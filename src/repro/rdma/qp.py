@@ -196,6 +196,58 @@ class QueuePair:
         return len(self._unacked)
 
     # ------------------------------------------------------------------
+    # Requester half — burst path
+    # ------------------------------------------------------------------
+    #
+    # The batched pipeline executes whole bursts synchronously against a
+    # co-resident responder (direct mode), so the state / connection /
+    # window checks and the PSN bookkeeping are paid once per burst
+    # instead of once per verb.  End state (PSNs, counters, completion
+    # records) is identical to posting and acking each request alone.
+
+    def requester_begin_burst(self, count: int) -> None:
+        """Validate once that ``count`` requests may be sent now.
+
+        Same checks (and error messages) as :meth:`post_send`, hoisted
+        out of the per-request loop.
+        """
+        if self.state != QpState.RTS:
+            raise QpError(f"post_send in state {self.state}")
+        if self.dest_qpn is None:
+            raise QpError("QP not connected (no destination QPN)")
+        if len(self._unacked) >= self.max_outstanding:
+            raise QpError("send queue full (outstanding window exceeded)")
+
+    def requester_complete_burst(self, wrs, responses,
+                                 fault: bool = False) -> None:
+        """Commit a synchronously-executed burst on the requester side.
+
+        ``responses[i]`` is the responder payload for ``wrs[i]`` (empty
+        for writes, old value for atomics, data for reads).  With
+        ``fault`` set, ``wrs[len(responses)]`` hit a remote access error:
+        it completes with ``REM_ACCESS_ERR`` and the QP enters ERROR —
+        exactly what the per-packet fatal-NAK path produces — and a
+        :class:`QpError` is raised if further requests were queued behind
+        it (they could never have been posted on an errored QP).
+        """
+        n_ok = len(responses)
+        self.send_psn = (self.send_psn + n_ok + (1 if fault else 0)) \
+            % PSN_MOD
+        completions = self.completions
+        for wr, resp in zip(wrs, responses):
+            completions.append(WorkCompletion(
+                wr_id=wr.wr_id, opcode=wr.opcode, status=WcStatus.SUCCESS,
+                byte_len=len(resp) or wr.payload_bytes, data=resp))
+        if fault:
+            wr = wrs[n_ok]
+            completions.append(WorkCompletion(
+                wr_id=wr.wr_id, opcode=wr.opcode,
+                status=WcStatus.REM_ACCESS_ERR))
+            self.state = QpState.ERROR
+            if n_ok + 1 < len(wrs):
+                raise QpError(f"post_send in state {self.state}")
+
+    # ------------------------------------------------------------------
     # Responder half
     # ------------------------------------------------------------------
 
@@ -246,6 +298,83 @@ class QueuePair:
         return roce.encode_ack(dest_qp=pkt.bth.dest_qp, psn=psn, syndrome=0,
                                msn=self.msn, payload=response_payload,
                                atomic=atomic)
+
+    def responder_execute_burst(self, wrs) -> tuple[list[bytes], bool]:
+        """Execute a burst of requests without wire (de)serialisation.
+
+        The burst arrives in PSN order by construction (the requester
+        numbered it in one go), so the per-packet sequence check reduces
+        to advancing ``expected_psn``/``msn`` by the executed count.
+        Returns ``(responses, fault)``: one response payload per
+        executed request, and ``fault`` true if the next request died
+        with a remote access error (counters and the ERROR transition
+        then match :meth:`responder_receive`'s fatal-NAK path).
+        """
+        if self.state not in (QpState.RTR, QpState.RTS):
+            raise QpError(f"responder_receive in state {self.state}")
+        counters = self.counters
+        responses: list[bytes] = []
+        executed = 0
+        bytes_written = 0
+        bytes_read = 0
+        atomics = 0
+        fault = False
+        pd = self.pd
+        for wr in wrs:
+            verb = wr.opcode
+            try:
+                if verb in (Opcode.WRITE, Opcode.WRITE_IMM):
+                    region = pd.lookup(wr.rkey)
+                    region.write(wr.remote_addr, wr.data)
+                    bytes_written += len(wr.data)
+                    if verb == Opcode.WRITE_IMM:
+                        self.completions.append(WorkCompletion(
+                            wr_id=0, opcode=verb, status=WcStatus.SUCCESS,
+                            byte_len=len(wr.data), imm=wr.imm))
+                    responses.append(b"")
+                elif verb == Opcode.READ:
+                    region = pd.lookup(wr.rkey)
+                    data = region.read(wr.remote_addr, wr.length)
+                    bytes_read += len(data)
+                    responses.append(data)
+                elif verb == Opcode.FETCH_ADD:
+                    region = pd.lookup(wr.rkey)
+                    old = region.fetch_add(wr.remote_addr, wr.swap)
+                    atomics += 1
+                    responses.append(old.to_bytes(8, "little"))
+                elif verb == Opcode.CMP_SWAP:
+                    region = pd.lookup(wr.rkey)
+                    old = region.compare_swap(wr.remote_addr, wr.compare,
+                                              wr.swap)
+                    atomics += 1
+                    responses.append(old.to_bytes(8, "little"))
+                elif verb == Opcode.SEND:
+                    self.completions.append(WorkCompletion(
+                        wr_id=0, opcode=verb, status=WcStatus.SUCCESS,
+                        byte_len=len(wr.data), data=wr.data, imm=wr.imm))
+                    responses.append(b"")
+                else:
+                    raise QpError(f"unsupported verb {verb}")
+            except RemoteAccessError:
+                fault = True
+                break
+            executed += 1
+        self.expected_psn = (self.expected_psn + executed) % PSN_MOD
+        self.msn = (self.msn + executed) % PSN_MOD
+        if executed:
+            counters.requests_executed += executed
+            counters.acks_sent += executed
+        if bytes_written:
+            counters.bytes_written += bytes_written
+        if bytes_read:
+            counters.bytes_read += bytes_read
+        if atomics:
+            counters.atomics += atomics
+        if fault:
+            counters.access_errors += 1
+            counters.naks_sent += 1
+            self.state = QpState.ERROR
+        return responses, fault
 
     def _execute(self, pkt: roce.RocePacket) -> tuple[bytes, bool]:
         """Apply the verb to registered memory; returns (response, atomic)."""

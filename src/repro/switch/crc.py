@@ -64,9 +64,26 @@ def _reflect(value: int, bits: int) -> int:
     return out
 
 
-@lru_cache(maxsize=64)
+# Module-level table cache.  The 256-entry lookup table depends only on
+# (width, poly, refin) — init/xorout/refout/name are applied outside the
+# table loop — so parameter sets that differ only in those fields (and
+# every engine instance over the same polynomial) share one table
+# object.  A plain dict, not an lru_cache: the handful of polynomials a
+# deployment uses must never be evicted mid-run.
+_TABLE_CACHE: dict = {}
+
+
 def _make_table(poly: CrcPoly) -> tuple:
-    """Build the 256-entry lookup table for a parameter set."""
+    """The (cached) 256-entry lookup table for a parameter set."""
+    key = (poly.width, poly.poly, poly.refin)
+    table = _TABLE_CACHE.get(key)
+    if table is None:
+        table = _TABLE_CACHE[key] = _build_table(poly)
+    return table
+
+
+def _build_table(poly: CrcPoly) -> tuple:
+    """Compute the 256-entry lookup table (uncached)."""
     mask = (1 << poly.width) - 1
     top = 1 << (poly.width - 1)
     table = []
@@ -131,32 +148,44 @@ class CrcEngine:
         return self.compute(data)
 
 
+@lru_cache(maxsize=1024)
+def _hash_lane(index: int, width_bits: int):
+    """One memoized hash-family lane (see :func:`hash_family`).
+
+    Lanes are keyed on (index, width) so every layout object in the
+    process — each Key-Write/Key-Increment layout derives the same
+    "global hash functions" — shares one closure per lane instead of
+    rebuilding the family per instance.
+    """
+    mask = (1 << width_bits) - 1
+    prefix = index.to_bytes(4, "big")
+
+    if width_bits > 32:
+        def h(data: bytes, _prefix=prefix, _mask=mask) -> int:
+            full = zlib.crc32(_prefix + data)
+            # Two CRC passes are jointly affine in the input bits,
+            # which biases leading-zero statistics (HyperLogLog is
+            # sensitive to this).  A splitmix64 finaliser breaks the
+            # linear structure while staying deterministic.
+            hi = zlib.crc32(b"\xA5" + _prefix + data)
+            return _splitmix64((hi << 32) | full) & _mask
+    else:
+        def h(data: bytes, _prefix=prefix, _mask=mask) -> int:
+            return zlib.crc32(_prefix + data) & _mask
+
+    return h
+
+
 def hash_family(count: int, width_bits: int = 32) -> list:
     """Derive ``count`` practically-independent hash functions.
 
     Mirrors how the translator configures distinct CRC units: the same
     engine seeded with different prefixes.  Each returned callable maps
-    ``bytes -> int`` in ``[0, 2**width_bits)``.
+    ``bytes -> int`` in ``[0, 2**width_bits)``.  Lanes are memoized per
+    (index, width): repeated calls return the same callables, so layout
+    instances share the hot-path closures.
     """
-    mask = (1 << width_bits) - 1
-
-    def make(index: int):
-        prefix = index.to_bytes(4, "big")
-
-        def h(data: bytes, _prefix=prefix) -> int:
-            full = zlib.crc32(_prefix + data)
-            if width_bits > 32:
-                # Two CRC passes are jointly affine in the input bits,
-                # which biases leading-zero statistics (HyperLogLog is
-                # sensitive to this).  A splitmix64 finaliser breaks the
-                # linear structure while staying deterministic.
-                hi = zlib.crc32(b"\xA5" + _prefix + data)
-                return _splitmix64((hi << 32) | full) & mask
-            return full & mask
-
-        return h
-
-    return [make(i) for i in range(count)]
+    return [_hash_lane(i, width_bits) for i in range(count)]
 
 
 def _splitmix64(value: int) -> int:

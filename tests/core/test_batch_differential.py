@@ -1,0 +1,258 @@
+"""Batched-vs-per-report differential tests.
+
+The batched hot path (ReportBatch -> Reporter.send_batch ->
+Translator.process_batch) is an *optimisation*, not a semantic fork:
+for the same seeded workload it must leave the collector stores
+byte-identical and the obs registry snapshot identical to driving each
+report through the per-report path.  These tests pin that equivalence
+for every batched primitive at batch sizes 1, 7, and 64 (1 exercises
+the degenerate batch, 7 a size that never divides the workload evenly,
+64 the bench harness default).
+"""
+
+import random
+import struct
+
+import pytest
+
+from repro import obs
+from repro.core.batch import ReportBatch
+from repro.core.collector import Collector
+from repro.core.reporter import Reporter
+from repro.core.translator import Translator
+from repro.fabric.link import Link
+from repro.fabric.simulator import Simulator
+
+REPORTS = 320
+BATCH_SIZES = [1, 7, 64]
+PC_HOPS = 5
+AP_LISTS = 3
+
+
+def _deploy():
+    collector = Collector()
+    collector.serve_keywrite(slots=1 << 10, data_bytes=16)
+    collector.serve_keyincrement(slots_per_row=1 << 8, rows=4)
+    collector.serve_postcarding(chunks=1 << 8, value_set=range(64),
+                                hops=PC_HOPS)
+    collector.serve_append(lists=AP_LISTS, capacity=64, data_bytes=16,
+                           batch_size=8)
+    translator = Translator()
+    collector.connect_translator(translator)
+    reporter = Reporter("diff", 1, transmit=translator.handle_report,
+                        transmit_batch=translator.process_batch)
+    return collector, translator, reporter
+
+
+def _workload(seed=7):
+    rng = random.Random(seed)
+    return {
+        "kw_keys": [struct.pack(">I", rng.getrandbits(32))
+                    for _ in range(REPORTS)],
+        "kw_datas": [struct.pack(">QQ", i, rng.getrandbits(63))
+                     for i in range(REPORTS)],
+        "ki_keys": [struct.pack(">I", rng.getrandbits(16))
+                    for _ in range(REPORTS)],
+        "ki_values": [rng.randrange(1, 50) for _ in range(REPORTS)],
+        "pc_keys": [struct.pack(">I", i // PC_HOPS)
+                    for i in range(REPORTS)],
+        "pc_hops": [i % PC_HOPS for i in range(REPORTS)],
+        "pc_values": [rng.randrange(64) for _ in range(REPORTS)],
+        "ap_ids": [i % AP_LISTS for i in range(REPORTS)],
+        "ap_datas": [struct.pack(">QQ", i, rng.getrandbits(63))
+                     for i in range(REPORTS)],
+    }
+
+
+def _store_bytes(collector):
+    out = {}
+    for name in ("keywrite", "keyincrement", "postcarding", "append"):
+        store = getattr(collector, name)
+        out[name] = store.region.local_read(0, store.region.length)
+    return out
+
+
+def _run(batch_size=None):
+    """Drive the workload; ``batch_size=None`` means per-report path.
+
+    Returns (store bytes per primitive, obs snapshot as JSON lines).
+    """
+    work = _workload()
+    registry = obs.Registry()
+    previous = obs.set_registry(registry)
+    try:
+        collector, translator, reporter = _deploy()
+        if batch_size is None:
+            for key, data in zip(work["kw_keys"], work["kw_datas"]):
+                reporter.key_write(key, data, redundancy=2)
+            for key, value in zip(work["ki_keys"], work["ki_values"]):
+                reporter.key_increment(key, value, redundancy=2)
+            for key, hop, value in zip(work["pc_keys"], work["pc_hops"],
+                                       work["pc_values"]):
+                reporter.postcard(key, hop, value, path_length=PC_HOPS,
+                                  redundancy=1)
+            for list_id, data in zip(work["ap_ids"], work["ap_datas"]):
+                reporter.append(list_id, data)
+        else:
+            for s in range(0, REPORTS, batch_size):
+                e = s + batch_size
+                reporter.send_batch(ReportBatch.key_writes(
+                    work["kw_keys"][s:e], work["kw_datas"][s:e],
+                    redundancy=2))
+            for s in range(0, REPORTS, batch_size):
+                e = s + batch_size
+                reporter.send_batch(ReportBatch.key_increments(
+                    work["ki_keys"][s:e], work["ki_values"][s:e],
+                    redundancy=2))
+            for s in range(0, REPORTS, batch_size):
+                e = s + batch_size
+                reporter.send_batch(ReportBatch.postcards(
+                    work["pc_keys"][s:e], work["pc_hops"][s:e],
+                    work["pc_values"][s:e],
+                    path_lengths=[PC_HOPS] * (min(e, REPORTS) - s),
+                    redundancy=1))
+            for s in range(0, REPORTS, batch_size):
+                e = s + batch_size
+                reporter.send_batch(ReportBatch.appends(
+                    work["ap_ids"][s:e], work["ap_datas"][s:e]))
+        translator.flush_appends()
+        stores = _store_bytes(collector)
+        jsonl = obs.to_jsonl(registry.snapshot())
+    finally:
+        obs.set_registry(previous)
+    return stores, jsonl
+
+
+class TestBatchDifferential:
+    """Same workload, batched vs per-report: identical observable state."""
+
+    @pytest.fixture(scope="class")
+    def baseline(self):
+        return _run(batch_size=None)
+
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    def test_store_bytes_identical(self, baseline, batch_size):
+        stores, _ = _run(batch_size=batch_size)
+        for name, expected in baseline[0].items():
+            assert stores[name] == expected, \
+                f"{name} store diverged at batch size {batch_size}"
+
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    def test_obs_snapshot_identical(self, baseline, batch_size):
+        _, jsonl = _run(batch_size=batch_size)
+        assert jsonl == baseline[1]
+
+
+class TestBatchSemantics:
+    def test_append_partial_batch_flushes_like_per_report(self):
+        # 5 appends against batch_size=8: nothing commits until the
+        # explicit flush, exactly as on the per-report path.
+        registry = obs.Registry()
+        previous = obs.set_registry(registry)
+        try:
+            collector = Collector()
+            collector.serve_append(lists=1, capacity=64, data_bytes=4,
+                                   batch_size=8)
+            translator = Translator()
+            collector.connect_translator(translator)
+            reporter = Reporter("ap", 1,
+                                transmit=translator.handle_report,
+                                transmit_batch=translator.process_batch)
+            reporter.send_batch(ReportBatch.appends(
+                [0] * 5, [struct.pack(">I", i) for i in range(5)]))
+            assert translator.append_head(0) == 0
+            translator.flush_appends()
+            assert translator.append_head(0) == 5
+        finally:
+            obs.set_registry(previous)
+
+    def test_batched_postcarding_evicts_like_per_report(self):
+        # Two flows through a single-slot-per-key workload with full
+        # paths: completed paths must emit whether driven one report at
+        # a time or as one batch.
+        def drive(batched):
+            registry = obs.Registry()
+            previous = obs.set_registry(registry)
+            try:
+                collector = Collector()
+                collector.serve_postcarding(chunks=1 << 6,
+                                            value_set=range(16), hops=3)
+                translator = Translator()
+                collector.connect_translator(translator)
+                reporter = Reporter(
+                    "pc", 1, transmit=translator.handle_report,
+                    transmit_batch=translator.process_batch)
+                keys = [struct.pack(">I", f) for f in (1, 2)
+                        for _ in range(3)]
+                hops = [0, 1, 2, 0, 1, 2]
+                values = [3, 4, 5, 6, 7, 8]
+                if batched:
+                    reporter.send_batch(ReportBatch.postcards(
+                        keys, hops, values, path_lengths=[3] * 6,
+                        redundancy=1))
+                else:
+                    for key, hop, value in zip(keys, hops, values):
+                        reporter.postcard(key, hop, value, path_length=3,
+                                          redundancy=1)
+                store = collector.postcarding
+                return (translator.stats.rdma_messages,
+                        store.region.local_read(0, store.region.length))
+            finally:
+                obs.set_registry(previous)
+
+        assert drive(batched=True) == drive(batched=False)
+        messages, raw = drive(batched=True)
+        assert messages > 0 and any(raw)
+
+    def test_invalid_batch_rejected_whole(self):
+        # process_batch validates the whole batch before touching any
+        # state (documented difference from per-report prefix
+        # processing): an unknown list id anywhere rejects everything.
+        registry = obs.Registry()
+        previous = obs.set_registry(registry)
+        try:
+            collector = Collector()
+            collector.serve_append(lists=1, capacity=64, data_bytes=4,
+                                   batch_size=2)
+            translator = Translator()
+            collector.connect_translator(translator)
+            batch = ReportBatch.appends(
+                [0, 0, 9], [struct.pack(">I", i) for i in range(3)])
+            before = translator.stats.reports_in
+            with pytest.raises(ValueError):
+                translator.process_batch(batch)
+            translator.flush_appends()
+            assert translator.append_head(0) == 0
+            assert translator.stats.reports_in == before
+        finally:
+            obs.set_registry(previous)
+
+
+class TestLinkBatchDeterminism:
+    def test_send_batch_matches_send_sequence(self):
+        # Same seed, same packets: identical delivery set, identical
+        # loss decisions (the per-packet RNG draw order is preserved),
+        # identical counters.
+        def drive(batched):
+            registry = obs.Registry()
+            previous = obs.set_registry(registry)
+            try:
+                sim = Simulator()
+                got = []
+                link = Link(sim, got.append, loss=0.3, queue_packets=8,
+                            seed=42, name="diff-link")
+                items = [(i, 100 + i) for i in range(64)]
+                if batched:
+                    link.send_batch(items)
+                else:
+                    for packet, size in items:
+                        link.send(packet, size)
+                sim.run()
+                stats = link.stats
+                return (got, stats.sent, stats.delivered,
+                        stats.random_drops, stats.queue_drops,
+                        stats.bytes_sent)
+            finally:
+                obs.set_registry(previous)
+
+        assert drive(batched=True) == drive(batched=False)

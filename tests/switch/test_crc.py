@@ -91,3 +91,43 @@ class TestHashFamily:
     def test_distributes_into_range(self, key):
         (h,) = hash_family(1, width_bits=32)
         assert 0 <= h(key) < (1 << 32)
+
+
+class TestTableCache:
+    """The 256-entry lookup table is cached per polynomial, per module."""
+
+    def test_two_engines_share_one_table(self):
+        a = CrcEngine(crc.CRC32C)
+        b = CrcEngine(crc.CRC32C)
+        assert a._table is b._table
+
+    def test_init_xorout_variants_share_one_table(self):
+        # The table depends only on (width, poly, refin); init/xorout
+        # are applied outside the table loop.
+        base = crc.CRC32C
+        variant = CrcPoly(base.width, base.poly, 0x12345678, base.refin,
+                          base.refout, 0x0, "crc32c-variant")
+        assert CrcEngine(base)._table is CrcEngine(variant)._table
+        # ...and the variant still computes a *different* CRC.
+        assert CrcEngine(base).compute(b"123456789") != \
+            CrcEngine(variant).compute(b"123456789")
+
+    def test_distinct_polynomials_get_distinct_tables(self):
+        assert CrcEngine(crc.CRC32C)._table is not \
+            CrcEngine(crc.CRC32_BZIP2)._table
+
+    def test_cache_key_present_after_use(self):
+        CrcEngine(crc.CRC16)
+        key = (crc.CRC16.width, crc.CRC16.poly, crc.CRC16.refin)
+        assert key in crc._TABLE_CACHE
+
+    def test_hash_family_lanes_memoised(self):
+        first = hash_family(4)
+        second = hash_family(4)
+        for fa, fb in zip(first, second):
+            assert fa is fb
+
+    def test_hash_family_width_keys_separate_lanes(self):
+        (h32,) = hash_family(1, width_bits=32)
+        (h16,) = hash_family(1, width_bits=16)
+        assert h32 is not h16

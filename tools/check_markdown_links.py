@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Check local links in the repo's markdown documentation.
+
+Stdlib-only, so it runs anywhere CI can run Python.  Verifies that
+every relative link target — ``[text](path)``, with an optional
+``#fragment`` stripped — resolves to a file or directory relative to
+the markdown file containing it.  External links (``http(s)://``,
+``mailto:``) and pure in-page anchors (``#section``) are skipped: this
+guards the docs cross-reference graph, not the internet.
+
+Usage::
+
+    python tools/check_markdown_links.py README.md docs/*.md
+    python tools/check_markdown_links.py          # default doc set
+
+Exit code 0 if every link resolves, 1 otherwise (broken links listed
+one per line as ``file:line: target``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+DEFAULT_DOCS = [
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+    "CHANGES.md",
+    "docs/ARCHITECTURE.md",
+    "docs/BENCHMARKS.md",
+    "docs/CALIBRATION.md",
+    "docs/PROTOCOL.md",
+]
+
+# [text](target) — target up to the first unescaped ')'; images too.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_FENCE = re.compile(r"^(```|~~~)")
+
+
+def iter_links(path: pathlib.Path):
+    """Yield (line_number, target) for each local link in a file."""
+    in_fence = False
+    for number, line in enumerate(path.read_text(
+            encoding="utf-8").splitlines(), start=1):
+        if _FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            yield number, target
+
+
+def check_file(path: pathlib.Path) -> list:
+    """Broken links in one markdown file, as (line, target) pairs."""
+    broken = []
+    for number, target in iter_links(path):
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            broken.append((number, target))
+    return broken
+
+
+def main(argv: list | None = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    names = args or DEFAULT_DOCS
+    failures = 0
+    checked = 0
+    for name in names:
+        path = (REPO_ROOT / name).resolve()
+        if not path.exists():
+            print(f"{name}: file not found", file=sys.stderr)
+            failures += 1
+            continue
+        checked += 1
+        for number, target in check_file(path):
+            print(f"{name}:{number}: broken link -> {target}")
+            failures += 1
+    print(f"checked {checked} files, {failures} broken links")
+    return 0 if failures == 0 else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
