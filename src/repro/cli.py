@@ -10,6 +10,7 @@
     python -m repro rates                    # Table 1 report rates
     python -m repro stats --loss 0.05        # obs registry after a sim
     python -m repro bench --quick            # batched-vs-unbatched perf
+    python -m repro faults --seed 7          # chaos run + recovery audit
 """
 
 from __future__ import annotations
@@ -215,6 +216,28 @@ def _cmd_bench(args) -> int:
     return 0 if document["pass"] else 1
 
 
+def _cmd_faults(args) -> int:
+    """Run the chaos scenario and audit recovery; gate on --smoke."""
+    from repro.faults import default_plan, run_chaos
+
+    plan = default_plan(seed=args.seed)
+    if not args.quiet:
+        print(plan.describe())
+        print()
+    result = run_chaos(seed=args.seed, n_reports=args.reports,
+                       reporter_loss=args.loss,
+                       redundancy=args.redundancy,
+                       failover=not args.no_failover)
+    print(result.summary())
+    if result.missing and not args.quiet:
+        print(f"missing: {', '.join(result.missing[:16])}"
+              + (" ..." if len(result.missing) > 16 else ""))
+    if args.smoke:
+        # CI gate: every essential report must survive the barrage.
+        return 0 if result.all_recovered else 1
+    return 0
+
+
 def _cmd_rates(args) -> int:
     from repro.workloads.report_rates import network_report_rate, table1_rows
 
@@ -313,6 +336,26 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--out", default=None, metavar="PATH",
                        help="output path (default BENCH_<date>.json)")
     bench.set_defaults(fn=_cmd_bench)
+
+    faults = sub.add_parser(
+        "faults", help="seeded chaos run with recovery audit")
+    faults.add_argument("--seed", type=int, default=7,
+                        help="plan + topology RNG seed")
+    faults.add_argument("--reports", type=int, default=240,
+                        help="essential Key-Write reports per reporter")
+    faults.add_argument("--loss", type=float, default=0.01,
+                        help="baseline reporter-link loss probability")
+    faults.add_argument("--redundancy", type=int, default=2,
+                        help="Key-Write redundancy N")
+    faults.add_argument("--no-failover", action="store_true",
+                        help="leave the crashed primary unserved "
+                             "(shows what the standby is for)")
+    faults.add_argument("--smoke", action="store_true",
+                        help="exit non-zero unless every essential "
+                             "report is queryable (CI chaos gate)")
+    faults.add_argument("--quiet", action="store_true",
+                        help="summary line only")
+    faults.set_defaults(fn=_cmd_faults)
     return parser
 
 

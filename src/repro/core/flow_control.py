@@ -92,6 +92,13 @@ class LossDetector:
                 # `retransmits_accepted` balances against actual NACK
                 # coverage instead of inflating with every duplicate.
                 self.stats.duplicate_retransmits += 1
+            # A retransmit landing exactly on the expected counter
+            # advances it (and first contact adopts it), so a recovery
+            # sweep re-sending a silent tail converges instead of the
+            # same seqs reading as "still missing" forever.
+            expected = self._expected.get(reporter_id)
+            if expected is None or seq_distance(seq, expected) == 0:
+                self._expected[reporter_id] = (seq + 1) % SEQ_MOD
             return None
         if reporter_id not in self._expected:
             if len(self._expected) >= self.max_reporters:
@@ -124,6 +131,56 @@ class LossDetector:
     def expected_seq(self, reporter_id: int) -> int | None:
         return self._expected.get(reporter_id)
 
+    # -- recovery support --------------------------------------------------
+
+    def all_awaiting(self) -> dict[int, list[int]]:
+        """NACKed-but-unfilled seqs per reporter (recovery sweep input)."""
+        return {rid: sorted(seqs) for rid, seqs in self._awaiting.items()}
+
+    def abandon(self, reporter_id: int, seq: int) -> None:
+        """Give up on an awaited seq (its backup copy was evicted).
+
+        Keeps the awaiting ledger from pinning permanently-lost reports
+        across recovery sweeps; the loss itself is already accounted by
+        the reporter (``lost_forever``).
+        """
+        awaiting = self._awaiting.get(reporter_id)
+        if awaiting is not None:
+            awaiting.discard(seq)
+            if not awaiting:
+                del self._awaiting[reporter_id]
+
+    def force_expected(self, reporter_id: int, seq: int) -> None:
+        """Recovery override: declare everything before ``seq`` settled.
+
+        Used when tail reconciliation finds a sequence that no backup
+        still holds — the report is unrecoverable, and leaving the
+        expected counter pointing at the hole would make every later
+        tail re-send read as "not yet the one we need" forever.
+        """
+        self._expected[reporter_id] = seq % SEQ_MOD
+
+    def export_state(self) -> dict:
+        """Snapshot sequence state for translator failover.
+
+        The standby imports this at takeover (state sync over the
+        controller channel) so a stream moves between translators
+        without re-running first-contact acceptance — which would
+        silently forgive any report lost in the gap.
+        """
+        return {
+            "expected": dict(self._expected),
+            "awaiting": {rid: sorted(seqs)
+                         for rid, seqs in self._awaiting.items()},
+        }
+
+    def import_state(self, state: dict) -> None:
+        """Adopt a peer's :meth:`export_state` snapshot (failover)."""
+        self._expected = dict(state["expected"])
+        self._awaiting = {rid: set(seqs)
+                          for rid, seqs in state["awaiting"].items()
+                          if seqs}
+
 
 class BackupStats(InstrumentedStats):
     """Reporter-side backup accounting."""
@@ -152,8 +209,16 @@ class ReportBackup:
         self.stats = BackupStats(labels=labels)
 
     def store(self, seq: int, raw: bytes) -> None:
-        """Retain an essential report until it is presumed delivered."""
-        self._buf[seq % SEQ_MOD] = raw
+        """Retain an essential report until it is presumed delivered.
+
+        Re-storing a live sequence refreshes its recency: without the
+        ``move_to_end`` the entry would keep its *original* eviction
+        slot, so a just-refreshed report could be the next FIFO victim
+        while stale neighbours survive.
+        """
+        key = seq % SEQ_MOD
+        self._buf[key] = raw
+        self._buf.move_to_end(key)
         self.stats.stored += 1
         while len(self._buf) > self.capacity:
             self._buf.popitem(last=False)
@@ -176,6 +241,14 @@ class ReportBackup:
                 out.append((seq, raw))
                 self.stats.retransmitted += 1
         return out
+
+    def get(self, seq: int) -> bytes | None:
+        """The backed-up report for one seq, or None if evicted."""
+        return self._buf.get(seq % SEQ_MOD)
+
+    def seqs(self) -> list[int]:
+        """Live sequence numbers, oldest first (recovery reconciliation)."""
+        return list(self._buf)
 
     def __len__(self) -> int:
         return len(self._buf)

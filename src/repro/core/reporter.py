@@ -255,15 +255,36 @@ class Reporter(Node):
             obs.emit("reporter", "reports_lost_forever", node=self.name,
                      count=lost, expected_seq=nack.expected_seq)
         for _seq, raw in available:
-            header = packets.DtaHeader.unpack(raw)
-            resent = packets.DtaHeader(
-                primitive=header.primitive,
-                flags=header.flags | DtaFlags.RETRANSMIT,
-                reporter_id=header.reporter_id,
-                seq=header.seq).pack() + raw[packets.BASE_HEADER_BYTES:]
-            self._transmit(resent)
-            self.stats.retransmitted += 1
+            self._retransmit(raw)
         return len(available)
+
+    def _retransmit(self, raw: bytes) -> None:
+        """Re-send one backed-up report with the RETRANSMIT flag set."""
+        header = packets.DtaHeader.unpack(raw)
+        resent = packets.DtaHeader(
+            primitive=header.primitive,
+            flags=header.flags | DtaFlags.RETRANSMIT,
+            reporter_id=header.reporter_id,
+            seq=header.seq).pack() + raw[packets.BASE_HEADER_BYTES:]
+        self._transmit(resent)
+        self.stats.retransmitted += 1
+
+    def resend_from_backup(self, seq: int) -> bool:
+        """Controller-driven re-send of one backed-up essential report.
+
+        The recovery sweep (:func:`repro.faults.recovery.drain_losses`)
+        uses this to replay reports the translator is still awaiting —
+        or never saw at all (a silent tail lost to an outage), which no
+        NACK will ever cover because NACKs need a *later* arrival to
+        expose the gap.  Deliberately bypasses the duplicate-NACK
+        ledger: the controller, not a control packet, decides what to
+        re-send.  Returns False when the seq has been evicted.
+        """
+        raw = self.backup.get(seq)
+        if raw is None:
+            return False
+        self._retransmit(raw)
+        return True
 
     def handle_congestion(self, signal: CongestionSignal) -> None:
         """Raise the local shedding level (reset via :meth:`relax`)."""

@@ -28,6 +28,7 @@ tested to be bit-identical in counters and collector memory.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro import calibration, obs
@@ -80,6 +81,7 @@ class TranslatorStats(obs.InstrumentedStats):
     low_priority_dropped = obs.counter_field()
     rerouted_to_cpu = obs.counter_field()
     immediate_writes = obs.counter_field()
+    dropped_while_crashed = obs.counter_field()
 
     @property
     def rdma_messages(self) -> int:
@@ -158,7 +160,8 @@ class Translator(Node):
         self.stats = TranslatorStats(labels={"node": name})
         self.loss = LossDetector(max_reporters, labels={"node": name})
         self.control_sink = None   # callable(src, raw) in direct mode
-        self.cpu_backlog: list = []
+        self.cpu_backlog: deque = deque()
+        self._crashed = False
         self._kw: _KeyWriteBinding | None = None
         self._ki: _KeyIncrementBinding | None = None
         self._pc: _PostcardingBinding | None = None
@@ -278,6 +281,9 @@ class Translator(Node):
     # ------------------------------------------------------------------
 
     def receive(self, packet) -> None:
+        if self._crashed:
+            self.stats.dropped_while_crashed += 1
+            return
         if isinstance(packet, DtaFrame):
             self.handle_report(packet.raw, src=packet.src)
         elif isinstance(packet, RoceFrame):
@@ -293,6 +299,9 @@ class Translator(Node):
     def handle_report(self, raw: bytes, *, src: str | None = None,
                       now: float | None = None) -> None:
         """Process one DTA report end to end."""
+        if self._crashed:
+            self.stats.dropped_while_crashed += 1
+            return
         if now is not None:
             self.now = now
         header, op = packets.decode_report(raw)
@@ -367,6 +376,9 @@ class Translator(Node):
         point, a batch is validated whole, so a malformed batch raises
         before any state changes.
         """
+        if self._crashed:
+            self.stats.dropped_while_crashed += len(batch)
+            return
         if now is not None:
             self.now = now
         n = len(batch)
@@ -517,14 +529,61 @@ class Translator(Node):
 
     def reinject_cpu_backlog(self, now: float, max_reports: int = 1024
                              ) -> int:
-        """Switch-CPU re-injection of rerouted essential reports."""
+        """Switch-CPU re-injection of rerouted essential reports.
+
+        Drains in arrival order and stops at the first report the meter
+        rejects *again*: re-admission goes through :meth:`handle_report`
+        (and therefore :meth:`_admit`), so a still-hot meter would
+        otherwise bounce the same report back to the backlog tail inside
+        the drain loop — spinning until ``max_reports`` while inflating
+        ``rerouted_to_cpu`` once per lap.  A re-rejected report is moved
+        back to the *head* so backlog order is preserved for the next
+        drain.  Returns the number of reports actually re-admitted.
+        """
+        if self._crashed:
+            return 0
         self.now = now
         count = 0
         while self.cpu_backlog and count < max_reports:
-            raw = self.cpu_backlog.pop(0)
+            raw = self.cpu_backlog.popleft()
             self.handle_report(raw, now=self.now)
+            if self.cpu_backlog and self.cpu_backlog[-1] is raw:
+                # The meter is still hot: restore the report's place at
+                # the front and give the meter time to cool down.
+                self.cpu_backlog.appendleft(self.cpu_backlog.pop())
+                break
             count += 1
         return count
+
+    # -- fault injection: fail-stop crash --------------------------------
+
+    def crash(self) -> None:
+        """Fail-stop fault: drop every frame until :meth:`restart`.
+
+        Reports and RoCE responses alike hit the floor (counted in
+        ``dropped_while_crashed``).  Reporters keep emitting — their
+        essential reports stay in local backups, and the sequence gap
+        the outage leaves behind is NACKed on the first essential report
+        after restart, which is what drives re-delivery.
+        """
+        self._crashed = True
+        obs.emit("translator", "crash", node=self.name)
+
+    def restart(self) -> None:
+        """Recover from :meth:`crash` (warm restart).
+
+        Bindings and sequence state survive — they live in switch-CPU
+        memory, which the controller restores.  Reports dropped during
+        the outage are only *detected* when the next essential report
+        exposes the gap; a silent tail (no further traffic) needs the
+        recovery sweep (:func:`repro.faults.recovery.drain_losses`).
+        """
+        self._crashed = False
+        obs.emit("translator", "restart", node=self.name)
+
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
 
     def _send_control(self, src: str | None, reporter_id: int,
                       message) -> None:

@@ -15,10 +15,13 @@ from RoCE from control messages without sniffing bytes.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 
+from repro.obs.registry import emit
+from repro.rdma.cm import reestablish
 from repro.rdma.nic import Nic
-from repro.rdma.qp import QpState, QueuePair
+from repro.rdma.qp import QpError, QpState, QueuePair
 from repro.rdma.verbs import WorkRequest
 
 
@@ -46,23 +49,147 @@ class CtrlFrame:
     raw: bytes
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounds for post-time QP recovery (retry with backoff).
+
+    ``backoff_base_s`` models the controller's exponential backoff
+    between recovery attempts; the event-driven modes have no wall
+    clock to sleep on, so the accumulated delay is recorded on
+    :attr:`RdmaClient.backoff_s` for the performance model instead of
+    being slept.
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 100e-6
+    #: How many fatal NAKs one work request may personally draw (as the
+    #: request the responder rejected, not an innocent flushed alongside
+    #: it) before recovery abandons it instead of replaying it again —
+    #: a persistently-poisonous request must not pin recovery forever.
+    wr_replay_cap: int = 16
+
+
+def recover_qp(client: "RdmaClient", server_nic: Nic) -> bool:
+    """Controller-driven QP recovery: reset, re-handshake, replay.
+
+    The Section 4.2 recovery path compressed into one synchronous call:
+    the dead client QP and its responder half on ``server_nic`` walk
+    ERROR -> RESET -> INIT -> RTR -> RTS with fresh PSNs
+    (:func:`repro.rdma.cm.reestablish`), then every work request that
+    was in flight when the connection died is re-posted.  A replayed
+    request may itself fatal-NAK again (the fault is still active);
+    recovery then re-handshakes and keeps replaying, charging each
+    fatal NAK to the request that drew it
+    (:attr:`RetryPolicy.wr_replay_cap`) so a persistently-poisonous
+    request is eventually abandoned — while the innocents flushed
+    alongside it replay for free — instead of looping forever.
+    Replayed writes are idempotent; like go-back-N retransmission, a
+    replayed *atomic* may be applied twice — the same trade real RoCE
+    makes.
+
+    Returns False (nothing touched) when the QP is not actually in
+    ERROR or its destination QP is unknown to ``server_nic``.
+    """
+    qp = client.qp
+    if qp.state != QpState.ERROR or qp.dest_qpn is None:
+        return False
+    server = server_nic.qps.get(qp.dest_qpn)
+    if server is None:
+        return False
+    replay = qp.take_failed()
+    reestablish(server_nic, server, qp)
+    emit("rdma", "qp_recovered", qpn=qp.qpn, server_qpn=server.qpn,
+         replayed=len(replay))
+    pending = deque(replay)
+    while True:
+        if qp.state == QpState.ERROR:
+            # A replay fatal-NAKed (direct mode completes synchronously
+            # inside client.post).  Capture what the QP flushed *before*
+            # re-handshaking — RESET clears the captured list — and put
+            # it back at the head so replay order is preserved.
+            recaptured = qp.take_failed()
+            reestablish(server_nic, server, qp)
+            pending.extendleft(reversed(recaptured))
+        if not pending:
+            break
+        wr = pending.popleft()
+        naks = getattr(wr, "fatal_naks", 0)
+        if naks >= client.retry.wr_replay_cap:
+            emit("rdma", "wr_abandoned", qpn=qp.qpn,
+                 opcode=wr.opcode.name, fatal_naks=naks)
+            continue
+        client.post(wr)
+    return True
+
+
 class RdmaClient:
     """Requester-side wrapper: posts work requests, handles responses.
 
     Owns the client half of a QP; ``send_fn`` moves raw packets toward
     the responder (a function call in direct mode, a link send in
     fabric mode).
+
+    A dead QP no longer poisons every subsequent post: when a recovery
+    hook is available — ``recover_fn`` bound explicitly (see
+    :func:`repro.faults.recovery.bind_qp_recovery`) or a ``recover``
+    method on the transport (direct mode) — posting on an errored QP
+    triggers bounded retry-with-backoff recovery, and a
+    :class:`~repro.rdma.qp.QpError` only propagates once the retry
+    budget (:class:`RetryPolicy`) is exhausted.
     """
 
-    def __init__(self, qp: QueuePair, send_fn) -> None:
+    def __init__(self, qp: QueuePair, send_fn, *,
+                 retry: RetryPolicy | None = None) -> None:
         self.qp = qp
         self.send_fn = send_fn
         self.posted = 0
         self.payload_bytes = 0
+        self.retry = retry or RetryPolicy()
+        self.recover_fn = None          # callable(client) -> bool
+        self.recoveries = 0
+        self.recovery_failures = 0
+        self.backoff_s = 0.0
+        self._recovering = False
+
+    def _try_recover(self) -> bool:
+        """Run the recovery hook with bounded attempts and backoff."""
+        if self._recovering:
+            return False
+        recover = self.recover_fn or getattr(self.send_fn, "recover", None)
+        if recover is None:
+            return False
+        self._recovering = True
+        try:
+            for attempt in range(self.retry.max_attempts):
+                self.backoff_s += self.retry.backoff_base_s * (2 ** attempt)
+                try:
+                    if recover(self) and self.qp.state == QpState.RTS:
+                        self.recoveries += 1
+                        return True
+                except QpError:
+                    # A replayed request re-killed the fresh QP (e.g.
+                    # the memory region is still invalid): back off and
+                    # try again until the budget runs out.
+                    continue
+            self.recovery_failures += 1
+            emit("rdma", "qp_recovery_failed", qpn=self.qp.qpn,
+                 attempts=self.retry.max_attempts)
+            return False
+        finally:
+            self._recovering = False
 
     def post(self, wr: WorkRequest) -> None:
-        """Serialise, number, and transmit one verb."""
-        raw = self.qp.post_send(wr)
+        """Serialise, number, and transmit one verb.
+
+        Recovers a dead QP (bounded, see :meth:`_try_recover`) instead
+        of raising on the first post after a fatal NAK.
+        """
+        try:
+            raw = self.qp.post_send(wr)
+        except QpError:
+            if not self._try_recover():
+                raise
+            raw = self.qp.post_send(wr)
         self.posted += 1
         self.payload_bytes += wr.payload_bytes
         self.send_fn(raw)
@@ -77,9 +204,24 @@ class RdmaClient:
         unknown, whose per-packet semantics are silent drops) — it
         degrades to per-verb :meth:`post` calls, which reproduce those
         semantics exactly.  End state is identical either way.
+
+        Like :meth:`post`, a dead QP is recovered (bounded) rather than
+        raising outright: a burst that dies mid-flight leaves its
+        executed prefix committed and the rest captured on the QP, and
+        a successful recovery has already replayed those captured
+        requests — so nothing here needs re-posting afterwards.
         """
         if not wrs:
             return
+        if self.qp.state == QpState.ERROR and not self._try_recover():
+            raise QpError(f"QP {self.qp.qpn} dead and recovery failed")
+        try:
+            self._post_burst_once(wrs)
+        except QpError:
+            if not self._try_recover():
+                raise
+
+    def _post_burst_once(self, wrs: list) -> None:
         execute = getattr(self.send_fn, "execute_burst", None)
         if execute is None or not execute(self.qp, wrs):
             for wr in wrs:
@@ -147,8 +289,11 @@ class DirectRdmaTransport:
         back to per-packet posts) when the destination QP is not a
         live responder on this NIC, since per-packet traffic to such a
         QP is silently dropped and the burst path must not invent a
-        different outcome.
+        different outcome — likewise a stalled NIC, whose per-packet
+        behaviour is dropping everything unanswered.
         """
+        if self.nic.stalled:
+            return False
         server = self.nic.qps.get(qp.dest_qpn)
         if server is None or server.state not in (QpState.RTR, QpState.RTS):
             return False
@@ -156,6 +301,14 @@ class DirectRdmaTransport:
         responses, fault = self.nic.execute_burst(server, wrs)
         qp.requester_complete_burst(wrs, responses, fault=fault)
         return True
+
+    def recover(self, client: RdmaClient) -> bool:
+        """Recovery hook picked up by :meth:`RdmaClient._try_recover`.
+
+        Direct mode wires both QP halves through this transport, so the
+        responder NIC needed by :func:`recover_qp` is simply ours.
+        """
+        return recover_qp(client, self.nic)
 
 
 def make_direct_client(nic: Nic, server_qp: QueuePair,

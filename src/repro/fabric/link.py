@@ -26,10 +26,13 @@ class LinkStats(InstrumentedStats):
     delivered = counter_field()
     random_drops = counter_field()
     queue_drops = counter_field()
+    fault_drops = counter_field()
     bytes_sent = counter_field()
 
     @property
     def drops(self) -> int:
+        # fault_drops is a sub-count of random_drops (every fault-window
+        # loss is also recorded there), so it must not be added again.
         return self.random_drops + self.queue_drops
 
 
@@ -64,6 +67,49 @@ class Link:
         self._rng = random.Random(seed)
         self._busy_until = 0.0
         self._queued = 0
+        self._fault_loss: float | None = None
+
+    # -- fault injection ---------------------------------------------------
+
+    def begin_fault(self, loss: float = 1.0) -> None:
+        """Open a fault window: raise the loss process to ``loss``.
+
+        ``loss=1.0`` is a blackout (link down); smaller values model a
+        lossy burst (flaky optics, a microburst-saturated uplink).  The
+        window stays open until :meth:`end_fault`; drops inside it are
+        counted in ``fault_drops`` (and in ``random_drops``, keeping the
+        aggregate ``drops`` series comparable with fault-free runs).
+        """
+        if not 0.0 < loss <= 1.0:
+            raise ValueError("fault loss must be in (0, 1]")
+        self._fault_loss = loss
+
+    def end_fault(self) -> None:
+        """Close the fault window; the baseline loss process resumes."""
+        self._fault_loss = None
+
+    @property
+    def fault_active(self) -> bool:
+        return self._fault_loss is not None
+
+    def _drop_decision(self) -> tuple[bool, bool]:
+        """Decide one packet's fate: ``(dropped, in_fault_window)``.
+
+        RNG draw ordering is the determinism contract: a baseline-lossy
+        link draws exactly once per packet whether or not a fault window
+        is open (even a blackout, which needs no draw, still consumes
+        the baseline draw), so the packets *after* the window see the
+        same draws as in a run where the window closed earlier.
+        """
+        draw = self._rng.random() if self.loss > 0 else None
+        if self._fault_loss is not None:
+            p = max(self.loss, self._fault_loss)
+            if p >= 1.0:
+                return True, True
+            if draw is None:
+                draw = self._rng.random()
+            return draw < p, True
+        return draw is not None and draw < self.loss, False
 
     def wire_bytes(self, payload_bytes: int) -> int:
         """On-wire frame size including Ethernet framing overhead."""
@@ -116,12 +162,14 @@ class Link:
         self._busy_until = start + serialise
         done = self._busy_until + self.latency_s
 
-        dropped = self.loss > 0 and self._rng.random() < self.loss
+        dropped, faulted = self._drop_decision()
 
         def arrive() -> None:
             self._queued -= 1
             if dropped:
                 self.stats.random_drops += 1
+                if faulted:
+                    self.stats.fault_drops += 1
                 return
             self.stats.delivered += 1
             self.deliver(packet)

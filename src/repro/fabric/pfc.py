@@ -68,7 +68,21 @@ class PfcLink(Link):
         self._paused = False
 
     def send(self, packet: Any, size_bytes: int) -> bool:
-        """Transmit; never drops.  Returns True always."""
+        """Transmit; never drops — except inside a fault window.
+
+        PFC protects against *congestion* loss, not a dead wire: during
+        a :meth:`~repro.fabric.link.Link.begin_fault` window packets are
+        lost like on any downed link (returns False), and the RoCE layer
+        above recovers them with go-back-N retransmission.
+        """
+        if self._fault_loss is not None:
+            dropped, _ = self._drop_decision()
+            if dropped:
+                self.stats.sent += 1
+                self.stats.bytes_sent += size_bytes
+                self.stats.random_drops += 1
+                self.stats.fault_drops += 1
+                return False
         self.stats.sent += 1
         self.stats.bytes_sent += size_bytes
 

@@ -16,7 +16,7 @@ import itertools
 from dataclasses import dataclass, field
 
 from repro.rdma.nic import Nic
-from repro.rdma.qp import QueuePair
+from repro.rdma.qp import QpState, QueuePair
 
 
 class CmEvent(enum.Enum):
@@ -94,3 +94,31 @@ class CmListener:
                           advert=advert)
         self.connections.append(conn)
         return conn, advert
+
+
+def reestablish(server_nic: Nic, server_qp: QueuePair,
+                client_qp: QueuePair) -> tuple[int, int]:
+    """Re-handshake an errored connection: ERROR -> RESET -> ... -> RTS.
+
+    Models the translator controller re-running the CM exchange after a
+    fatal NAK tore the connection down (Section 4.2: the controller
+    crafts the RDMA_CM packets).  Both halves reset — preserving their
+    construction-time configuration, see
+    :meth:`repro.rdma.qp.QueuePair.modify` — and walk back to RTS with
+    fresh PSNs so stale in-flight packets from the dead incarnation are
+    rejected as sequence errors rather than executed.
+
+    Returns the ``(server_send_psn, client_send_psn)`` pair chosen for
+    the new incarnation.
+    """
+    psn_server = next(CmListener._psn_seed)
+    psn_client = next(CmListener._psn_seed)
+    server_qp.modify(QpState.RESET)
+    client_qp.modify(QpState.RESET)
+    server_nic.connect_qp(server_qp, client_qp.qpn,
+                          send_psn=psn_server, expected_psn=psn_client)
+    client_qp.modify(QpState.INIT)
+    client_qp.modify(QpState.RTR, dest_qpn=server_qp.qpn,
+                     expected_psn=psn_server)
+    client_qp.modify(QpState.RTS, send_psn=psn_client)
+    return psn_server, psn_client

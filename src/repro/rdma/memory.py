@@ -107,6 +107,28 @@ class MemoryRegion:
             struct.pack_into(fmt, self.buf, offset, desired)
         return old
 
+    # -- fault injection -----------------------------------------------------
+
+    def invalidate(self) -> AccessFlags:
+        """Revoke every access right (MR invalidation fault).
+
+        Remote operations now raise :class:`RemoteAccessError` — the
+        NIC turns them into fatal NAKs that error the QP — until
+        :meth:`restore` re-grants the rights.  Returns the rights in
+        force before invalidation, for the eventual restore.
+        """
+        revoked = self.access
+        self.access = AccessFlags(0)
+        return revoked
+
+    def restore(self, access: AccessFlags) -> None:
+        """Re-grant rights revoked by :meth:`invalidate`.
+
+        Models the collector re-registering the region and the
+        controller redistributing the (unchanged) rkey.
+        """
+        self.access = access
+
     # -- local convenience ---------------------------------------------------
 
     def local_read(self, offset: int, length: int) -> bytes:

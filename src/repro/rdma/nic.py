@@ -44,6 +44,7 @@ class NicStats(InstrumentedStats):
     payload_bytes = counter_field()
     atomics = counter_field()
     drops = counter_field()
+    stall_drops = counter_field()
     busy_ns = counter_field(0.0)
 
     def message_rate(self) -> float:
@@ -76,6 +77,7 @@ class Nic:
         self.qps: dict[int, QueuePair] = {}
         self.stats = NicStats(labels={"nic": name})
         self._next_qpn = 0x11
+        self._stalled = False
 
     # ------------------------------------------------------------------
     # Control path
@@ -114,6 +116,29 @@ class Nic:
                    if qp.state in (QpState.RTR, QpState.RTS))
 
     # ------------------------------------------------------------------
+    # Fault injection: data-path stall
+    # ------------------------------------------------------------------
+
+    def stall(self) -> None:
+        """Freeze the data path (firmware hiccup / PCIe backpressure).
+
+        While stalled, every inbound packet is dropped unanswered — to
+        the requester this is indistinguishable from wire loss, so the
+        normal timeout-driven go-back-N
+        (:meth:`repro.core.transport.RdmaClient.resend_outstanding`)
+        recovers everything once the NIC resumes.
+        """
+        self._stalled = True
+
+    def resume(self) -> None:
+        """End a :meth:`stall` window; the data path serves again."""
+        self._stalled = False
+
+    @property
+    def stalled(self) -> bool:
+        return self._stalled
+
+    # ------------------------------------------------------------------
     # Data path
     # ------------------------------------------------------------------
 
@@ -122,8 +147,12 @@ class Nic:
 
         Returns the response packet (ACK/NAK/read-response) or None if
         the packet addressed an unknown QP (silently dropped, as real
-        NICs do for bogus QPNs).
+        NICs do for bogus QPNs) or the NIC is stalled.
         """
+        if self._stalled:
+            self.stats.drops += 1
+            self.stats.stall_drops += 1
+            return None
         try:
             pkt = roce.decode(raw)
         except roce.RoceDecodeError:

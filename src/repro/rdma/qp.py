@@ -81,6 +81,9 @@ class QueuePair:
         self.completions: deque[WorkCompletion] = deque()
         # Requester retransmission window: psn -> (wire bytes, wr)
         self._unacked: "deque[tuple[int, bytes, WorkRequest]]" = deque()
+        # Requests that died in flight (flush or fatal NAK) awaiting a
+        # recovery-time replay; drained with :meth:`take_failed`.
+        self.failed_wrs: list[WorkRequest] = []
         self.dest_qpn: int | None = None
 
     # ------------------------------------------------------------------
@@ -97,7 +100,7 @@ class QueuePair:
             self._flush()
             return
         if state == QpState.RESET:
-            self.__init__(self.qpn, self.pd)  # full reset
+            self._reset()
             return
         if self.state == QpState.ERROR:
             raise QpError("QP in ERROR must go through RESET")
@@ -111,13 +114,47 @@ class QueuePair:
         if expected_psn is not None:
             self.expected_psn = expected_psn % PSN_MOD
 
+    def _reset(self) -> None:
+        """Return to RESET, preserving construction-time configuration.
+
+        Sequencing state, both queues, and the connection are cleared;
+        ``qpn``, ``pd``, ``max_outstanding``, and the counters survive
+        (hardware counters persist across ``ibv_modify_qp`` to RESET,
+        and a QP recovered from ERROR must come back with its
+        configured window, not a default-sized one).
+        """
+        self.state = QpState.RESET
+        self.send_psn = 0
+        self.expected_psn = 0
+        self.msn = 0
+        self.completions.clear()
+        self._unacked.clear()
+        self.failed_wrs.clear()
+        self.dest_qpn = None
+
     def _flush(self) -> None:
-        """Complete all in-flight requests with a flush error."""
+        """Complete all in-flight requests with a flush error.
+
+        The flushed requests are retained in :attr:`failed_wrs`: a
+        local teardown says nothing about their guilt, so a recovery
+        path may replay them all once the connection is re-established.
+        """
         while self._unacked:
             _psn, _raw, wr = self._unacked.popleft()
+            self.failed_wrs.append(wr)
             self.completions.append(WorkCompletion(
                 wr_id=wr.wr_id, opcode=wr.opcode,
                 status=WcStatus.WR_FLUSH_ERR))
+
+    def take_failed(self) -> list[WorkRequest]:
+        """Drain the requests that errored in flight (recovery replay).
+
+        Must be called *before* resetting the QP — a RESET clears the
+        list along with every other queue.
+        """
+        out = self.failed_wrs
+        self.failed_wrs = []
+        return out
 
     # ------------------------------------------------------------------
     # Requester half
@@ -164,12 +201,24 @@ class QueuePair:
             return [raw_pkt for _psn, raw_pkt, _wr in self._unacked]
         # Fatal NAK (access/operational error): the remote QP is dead.
         # Complete everything with error and tear down — retransmitting
-        # would only hammer an errored responder.
+        # would only hammer an errored responder.  Every in-flight
+        # request — including the NAKed one — is retained for recovery
+        # replay: a transient fault (region invalidated mid-run) NAKs
+        # perfectly good writes, so replay re-queues the offending I/O
+        # too, under a bounded per-request budget enforced by the
+        # recovery controller.
         status = WcStatus.REM_ACCESS_ERR \
             if pkt.syndrome == NAK_REMOTE_ACCESS_ERROR \
             else WcStatus.REM_OP_ERR
+        naked_psn = pkt.bth.psn
         while self._unacked:
-            _psn, _raw, wr = self._unacked.popleft()
+            psn, _raw, wr = self._unacked.popleft()
+            if psn == naked_psn:
+                # Charge the offender: recovery abandons a request only
+                # once *it* has personally drawn this many fatal NAKs —
+                # innocents flushed alongside it replay for free.
+                wr.fatal_naks = getattr(wr, "fatal_naks", 0) + 1
+            self.failed_wrs.append(wr)
             self.completions.append(WorkCompletion(
                 wr_id=wr.wr_id, opcode=wr.opcode, status=status))
         self.state = QpState.ERROR
@@ -240,10 +289,17 @@ class QueuePair:
                 byte_len=len(resp) or wr.payload_bytes, data=resp))
         if fault:
             wr = wrs[n_ok]
+            wr.fatal_naks = getattr(wr, "fatal_naks", 0) + 1
             completions.append(WorkCompletion(
                 wr_id=wr.wr_id, opcode=wr.opcode,
                 status=WcStatus.REM_ACCESS_ERR))
             self.state = QpState.ERROR
+            # The faulted request and everything queued behind it are
+            # retained for recovery replay (bounded per-request budget,
+            # matching the per-packet fatal-NAK path); surface the
+            # error the per-packet path would have raised when later
+            # requests could never have been posted.
+            self.failed_wrs.extend(wrs[n_ok:])
             if n_ok + 1 < len(wrs):
                 raise QpError(f"post_send in state {self.state}")
 

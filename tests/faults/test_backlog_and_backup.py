@@ -1,0 +1,92 @@
+"""Crash guards, CPU-backlog re-injection, and backup recency."""
+
+from repro.core.collector import Collector
+from repro.core.flow_control import SEQ_MOD, ReportBackup
+from repro.core.packets import KeyWrite, make_report
+from repro.core.translator import Translator
+
+
+def deploy():
+    col = Collector()
+    col.serve_keywrite(slots=2048, data_bytes=4)
+    tr = Translator()
+    col.connect_translator(tr)
+    return col, tr
+
+
+def report(key=b"k"):
+    return make_report(KeyWrite(key=key, data=b"\x00\x00\x00\x01",
+                                redundancy=1))
+
+
+class TestCrashGuards:
+    def test_crashed_translator_drops_reports(self):
+        col, tr = deploy()
+        tr.crash()
+        tr.handle_report(report(b"during-crash"))
+        assert tr.stats.dropped_while_crashed == 1
+        assert not col.query_value(b"during-crash", redundancy=1).found
+
+    def test_restart_resumes_service(self):
+        col, tr = deploy()
+        tr.crash()
+        tr.handle_report(report(b"lost"))
+        tr.restart()
+        assert not tr.crashed
+        tr.handle_report(report(b"served"))
+        assert col.query_value(b"served", redundancy=1).found
+
+    def test_reinject_is_noop_while_crashed(self):
+        _col, tr = deploy()
+        tr.cpu_backlog.append(report())
+        tr.crash()
+        assert tr.reinject_cpu_backlog(now=1.0) == 0
+        assert len(tr.cpu_backlog) == 1
+
+
+class TestBacklogReinjection:
+    def test_reinjection_readmits_in_order(self):
+        col, tr = deploy()
+        tr.cpu_backlog.extend([report(b"a"), report(b"b")])
+        assert tr.reinject_cpu_backlog(now=1.0) == 2
+        assert not tr.cpu_backlog
+        assert col.query_value(b"a", redundancy=1).found
+        assert col.query_value(b"b", redundancy=1).found
+
+    def test_reinjection_stops_on_re_rejection(self):
+        """A still-hot meter bounces the report back; the drain must
+        stop and restore backlog order instead of spinning."""
+        _col, tr = deploy()
+        first, second = report(b"a"), report(b"b")
+        tr.cpu_backlog.extend([first, second])
+        # Simulate a meter that keeps rejecting: every re-admission
+        # bounces the raw report back to the backlog tail.
+        tr.handle_report = lambda raw, now=None: tr.cpu_backlog.append(raw)
+        assert tr.reinject_cpu_backlog(now=1.0) == 0
+        assert list(tr.cpu_backlog) == [first, second]
+
+
+class TestBackupRecency:
+    def test_restore_refreshes_eviction_order(self):
+        backup = ReportBackup(capacity=3)
+        backup.store(1, b"one")
+        backup.store(2, b"two")
+        backup.store(3, b"three")
+        backup.store(1, b"one'")      # refresh: 1 becomes most recent
+        backup.store(4, b"four")      # evicts 2, not 1
+        assert backup.get(1) == b"one'"
+        assert backup.get(2) is None
+        assert backup.seqs() == [3, 1, 4]
+
+    def test_get_and_seqs_are_modular(self):
+        backup = ReportBackup(capacity=4)
+        backup.store(SEQ_MOD + 5, b"wrapped")
+        assert backup.get(5) == b"wrapped"
+        assert backup.seqs() == [5]
+
+    def test_capacity_still_enforced(self):
+        backup = ReportBackup(capacity=2)
+        for seq in range(5):
+            backup.store(seq, bytes([seq]))
+        assert len(backup) == 2
+        assert backup.stats.evicted == 3

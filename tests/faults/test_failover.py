@@ -1,0 +1,99 @@
+"""Translator failover: state handover and the Fig. 5 differential.
+
+The headline check: a chaos run whose primary translator crashes
+mid-stream — standby takeover, QP recovery, loss-detector handover,
+recovery sweep — ends with the same Key-Write query success the
+paper's redundancy analysis predicts for the load, i.e. failover
+costs (almost) nothing beyond the inherent collision rate.
+"""
+
+import pytest
+
+from repro.core import analysis
+from repro.core.collector import Collector
+from repro.core.reporter import Reporter
+from repro.core.translator import Translator
+from repro.faults import FailoverManager, ha_star, run_chaos
+from repro.faults.plan import FaultPlan
+
+
+class TestFailoverManager:
+    def _pair(self):
+        primary = Translator("primary")
+        standby = Translator("standby")
+        reporters = [Reporter("r0", 0, translator="primary")]
+        return primary, standby, reporters
+
+    def test_takeover_imports_sequence_state(self):
+        primary, standby, reporters = self._pair()
+        primary.loss.check(0, 5)          # first contact: expect 6 next
+        manager = FailoverManager(primary, standby, reporters)
+        manager.takeover()
+        assert standby.loss.expected_seq(0) == 6
+        assert manager.active is standby
+        assert reporters[0].translator == "standby"
+
+    def test_takeover_is_idempotent(self):
+        primary, standby, reporters = self._pair()
+        manager = FailoverManager(primary, standby, reporters)
+        assert manager.takeover() is standby
+        assert manager.takeover() is standby
+        assert manager.took_over
+
+    def test_direct_mode_reporters_get_transmit_swapped(self):
+        primary = Translator("primary")
+        standby = Translator("standby")
+        reporter = Reporter("r0", 0, transmit=primary.handle_report)
+        manager = FailoverManager(primary, standby, [reporter])
+        manager.takeover()
+        assert reporter.transmit == standby.handle_report
+
+    def test_ha_star_wires_standby_links(self):
+        primary, standby, reporters = self._pair()
+        collector = Collector()
+        collector.serve_keywrite(slots=128, data_bytes=4)
+        topo = ha_star(reporters, primary, standby, collector)
+        names = {link.name for link in topo.links}
+        assert "r0->standby" in names
+        assert "standby->collector" in names
+
+
+class TestFailoverDifferential:
+    """Key-Write success under failover vs the redundancy analysis.
+
+    Run at load 0.5 (6000 keys into 12000 slots — a non-power-of-two
+    table, where the CRC slot family behaves uniformly) with the full
+    default chaos barrage including the mid-run primary crash.  The
+    measured success must match ``average_success_at_load`` and a
+    fault-free run of the same deployment: the faults and the failover
+    change *which* reports need recovery, not how many queries succeed.
+    """
+
+    SLOTS = 12_000
+    REPORTS = 3_000          # x2 reporters = 6000 keys -> load 0.5
+
+    @pytest.fixture(scope="class")
+    def chaos(self):
+        return run_chaos(seed=5, n_reports=self.REPORTS, slots=self.SLOTS)
+
+    @pytest.fixture(scope="class")
+    def clean(self):
+        return run_chaos(seed=5, n_reports=self.REPORTS, slots=self.SLOTS,
+                         plan=FaultPlan([], name="no-faults"),
+                         reporter_loss=0.0)
+
+    def test_failover_happened(self, chaos):
+        assert chaos.failover
+        assert chaos.qp_recoveries > 0
+
+    def test_success_matches_analysis(self, chaos):
+        load = 2 * self.REPORTS / self.SLOTS
+        predicted = analysis.average_success_at_load(load, 2)
+        measured = chaos.queryable / chaos.total_essential
+        assert measured == pytest.approx(predicted, abs=0.02)
+
+    def test_success_matches_fault_free_run(self, chaos, clean):
+        assert not clean.failover
+        measured = chaos.queryable / chaos.total_essential
+        baseline = clean.queryable / clean.total_essential
+        assert measured == pytest.approx(baseline, abs=0.01)

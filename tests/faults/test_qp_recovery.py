@@ -1,0 +1,123 @@
+"""QP fatal-NAK handling and the bounded recovery/replay path.
+
+Covers the requester-side contract end to end: a fatal NAK completes
+every in-flight request with an error status and captures it for
+replay, posting on the dead QP without a recovery hook raises, and
+recovery (reset + CM re-handshake + budgeted replay) restores a
+working QP without losing innocent requests.
+"""
+
+import pytest
+
+from repro.core.collector import Collector
+from repro.core.packets import KeyWrite, make_report
+from repro.core.translator import Translator
+from repro.rdma.qp import QpError, QpState
+from repro.rdma.verbs import Opcode, WcStatus, WorkRequest
+
+
+def deploy():
+    col = Collector()
+    col.serve_keywrite(slots=2048, data_bytes=4)
+    tr = Translator()
+    col.connect_translator(tr)
+    return col, tr
+
+
+def poison_wr():
+    return WorkRequest(opcode=Opcode.WRITE, remote_addr=0xDEAD_0000,
+                       rkey=0xBAD, data=b"\x00")
+
+
+def good_wr(col, offset=0):
+    region = col.keywrite.region
+    return WorkRequest(opcode=Opcode.WRITE, remote_addr=region.addr + offset,
+                       rkey=region.rkey, data=b"\x01\x02\x03\x04")
+
+
+class TestFatalNak:
+    def test_in_flight_requests_complete_with_error_status(self):
+        """A mid-burst access fault completes the prefix with SUCCESS,
+        the offender with REM_ACCESS_ERR, and captures the offender and
+        everything behind it for replay."""
+        col, tr = deploy()
+        wrs = [good_wr(col, 0), poison_wr(), good_wr(col, 64)]
+        with pytest.raises(QpError):
+            tr.client.qp.requester_begin_burst(len(wrs))
+            responses, fault = col.nic.execute_burst(
+                col._server_qps[0], wrs)
+            tr.client.qp.requester_complete_burst(wrs, responses,
+                                                  fault=fault)
+        completions = tr.client.drain_completions()
+        assert [c.status for c in completions] == [
+            WcStatus.SUCCESS, WcStatus.REM_ACCESS_ERR]
+        assert tr.client.qp.state == QpState.ERROR
+        # Offender + queued-behind request both captured.
+        assert tr.client.qp.failed_wrs == wrs[1:]
+
+    def test_nak_charges_only_the_offending_request(self):
+        col, tr = deploy()
+        bad, innocent = poison_wr(), good_wr(col)
+        tr.client.qp.requester_begin_burst(2)
+        responses, fault = col.nic.execute_burst(
+            col._server_qps[0], [innocent, bad])
+        tr.client.qp.requester_complete_burst([innocent, bad],
+                                              responses, fault=fault)
+        assert bad.fatal_naks == 1
+        assert getattr(innocent, "fatal_naks", 0) == 0
+
+    def test_post_on_dead_qp_without_hook_raises(self):
+        col, tr = deploy()
+        tr.client.post(poison_wr())
+        assert tr.client.qp.state == QpState.ERROR
+        tr.client.recover_fn = None
+        tr.client.send_fn = lambda raw: None   # no .recover attribute
+        with pytest.raises(QpError):
+            tr.client.post(good_wr(col))
+
+
+class TestRecovery:
+    def test_recovery_restores_working_qp(self):
+        col, tr = deploy()
+        tr.client.post(poison_wr())
+        assert tr.client.qp.state == QpState.ERROR
+        tr.handle_report(make_report(KeyWrite(
+            key=b"revived", data=b"\x00\x00\x00\x07", redundancy=1)))
+        assert tr.client.qp.state == QpState.RTS
+        assert tr.client.recoveries == 1
+        assert col.query_value(b"revived", redundancy=1).found
+
+    def test_innocents_replay_for_free_poison_is_abandoned(self):
+        """Recovery replays innocents captured alongside the poison;
+        only the poison burns budget and is eventually dropped."""
+        col, tr = deploy()
+        bad, innocent = poison_wr(), good_wr(col)
+        tr.client.qp.requester_begin_burst(2)
+        responses, fault = col.nic.execute_burst(
+            col._server_qps[0], [bad, innocent])
+        with pytest.raises(QpError):   # innocent was queued behind
+            tr.client.qp.requester_complete_burst([bad, innocent],
+                                                  responses, fault=fault)
+        assert tr.client.qp.state == QpState.ERROR
+
+        assert tr.client._try_recover()
+        assert tr.client.qp.state == QpState.RTS
+        # The poison drew its full budget of fatal NAKs, then was
+        # abandoned; the innocent write landed in collector memory.
+        assert bad.fatal_naks == tr.client.retry.wr_replay_cap
+        assert getattr(innocent, "fatal_naks", 0) == 0
+        region = col.keywrite.region
+        assert bytes(region.buf[:4]) == b"\x01\x02\x03\x04"
+
+    def test_counters_survive_recovery(self):
+        """RESET preserves the QP's identity and statistics."""
+        col, tr = deploy()
+        tr.handle_report(make_report(KeyWrite(
+            key=b"pre", data=b"\x00\x00\x00\x01", redundancy=1)))
+        qpn = tr.client.qp.qpn
+        errors_before = tr.client.qp.counters.access_errors
+        tr.client.post(poison_wr())
+        tr.handle_report(make_report(KeyWrite(
+            key=b"post", data=b"\x00\x00\x00\x02", redundancy=1)))
+        assert tr.client.qp.qpn == qpn
+        assert tr.client.qp.counters.access_errors >= errors_before

@@ -32,18 +32,63 @@ class TestQpFailure:
         assert server_qp.state == QpState.ERROR
         assert server_qp.counters.access_errors == 1
 
-    def test_errored_qp_stops_serving(self):
+    def test_errored_qp_recovers_on_next_post(self):
+        """Posting on an errored QP triggers the bounded recovery path
+        (reset + re-handshake) instead of raising: the very next report
+        lands.  The poisoned write is replayed under the per-request
+        budget and — still poisonous — eventually abandoned."""
         col, tr = deploy()
+        poison = WorkRequest(opcode=Opcode.WRITE, remote_addr=0xDEAD,
+                             rkey=0xBAD, data=b"oops")
+        tr.client.post(poison)
+        assert tr.client.qp.state == QpState.ERROR
+        tr.handle_report(make_report(KeyWrite(
+            key=b"after-error", data=b"\x00\x00\x00\x01",
+            redundancy=1)))
+        assert tr.client.recoveries == 1
+        assert tr.client.qp.state == QpState.RTS
+        assert col.query_value(b"after-error", redundancy=1).found
+        # The replay budget was charged to the poisonous request until
+        # it was dropped from the recovery set.
+        assert poison.fatal_naks == tr.client.retry.wr_replay_cap
+
+    def test_recovery_exhausts_budget_when_peer_is_gone(self):
+        """When the responder half no longer exists, the controller
+        cannot re-handshake: recovery burns its bounded attempt budget
+        (accumulating modelled backoff) and the error propagates."""
+        col, tr = deploy()
+        from repro.rdma.qp import QpError
+
         tr.client.post(WorkRequest(opcode=Opcode.WRITE,
                                    remote_addr=0xDEAD, rkey=0xBAD,
                                    data=b"oops"))
-        # Subsequent (legitimate) traffic cannot land.
-        from repro.rdma.qp import QpError
-
+        col.nic.destroy_qp(col._server_qps[0])
         with pytest.raises(QpError):
             tr.handle_report(make_report(KeyWrite(
-                key=b"after-error", data=b"\x00\x00\x00\x01",
-                redundancy=1)))
+                key=b"blocked", data=b"\x00\x00\x00\x01", redundancy=1)))
+        assert tr.client.recovery_failures == 1
+        assert tr.client.recoveries == 0
+        assert tr.client.backoff_s > 0
+
+    def test_region_invalidate_then_restore(self):
+        """An invalidated MR fatal-NAKs every write (the QP dies after
+        each post, and recovery revives it); once the region's rights
+        are restored, recovery replays the captured write — nothing
+        NAKed during the outage is lost."""
+        col, tr = deploy()
+        revoked = col.keywrite.region.invalidate()
+        tr.handle_report(make_report(KeyWrite(
+            key=b"blocked", data=b"\x00\x00\x00\x01", redundancy=1)))
+        assert tr.client.qp.state == QpState.ERROR
+        assert not col.query_value(b"blocked", redundancy=1).found
+        col.keywrite.region.restore(revoked)
+        tr.handle_report(make_report(KeyWrite(
+            key=b"unblocked", data=b"\x00\x00\x00\x01", redundancy=1)))
+        assert tr.client.recoveries == 1
+        assert col.query_value(b"unblocked", redundancy=1).found
+        # The write NAKed while the region was dark was captured on the
+        # QP and replayed by the recovery triggered above.
+        assert col.query_value(b"blocked", redundancy=1).found
 
     def test_reconnect_restores_service(self):
         """The controller re-runs the CM handshake; data flows again

@@ -108,6 +108,27 @@ class TestSubcommands:
         main(["stats", "--reports", "16"])
         assert len(obs.get_registry()) == before
 
+    def test_faults_prints_plan_and_audit(self, capsys):
+        assert main(["faults", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "fault plan 'default-chaos'" in out
+        assert "translator_crash" in out
+        assert "480/480 essential reports queryable" in out
+        assert "failover=yes" in out
+
+    def test_faults_smoke_gate_passes_on_default_seed(self, capsys):
+        assert main(["faults", "--smoke", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("[OK]")
+        assert "fault plan" not in out   # --quiet
+
+    def test_faults_does_not_pollute_default_registry(self):
+        from repro import obs
+
+        before = len(obs.get_registry())
+        main(["faults", "--quiet", "--reports", "60"])
+        assert len(obs.get_registry()) == before
+
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["bogus"])
