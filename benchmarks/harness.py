@@ -7,10 +7,12 @@ checkout without installing the package::
     python benchmarks/harness.py --quick
 
 Runs the fixed workload matrix (Key-Write, Key-Increment, Postcarding,
-Append; unbatched vs batched), writes ``BENCH_<date>.json``, and exits
-non-zero if batched Key-Write falls below 2x the per-report path or any
-batched/unbatched obs digest diverges.  See docs/BENCHMARKS.md for the
-JSON schema and how to compare runs.
+Append, Sketch-Merge; unbatched vs batched, plus the numpy kernel lanes
+with ``--vectorized`` and the scale-out check with ``--cluster N``),
+appends a run record to ``BENCH_HISTORY.jsonl``, and exits non-zero if
+any gate fails — batched Key-Write below 2x per-report, a vectorized
+lane below 3x its baseline, or any obs-digest divergence.  See
+docs/BENCHMARKS.md for the record schema and how to compare runs.
 """
 
 import os

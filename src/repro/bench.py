@@ -1,10 +1,11 @@
 """The perf-regression harness behind ``repro bench``.
 
 Runs a fixed, seeded workload matrix — every batched DTA primitive in
-both per-report and batched mode — against a direct-mode deployment,
-and writes a machine-readable ``BENCH_<date>.json`` so later changes
-have a throughput trajectory to regress against (see
-``docs/BENCHMARKS.md`` for the schema).
+per-report, batched, and (optionally) vectorized mode — against a
+direct-mode deployment, and appends a machine-readable run record to
+``BENCH_HISTORY.jsonl`` so later changes have a throughput trajectory
+to regress against (see ``docs/BENCHMARKS.md`` for the schema and
+``tools/bench_trend.py`` for the reader).
 
 Measured quantities per (primitive, mode) cell:
 
@@ -16,13 +17,22 @@ Measured quantities per (primitive, mode) cell:
   from the translator's payload-size histogram.  This is model output,
   not wall-clock measurement: it tracks what the workload would cost on
   the paper's hardware.
-* ``obs_digest`` — SHA-256 over the final obs-registry snapshot.  The
-  batched and unbatched digests must match: the harness doubles as an
-  end-to-end check that batching changes *speed* and nothing else.
+* ``obs_digest`` — SHA-256 over the final obs-registry snapshot.  All
+  modes of a primitive must produce the same digest: the harness
+  doubles as an end-to-end check that batching and vectorization
+  change *speed* and nothing else.
 
-The harness enforces one gate: batched Key-Write throughput must be at
-least ``SPEEDUP_GATE`` (2x) the per-report path, or :func:`run_bench`
-reports failure (and the CLI exits non-zero).
+Gates (any failure makes ``repro bench`` exit non-zero):
+
+* batched Key-Write throughput >= ``SPEEDUP_GATE`` (2x) per-report;
+* with ``--vectorized``, Key-Increment and Sketch-Merge >=
+  ``VECTOR_GATE`` (3x) their pre-kernel baselines — the scalar batched
+  lane for Key-Increment, the per-report loop for Sketch-Merge (which
+  is what the batched path used to fall through to before the sketch
+  fast lane existed);
+* every within-primitive digest pair matches;
+* with ``--cluster N``, the serial, parallel, and
+  parallel-vectorized cluster digests all match.
 """
 
 from __future__ import annotations
@@ -31,6 +41,7 @@ import hashlib
 import json
 import random
 import struct
+import subprocess
 import time
 
 from repro import calibration, obs
@@ -40,7 +51,17 @@ from repro.core.reporter import Reporter
 from repro.core.translator import Translator
 
 SPEEDUP_GATE = 2.0
-SCHEMA = "repro-bench/1"
+VECTOR_GATE = 3.0
+SCHEMA = "repro-bench/2"
+HISTORY_FILE = "BENCH_HISTORY.jsonl"
+
+PRIMITIVES = ("key_write", "key_increment", "postcarding", "append",
+              "sketch_merge")
+# Lane the vector gate compares against: Key-Increment had a scalar
+# batched fast lane before the kernels (so that is the baseline);
+# batched Sketch-Merge used to fall through to the per-report handler.
+VECTOR_BASELINES = {"key_increment": "batched",
+                    "sketch_merge": "unbatched"}
 
 # Deployment constants — sized so the quick and full workloads both fit
 # without ring wrap-around dominating the run.
@@ -55,9 +76,11 @@ _AP_LISTS = 4
 _AP_CAPACITY = 1 << 15
 _AP_DATA_BYTES = 16
 _AP_BATCH = 16
+_SM_DEPTH = 4
+_SM_BATCH_COLUMNS = 16
 
 
-def _deploy() -> tuple:
+def _deploy(*, vectorized: bool = False, sketch_width: int = 0) -> tuple:
     """A fresh direct-mode deployment on a fresh registry."""
     registry = obs.Registry()
     previous = obs.set_registry(registry)
@@ -69,7 +92,11 @@ def _deploy() -> tuple:
                                 hops=_PC_HOPS)
     collector.serve_append(lists=_AP_LISTS, capacity=_AP_CAPACITY,
                            data_bytes=_AP_DATA_BYTES, batch_size=_AP_BATCH)
-    translator = Translator()
+    if sketch_width:
+        collector.serve_sketch(width=sketch_width, depth=_SM_DEPTH,
+                               expected_reporters=1,
+                               batch_columns=_SM_BATCH_COLUMNS)
+    translator = Translator(vectorized=vectorized)
     collector.connect_translator(translator)
     reporter = Reporter("bench", 1, transmit=translator.handle_report,
                         transmit_batch=translator.process_batch)
@@ -109,6 +136,13 @@ def _workload(primitive: str, reports: int, seed: int) -> dict:
             "datas": [struct.pack(">QQ", i, rng.getrandbits(63))
                       for i in range(reports)],
         }
+    if primitive == "sketch_merge":
+        return {
+            "columns": list(range(reports)),
+            "counter_rows": [tuple(rng.getrandbits(31)
+                                   for _ in range(_SM_DEPTH))
+                             for _ in range(reports)],
+        }
     raise ValueError(f"unknown benchmark primitive '{primitive}'")
 
 
@@ -126,6 +160,10 @@ def _run_unbatched(reporter: Reporter, translator: Translator,
                                    work["values"]):
             reporter.postcard(key, hop, value, path_length=_PC_HOPS,
                               redundancy=1)
+    elif primitive == "sketch_merge":
+        for column, counters in zip(work["columns"],
+                                    work["counter_rows"]):
+            reporter.sketch_column(0, column, counters)
     else:
         for list_id, data in zip(work["list_ids"], work["datas"]):
             reporter.append(list_id, data)
@@ -151,6 +189,9 @@ def _run_batched(reporter: Reporter, translator: Translator,
             batch = ReportBatch.postcards(
                 work["keys"][s:e], work["hops"][s:e], work["values"][s:e],
                 path_lengths=work["path_lengths"][s:e], redundancy=1)
+        elif primitive == "sketch_merge":
+            batch = ReportBatch.sketch_columns(0, work["columns"][s:e],
+                                               work["counter_rows"][s:e])
         else:
             batch = ReportBatch.appends(work["list_ids"][s:e],
                                         work["datas"][s:e])
@@ -193,13 +234,15 @@ def _run_cell(primitive: str, mode: str, reports: int, batch_size: int,
               seed: int) -> dict:
     """One (primitive, mode) cell on a fresh deployment."""
     work = _workload(primitive, reports, seed)
-    registry, previous, _collector, translator, reporter = _deploy()
+    sketch_width = reports if primitive == "sketch_merge" else 0
+    registry, previous, _collector, translator, reporter = _deploy(
+        vectorized=(mode == "vectorized"), sketch_width=sketch_width)
     try:
-        if mode == "batched":
+        if mode == "unbatched":
+            elapsed = _run_unbatched(reporter, translator, primitive, work)
+        else:
             elapsed = _run_batched(reporter, translator, primitive, work,
                                    batch_size)
-        else:
-            elapsed = _run_unbatched(reporter, translator, primitive, work)
         snapshot = registry.snapshot()
     finally:
         obs.set_registry(previous)
@@ -218,60 +261,158 @@ def _run_cell(primitive: str, mode: str, reports: int, batch_size: int,
     }
 
 
+def _run_cluster_check(reports: int, batch_size: int, seed: int,
+                       cluster: int) -> dict:
+    """Serial / parallel / parallel-vectorized digest agreement."""
+    from repro.kernels.parallel import ClusterSpec, run_cluster
+
+    lanes = {}
+    ok = True
+    for primitive in ("key_increment", "sketch_merge"):
+        spec = ClusterSpec(primitive=primitive,
+                           reports=min(reports, 2048), seed=seed,
+                           batch_size=batch_size, collectors=cluster)
+        vector_spec = ClusterSpec(primitive=primitive,
+                                  reports=min(reports, 2048), seed=seed,
+                                  batch_size=batch_size,
+                                  collectors=cluster, vectorized=True)
+        serial = run_cluster(spec, parallel=False)
+        parallel = run_cluster(spec, parallel=True)
+        vectorized = run_cluster(vector_spec, parallel=True)
+        digests = {"serial": serial["cluster_digest"],
+                   "parallel": parallel["cluster_digest"],
+                   "parallel_vectorized": vectorized["cluster_digest"]}
+        match = len(set(digests.values())) == 1
+        ok = ok and match
+        lanes[primitive] = {
+            "collectors": cluster,
+            "digests": digests,
+            "digest_match": match,
+            "elapsed_s": {"serial": serial["elapsed_s"],
+                          "parallel": parallel["elapsed_s"],
+                          "parallel_vectorized": vectorized["elapsed_s"]},
+        }
+    return {"lanes": lanes, "pass": ok}
+
+
 def run_bench(*, reports: int = 20000, batch_size: int = 64,
-              seed: int = 1, date: str = "unknown") -> dict:
+              seed: int = 1, date: str = "unknown",
+              vectorized: bool = False, cluster: int = 0) -> dict:
     """Run the full workload matrix; returns the BENCH document."""
     results = {}
-    ok = True
-    for primitive in ("key_write", "key_increment", "postcarding",
-                      "append"):
+    gates = []
+    for primitive in PRIMITIVES:
         unbatched = _run_cell(primitive, "unbatched", reports, batch_size,
                               seed)
         batched = _run_cell(primitive, "batched", reports, batch_size, seed)
+        cell = {"unbatched": unbatched, "batched": batched}
+        digests = {unbatched["obs_digest"], batched["obs_digest"]}
+        if vectorized:
+            vector = _run_cell(primitive, "vectorized", reports,
+                               batch_size, seed)
+            cell["vectorized"] = vector
+            digests.add(vector["obs_digest"])
         speedup = None
         if unbatched["elapsed_s"] and batched["elapsed_s"]:
             speedup = round(unbatched["elapsed_s"] / batched["elapsed_s"], 2)
-        digest_match = unbatched["obs_digest"] == batched["obs_digest"]
-        results[primitive] = {
-            "unbatched": unbatched,
-            "batched": batched,
-            "speedup": speedup,
-            "digest_match": digest_match,
-        }
-        if not digest_match:
-            ok = False
-        if primitive == "key_write" and (speedup is None
-                                         or speedup < SPEEDUP_GATE):
-            ok = False
-    return {
+        cell["speedup"] = speedup
+        cell["digest_match"] = len(digests) == 1
+        gates.append({"gate": f"{primitive} digests match",
+                      "value": cell["digest_match"], "threshold": True,
+                      "pass": cell["digest_match"]})
+        if primitive == "key_write":
+            gates.append({"gate": "key_write batched speedup",
+                          "value": speedup, "threshold": SPEEDUP_GATE,
+                          "pass": (speedup is not None
+                                   and speedup >= SPEEDUP_GATE)})
+        if vectorized and primitive in VECTOR_BASELINES:
+            baseline = cell[VECTOR_BASELINES[primitive]]
+            vector_speedup = None
+            if baseline["elapsed_s"] and cell["vectorized"]["elapsed_s"]:
+                vector_speedup = round(
+                    baseline["elapsed_s"]
+                    / cell["vectorized"]["elapsed_s"], 2)
+            cell["vector_speedup"] = vector_speedup
+            cell["vector_baseline"] = VECTOR_BASELINES[primitive]
+            gates.append({"gate": f"{primitive} vectorized speedup",
+                          "value": vector_speedup,
+                          "threshold": VECTOR_GATE,
+                          "pass": (vector_speedup is not None
+                                   and vector_speedup >= VECTOR_GATE)})
+        results[primitive] = cell
+    document = {
         "schema": SCHEMA,
         "date": date,
         "config": {"reports": reports, "batch_size": batch_size,
-                   "seed": seed, "speedup_gate": SPEEDUP_GATE},
+                   "seed": seed, "speedup_gate": SPEEDUP_GATE,
+                   "vector_gate": VECTOR_GATE, "vectorized": vectorized,
+                   "cluster": cluster},
         "results": results,
-        "pass": ok,
+        "gates": gates,
     }
+    if cluster > 1:
+        check = _run_cluster_check(reports, batch_size, seed, cluster)
+        document["cluster"] = check
+        gates.append({"gate": f"cluster x{cluster} digests match",
+                      "value": check["pass"], "threshold": True,
+                      "pass": check["pass"]})
+    document["pass"] = all(gate["pass"] for gate in gates)
+    return document
+
+
+def git_commit() -> str:
+    """Short commit hash of the working tree, or "unknown"."""
+    try:
+        out = subprocess.run(["git", "rev-parse", "--short", "HEAD"],
+                             capture_output=True, text=True, timeout=10)
+    except OSError:
+        return "unknown"
+    return out.stdout.strip() or "unknown"
+
+
+def append_history(document: dict, path: str = HISTORY_FILE) -> dict:
+    """Append one run record to the JSONL trajectory; returns the record.
+
+    Records accumulate — the harness never overwrites past runs, so
+    ``tools/bench_trend.py`` can plot throughput against history.
+    """
+    record = dict(document)
+    record["commit"] = git_commit()
+    with open(path, "a", encoding="utf-8") as handle:
+        json.dump(record, handle, sort_keys=True)
+        handle.write("\n")
+    return record
 
 
 def render_report(document: dict) -> str:
     """Human-readable summary of a BENCH document."""
-    lines = [f"{'primitive':<14}{'unbatched rps':>14}{'batched rps':>14}"
-             f"{'speedup':>9}{'verbs/s (batched)':>19}  digests"]
-    lines.append("-" * len(lines[0]))
+    vectorized = document["config"].get("vectorized")
+    header = (f"{'primitive':<14}{'unbatched rps':>14}{'batched rps':>14}"
+              f"{'speedup':>9}")
+    if vectorized:
+        header += f"{'vector rps':>14}{'vec speedup':>12}"
+    header += "  digests"
+    lines = [header, "-" * len(header)]
     for primitive, cell in document["results"].items():
         unbatched = cell["unbatched"]
         batched = cell["batched"]
-        lines.append(
-            f"{primitive:<14}"
-            f"{unbatched['reports_per_sec'] or 0:>14,.0f}"
-            f"{batched['reports_per_sec'] or 0:>14,.0f}"
-            f"{cell['speedup'] or 0:>8.2f}x"
-            f"{batched['verbs_per_sec'] or 0:>19,.0f}"
-            f"  {'match' if cell['digest_match'] else 'MISMATCH'}")
-    gate = document["config"]["speedup_gate"]
-    verdict = "PASS" if document["pass"] else "FAIL"
-    lines.append(f"gate: key_write speedup >= {gate}x and all digests "
-                 f"match -> {verdict}")
+        line = (f"{primitive:<14}"
+                f"{unbatched['reports_per_sec'] or 0:>14,.0f}"
+                f"{batched['reports_per_sec'] or 0:>14,.0f}"
+                f"{cell['speedup'] or 0:>8.2f}x")
+        if vectorized:
+            vector = cell.get("vectorized")
+            line += f"{(vector or {}).get('reports_per_sec') or 0:>14,.0f}"
+            vs = cell.get("vector_speedup")
+            line += f"{vs:>11.2f}x" if vs is not None else f"{'-':>12}"
+        line += f"  {'match' if cell['digest_match'] else 'MISMATCH'}"
+        lines.append(line)
+    for gate in document.get("gates", []):
+        verdict = "pass" if gate["pass"] else "FAIL"
+        lines.append(f"gate: {gate['gate']} "
+                     f"(value {gate['value']}, need {gate['threshold']}) "
+                     f"-> {verdict}")
+    lines.append(f"overall: {'PASS' if document['pass'] else 'FAIL'}")
     return "\n".join(lines)
 
 

@@ -208,11 +208,15 @@ def _cmd_bench(args) -> int:
     reports = min(args.reports, 2000) if args.quick else args.reports
     date = datetime.date.today().strftime("%Y%m%d")
     document = bench.run_bench(reports=reports, batch_size=args.batch_size,
-                               seed=args.seed, date=date)
-    out = args.out or f"BENCH_{date}.json"
-    bench.write_document(document, out)
+                               seed=args.seed, date=date,
+                               vectorized=args.vectorized,
+                               cluster=args.cluster)
+    record = bench.append_history(document, args.history)
     print(bench.render_report(document))
-    print(f"wrote {out}")
+    print(f"appended run {record['commit']} to {args.history}")
+    if args.out:
+        bench.write_document(document, args.out)
+        print(f"wrote {args.out}")
     return 0 if document["pass"] else 1
 
 
@@ -333,8 +337,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="workload RNG seed")
     bench.add_argument("--quick", action="store_true",
                        help="cap at 2000 reports per cell (CI smoke)")
+    bench.add_argument("--vectorized", action="store_true",
+                       help="also run the numpy kernel path and gate "
+                            "its speedup (>= 3x on KI and Sketch-Merge)")
+    bench.add_argument("--cluster", type=int, default=0, metavar="N",
+                       help="also check N-collector serial vs parallel "
+                            "digest agreement (needs N > 1)")
+    bench.add_argument("--history", default="BENCH_HISTORY.jsonl",
+                       metavar="PATH",
+                       help="JSONL trajectory to append this run to")
     bench.add_argument("--out", default=None, metavar="PATH",
-                       help="output path (default BENCH_<date>.json)")
+                       help="also write the full document to PATH")
     bench.set_defaults(fn=_cmd_bench)
 
     faults = sub.add_parser(

@@ -40,6 +40,7 @@ _KW_SUB = struct.Struct(">BBH")    # redundancy, key_len, data_len
 _KI_SUB = struct.Struct(">BBq")    # redundancy, key_len, value
 _PC_SUB = struct.Struct(">BBBBI")  # redundancy, key_len, hop, path_len, value
 _AP_SUB = struct.Struct(">HH")     # list_id, data_len
+_SM_SUB = struct.Struct(">HHB")    # sketch_id, column, depth
 
 
 def _check_keys(keys) -> None:
@@ -80,7 +81,8 @@ class ReportBatch:
 
     __slots__ = ("primitive", "reporter_id", "essential", "immediate",
                  "redundancy", "keys", "datas", "values", "hops",
-                 "path_lengths", "list_ids", "seqs")
+                 "path_lengths", "list_ids", "seqs", "sketch_id",
+                 "columns", "counter_rows")
 
     def __init__(self, primitive: DtaPrimitive, *, redundancy: int = 1,
                  essential: bool = False, immediate: bool = False) -> None:
@@ -96,6 +98,9 @@ class ReportBatch:
         self.path_lengths: list = []
         self.list_ids: list = []
         self.seqs: list = []
+        self.sketch_id = 0
+        self.columns: list = []
+        self.counter_rows: list = []
 
     # ------------------------------------------------------------------
     # Constructors — one per batched primitive
@@ -180,11 +185,43 @@ class ReportBatch:
         batch.datas = list(datas)
         return batch
 
+    @classmethod
+    def sketch_columns(cls, sketch_id: int, columns, counter_rows, *,
+                       essential: bool = False,
+                       immediate: bool = False) -> "ReportBatch":
+        """A batch of Sketch-Merge column reports.
+
+        ``columns[i]`` carries the ``counter_rows[i]`` counters (one per
+        sketch row) of sketch ``sketch_id`` — a run of the in-order
+        column stream one reporter emits per epoch (Section 4.2).
+        """
+        if len(columns) != len(counter_rows):
+            raise ValueError("columns and counter_rows must be the "
+                             "same length")
+        if not 0 <= sketch_id < (1 << 16):
+            raise ValueError("sketch_id must fit 16 bits")
+        for column in columns:
+            if not 0 <= column < (1 << 16):
+                raise ValueError("column index must fit 16 bits")
+        for counters in counter_rows:
+            if not counters:
+                raise ValueError("a sketch column carries >= 1 counter")
+            if len(counters) > 255:
+                raise ValueError("at most 255 counters per column")
+        batch = cls(DtaPrimitive.SKETCH_MERGE, essential=essential,
+                    immediate=immediate)
+        batch.sketch_id = sketch_id
+        batch.columns = list(columns)
+        batch.counter_rows = [tuple(counters) for counters in counter_rows]
+        return batch
+
     # ------------------------------------------------------------------
 
     def __len__(self) -> int:
         if self.primitive is DtaPrimitive.APPEND:
             return len(self.list_ids)
+        if self.primitive is DtaPrimitive.SKETCH_MERGE:
+            return len(self.columns)
         return len(self.keys)
 
     @property
@@ -245,5 +282,13 @@ class ReportBatch:
             for header, list_id, data in zip(headers, self.list_ids,
                                              self.datas):
                 yield header + _AP_SUB.pack(list_id, len(data)) + data
+        elif prim is DtaPrimitive.SKETCH_MERGE:
+            sketch_id = self.sketch_id
+            for header, column, counters in zip(headers, self.columns,
+                                                self.counter_rows):
+                depth = len(counters)
+                yield (header + _SM_SUB.pack(sketch_id, column, depth)
+                       + struct.pack(f">{depth}I",
+                                     *[c & 0xFFFFFFFF for c in counters]))
         else:
             raise ValueError(f"cannot serialise a {prim.name} batch")

@@ -63,6 +63,24 @@ class KeyIncrementLayout:
         return [base + (n * spr + h(key) % spr) * COUNTER_BYTES
                 for n, h in enumerate(self._hashes[:rows])]
 
+    # -- vectorized twin (numpy-gated; see repro.kernels) ----------------
+
+    def counter_indices_many(self, packed, lengths, rows: int):
+        """Flat counter indices of a packed key batch: ``(rows, n)`` int64.
+
+        Row ``n`` holds each key's row-``n`` counter index — identical to
+        :meth:`counter_index` per key (``rows`` already clamped to
+        ``self.rows``).
+        """
+        import numpy as np
+
+        from repro.kernels import crc as kcrc
+
+        lanes = kcrc.hash_lanes(rows, packed, lengths)
+        cols = (lanes % np.uint32(self.slots_per_row)).astype(np.int64)
+        offsets = np.arange(rows, dtype=np.int64) * self.slots_per_row
+        return cols + offsets[:, None]
+
 
 class KeyIncrementStore:
     """Collector-side Key-Increment queries (CMS point estimates)."""

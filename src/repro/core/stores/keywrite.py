@@ -97,6 +97,54 @@ class KeyWriteLayout:
         (csum,) = struct.unpack_from(">I", raw)
         return csum, raw[CHECKSUM_BYTES:CHECKSUM_BYTES + self.data_bytes]
 
+    # -- vectorized twins (numpy-gated; see repro.kernels) ---------------
+
+    def slot_indices_many(self, packed, lengths, redundancy: int):
+        """Slot indices of a packed key batch: ``(redundancy, n)`` int64.
+
+        Row ``r`` holds each key's redundancy-``r`` slot — the same hash
+        lanes as :meth:`slot_index` (``hash_family`` lane ``r``), so the
+        vectorized Key-Write lane lands entries in exactly the slots the
+        scalar path would.
+        """
+        import numpy as np
+
+        from repro.kernels import crc as kcrc
+
+        lanes = kcrc.hash_lanes(redundancy, packed, lengths)
+        return (lanes % np.uint32(self.slots)).astype(np.int64)
+
+    def checksums_many(self, packed, lengths):
+        """Per-key 32-bit checksums (lane ``MAX_REDUNDANCY``), uint32."""
+        from repro.kernels import crc as kcrc
+
+        return kcrc.hash_lane_many(MAX_REDUNDANCY, packed, lengths)
+
+    def encode_entries_many(self, packed, lengths, datas):
+        """Encode a whole batch of slot entries: ``(n, slot_bytes)`` uint8.
+
+        Row ``i`` is byte-identical to ``encode_entry(keys[i],
+        datas[i])`` — big-endian checksum followed by the zero-padded
+        value.
+        """
+        import numpy as np
+
+        from repro.kernels import crc as kcrc
+
+        n = packed.shape[0]
+        for data in datas:
+            if len(data) > self.data_bytes:
+                raise ValueError(
+                    f"data ({len(data)}B) exceeds slot value width "
+                    f"({self.data_bytes}B)")
+        entries = np.zeros((n, self.slot_bytes), dtype=np.uint8)
+        entries[:, :CHECKSUM_BYTES] = (
+            self.checksums_many(packed, lengths).astype(">u4")
+            .view(np.uint8).reshape(n, CHECKSUM_BYTES))
+        packed_data, _ = kcrc.pack_keys(datas, pad_to=self.data_bytes)
+        entries[:, CHECKSUM_BYTES:] = packed_data
+        return entries
+
 
 @dataclass
 class QueryStats:

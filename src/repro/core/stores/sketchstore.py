@@ -55,6 +55,16 @@ class SketchLayout:
                                *[c & 0xFFFFFFFF for c in counters])
         return bytes(out)
 
+    def encode_columns_array(self, columns) -> bytes:
+        """Array twin of :meth:`encode_columns` for a ``(w, depth)``
+        integer matrix — same masked big-endian byte stream."""
+        import numpy as np
+
+        cols = np.asarray(columns)
+        if cols.ndim != 2 or cols.shape[1] != self.depth:
+            raise ValueError("column depth mismatch")
+        return (cols & 0xFFFFFFFF).astype(">u4").tobytes()
+
 
 class SketchStore:
     """Collector-side reads of the merged network-wide sketch."""

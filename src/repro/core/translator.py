@@ -52,6 +52,7 @@ from repro.core.stores.postcarding import BLANK, PostcardingLayout
 from repro.core.stores.sketchstore import SketchLayout
 from repro.core.transport import CtrlFrame, DtaFrame, RdmaClient, RoceFrame
 from repro.fabric.topology import Node
+from repro.kernels import HAVE_NUMPY, MIN_VECTOR_BATCH
 from repro.rdma.cm import ServiceAdvert
 from repro.rdma.verbs import Opcode, WorkRequest
 from repro.switch.meters import Meter, MeterConfig
@@ -124,6 +125,7 @@ class _SketchBinding:
     batch_columns: int
     merge: str = "sum"                      # "sum" | "max"
     sketch_id: int = 0
+    vectorized: bool = False                # numpy counter storage
     columns: list = field(default_factory=list)       # width x depth ints
     merged_count: list = field(default_factory=list)  # per-column reporters
     next_column: dict = field(default_factory=dict)   # reporter -> expected
@@ -131,12 +133,27 @@ class _SketchBinding:
     next_transfer: int = 0
 
     def __post_init__(self) -> None:
+        if isinstance(self.columns, list) and not self.columns:
+            self.alloc_storage()
+
+    def alloc_storage(self) -> None:
+        """(Re)allocate zeroed counter storage for a fresh epoch.
+
+        List storage is the reference semantics; the vectorized binding
+        holds the same values in int64 arrays, which every scalar code
+        path indexes identically (the per-report lane works unchanged on
+        either).
+        """
         width, depth = self.layout.width, self.layout.depth
-        if not self.columns:
+        if self.vectorized:
+            import numpy as np
+
+            self.columns = np.zeros((width, depth), dtype=np.int64)
+            self.merged_count = np.zeros(width, dtype=np.int64)
+            self.completed = np.zeros(width, dtype=bool)
+        else:
             self.columns = [[0] * depth for _ in range(width)]
-        if not self.merged_count:
             self.merged_count = [0] * width
-        if not self.completed:
             self.completed = [False] * width
 
 
@@ -153,9 +170,15 @@ class Translator(Node):
 
     def __init__(self, name: str = "translator", *,
                  rate_limit_mps: float | None = None,
-                 max_reporters: int = calibration.RETRANSMIT_MAX_REPORTERS
-                 ) -> None:
+                 max_reporters: int = calibration.RETRANSMIT_MAX_REPORTERS,
+                 vectorized: bool = False) -> None:
         super().__init__(name)
+        #: Batched lanes use the numpy kernels (repro.kernels) when a
+        #: batch is large enough and the burst is eligible; every other
+        #: case — tiny batches, fault-prone targets, per-report-lane
+        #: triggers — falls back to the scalar reference path, which the
+        #: kernels are differentially tested bit-exact against.
+        self.vectorized = bool(vectorized) and HAVE_NUMPY
         self.client: RdmaClient | None = None
         self.stats = TranslatorStats(labels={"node": name})
         self.loss = LossDetector(max_reporters, labels={"node": name})
@@ -274,7 +297,8 @@ class Translator(Node):
                                   expected_reporters=p["expected_reporters"],
                                   batch_columns=p.get("batch_columns", 8),
                                   merge=p.get("merge", "sum"),
-                                  sketch_id=p.get("sketch_id", 0))
+                                  sketch_id=p.get("sketch_id", 0),
+                                  vectorized=self.vectorized)
 
     # ------------------------------------------------------------------
     # Fabric-mode entry point
@@ -399,6 +423,8 @@ class Translator(Node):
             self._batch_postcard(batch)
         elif primitive is packets.DtaPrimitive.APPEND:
             self._batch_append(batch)
+        elif primitive is packets.DtaPrimitive.SKETCH_MERGE:
+            self._batch_sketch(batch, src)
         else:
             for raw in batch.iter_raw():
                 self.handle_report(raw, src=src)
@@ -407,6 +433,9 @@ class Translator(Node):
         """Key-Write fast lane: one burst of N x len(batch) writes."""
         if self._kw is None:
             raise RuntimeError("Key-Write service not configured")
+        if (self.vectorized and len(batch.keys) >= MIN_VECTOR_BATCH
+                and self._vector_keywrite(batch)):
+            return
         self.stats.reports_in += len(batch.keys)
         self.stats.keywrites += len(batch.keys)
         layout = self._kw.layout
@@ -423,10 +452,56 @@ class Translator(Node):
                                    rkey=rkey, data=entry))
         self._post_burst(wrs)
 
+    def _vector_keywrite(self, batch) -> bool:
+        """Vectorized Key-Write: hash, encode, and scatter as arrays.
+
+        Returns False — with no state touched — whenever the burst is
+        not eligible for whole-array execution (see
+        :func:`repro.kernels.burst.resolve_target`); the scalar lane
+        then runs with its exact reference semantics.
+        """
+        import numpy as np
+
+        from repro.kernels import burst as kburst
+        from repro.kernels import crc as kcrc
+
+        kw = self._kw
+        layout = kw.layout
+        target = kburst.resolve_target(self.client, kw.rkey)
+        if (target is None or layout.base_addr != target.region.addr
+                or layout.region_bytes > target.region.length):
+            return False
+        keys = batch.keys
+        n = len(keys)
+        packed, lengths = kcrc.pack_keys(keys)
+        try:
+            entries = layout.encode_entries_many(packed, lengths,
+                                                 batch.datas)
+        except ValueError:
+            return False     # oversize data: scalar lane raises for it
+        slot_idx = layout.slot_indices_many(packed, lengths,
+                                            batch.redundancy)
+        # Key-major flattening preserves arrival order, which the
+        # scatter's last-write-wins dedup relies on.
+        row_indices = slot_idx.T.reshape(-1)
+        rows = np.repeat(entries, batch.redundancy, axis=0)
+        count = kburst.write_rows(target, self.client, row_indices, rows)
+        if count is None:
+            return False
+        self.stats.reports_in += n
+        self.stats.keywrites += n
+        self.stats.rdma_writes += count
+        self.stats.rdma_payload_bytes += count * layout.slot_bytes
+        self._payload_hist.observe_repeated(layout.slot_bytes, count)
+        return True
+
     def _batch_keyincrement(self, batch) -> None:
         """Key-Increment fast lane: one burst of Fetch-and-Adds."""
         if self._ki is None:
             raise RuntimeError("Key-Increment service not configured")
+        if (self.vectorized and len(batch.keys) >= MIN_VECTOR_BATCH
+                and self._vector_keyincrement(batch)):
+            return
         self.stats.reports_in += len(batch.keys)
         self.stats.keyincrements += len(batch.keys)
         layout = self._ki.layout
@@ -441,6 +516,41 @@ class Translator(Node):
                                    remote_addr=addr, rkey=rkey,
                                    swap=value))
         self._post_burst(wrs)
+
+    def _vector_keyincrement(self, batch) -> bool:
+        """Vectorized Key-Increment: one scatter-add of Fetch-and-Adds."""
+        import numpy as np
+
+        from repro.kernels import burst as kburst
+        from repro.kernels import crc as kcrc
+
+        ki = self._ki
+        layout = ki.layout
+        target = kburst.resolve_target(self.client, ki.rkey, atomic=True)
+        if (target is None or layout.base_addr != target.region.addr
+                or layout.region_bytes > target.region.length):
+            return False
+        keys = batch.keys
+        n = len(keys)
+        rows = min(batch.redundancy, layout.rows)
+        try:
+            values = np.asarray(batch.values, dtype=np.int64)
+        except (OverflowError, ValueError):
+            return False     # beyond int64: scalar wrap semantics apply
+        packed, lengths = kcrc.pack_keys(keys)
+        idx = layout.counter_indices_many(packed, lengths, rows)
+        counter_indices = idx.T.reshape(-1)
+        addends = np.repeat(values, rows)
+        count = kburst.fetch_add_many(target, self.client,
+                                      counter_indices, addends)
+        if count is None:
+            return False
+        self.stats.reports_in += n
+        self.stats.keyincrements += n
+        self.stats.rdma_atomics += count
+        self.stats.rdma_payload_bytes += count * 8
+        self._payload_hist.observe_repeated(8, count)
+        return True
 
     def _batch_postcard(self, batch) -> None:
         """Postcarding fast lane: cache inserts, then one write burst.
@@ -498,6 +608,103 @@ class Translator(Node):
             if len(pending) >= batch_size or len(pending) >= room:
                 self._flush_list(list_id, sink=wrs)
         self._post_burst(wrs)
+
+    def _batch_sketch(self, batch, src: str | None) -> None:
+        """Sketch-Merge fast lane: batched merges, burst transfers.
+
+        Validates the whole batch (fast-lane convention: a malformed
+        batch raises before any state changes), then replays the
+        per-report column state machine — in-order checks, NACKs,
+        merge, completion — with every resulting transfer write
+        collected into one burst.  Large in-order runs take the
+        vectorized merge when enabled.
+        """
+        if self._sm is None:
+            raise RuntimeError("Sketch-Merge service not configured")
+        sm = self._sm
+        if batch.sketch_id != sm.sketch_id:
+            raise ValueError(
+                f"sketch {batch.sketch_id} not served here (this translator "
+                f"aggregates sketch {sm.sketch_id}; deploy one service "
+                "per sketch, Section 6: sketches all go to one collector)")
+        depth = sm.layout.depth
+        for column, counters in zip(batch.columns, batch.counter_rows):
+            if column >= sm.layout.width:
+                raise ValueError("sketch column out of range")
+            if len(counters) != depth:
+                raise ValueError("sketch column depth mismatch")
+        n = len(batch.columns)
+        if (self.vectorized and n >= MIN_VECTOR_BATCH
+                and self._vector_sketch(batch)):
+            return
+        self.stats.reports_in += n
+        self.stats.sketch_columns += n
+        reporter_id = batch.reporter_id
+        is_max = sm.merge == "max"
+        wrs: list = []
+        for column, counters in zip(batch.columns, batch.counter_rows):
+            expected = sm.next_column.get(reporter_id, 0)
+            if column != expected:
+                self.stats.sketch_column_nacks += 1
+                self._send_control(src, reporter_id,
+                                   Nack(expected_seq=expected, missing=1))
+                continue
+            sm.next_column[reporter_id] = expected + 1
+            local = sm.columns[column]
+            if is_max:
+                for i, value in enumerate(counters):
+                    if value > local[i]:
+                        local[i] = value
+            else:
+                for i, value in enumerate(counters):
+                    local[i] += value
+            sm.merged_count[column] += 1
+            if sm.merged_count[column] >= sm.expected_reporters:
+                sm.completed[column] = True
+                self._transfer_completed_columns(sink=wrs)
+        self._post_burst(wrs)
+
+    def _vector_sketch(self, batch) -> bool:
+        """Vectorized Sketch-Merge for an in-order column run.
+
+        Only the clean case vectorizes — numpy-backed storage and a
+        batch that continues the reporter's expected column sequence
+        exactly; anything else (out-of-order columns needing NACKs,
+        list storage, counters beyond int64) returns False for the
+        scalar lane.
+        """
+        import numpy as np
+
+        sm = self._sm
+        if isinstance(sm.columns, list):
+            return False
+        reporter_id = batch.reporter_id
+        expected = sm.next_column.get(reporter_id, 0)
+        n = len(batch.columns)
+        cols = np.asarray(batch.columns, dtype=np.int64)
+        if not np.array_equal(cols, np.arange(expected, expected + n)):
+            return False
+        try:
+            counters = np.asarray(batch.counter_rows, dtype=np.int64)
+        except (OverflowError, ValueError):
+            return False
+        block = sm.columns[expected:expected + n]
+        if sm.merge == "max":
+            np.maximum(block, counters, out=block)
+        else:
+            block += counters
+        sm.next_column[reporter_id] = expected + n
+        sm.merged_count[expected:expected + n] += 1
+        done = sm.merged_count[expected:expected + n] \
+            >= sm.expected_reporters
+        sm.completed[expected:expected + n] = done
+        self.stats.reports_in += n
+        self.stats.sketch_columns += n
+        if done.any():
+            wrs: list = []
+            self._transfer_completed_columns(sink=wrs)
+            self._post_burst(wrs)
+        return True
 
     # -- flow control --------------------------------------------------
 
@@ -819,20 +1026,23 @@ class Translator(Node):
         if self._sm is None:
             raise RuntimeError("Sketch-Merge service not configured")
         sm = self._sm
-        width, depth = sm.layout.width, sm.layout.depth
-        sm.columns = [[0] * depth for _ in range(width)]
-        sm.merged_count = [0] * width
-        sm.completed = [False] * width
+        sm.alloc_storage()
         sm.next_column.clear()
         sm.next_transfer = 0
         obs.emit("translator", "sketch_epoch_reset", node=self.name,
                  sketch_id=sm.sketch_id)
         obs.get_registry().advance_epoch()
 
-    def _transfer_completed_columns(self) -> None:
-        """Write batches of w contiguous completed columns."""
+    def _transfer_completed_columns(self, sink=None) -> None:
+        """Write batches of w contiguous completed columns.
+
+        ``sink`` collects the transfer writes into a burst (the batched
+        sketch lane); without it each batch is posted immediately (the
+        per-report path).
+        """
         assert self._sm is not None
         sm = self._sm
+        array_storage = not isinstance(sm.columns, list)
         while True:
             start = sm.next_transfer
             end = start + sm.batch_columns
@@ -845,11 +1055,19 @@ class Translator(Node):
                     return
             if not all(sm.completed[start:end]):
                 return
-            payload = sm.layout.encode_columns(sm.columns[start:end])
-            self._post(WorkRequest(
+            if array_storage:
+                payload = sm.layout.encode_columns_array(
+                    sm.columns[start:end])
+            else:
+                payload = sm.layout.encode_columns(sm.columns[start:end])
+            wr = WorkRequest(
                 opcode=Opcode.WRITE,
                 remote_addr=sm.layout.column_addr(start),
-                rkey=sm.rkey, data=payload))
+                rkey=sm.rkey, data=payload)
+            if sink is None:
+                self._post(wr)
+            else:
+                sink.append(wr)
             self.stats.sketch_batches += 1
             sm.next_transfer = end
             if sm.next_transfer >= sm.layout.width:

@@ -1,0 +1,41 @@
+"""Vectorized numeric kernels for the batched hot path.
+
+The scalar implementations (``repro.switch.crc``, ``repro.sketches``,
+the per-verb translator lanes) remain the reference semantics; every
+kernel in this package is differentially tested to be *bit-exact*
+against them — same hash values, same counter contents, same obs
+digests — so flipping vectorization on changes throughput and nothing
+else.  The layout mirrors the hot path it accelerates:
+
+* :mod:`repro.kernels.crc` — table-driven CRC/hash-family lanes over
+  whole key batches (numpy column-at-a-time table walks).
+* :mod:`repro.kernels.sketch` — batched sketch updates (CMS/CountSketch
+  scatter-adds, HyperLogLog register maxima) on vectorized hash lanes.
+* :mod:`repro.kernels.burst` — whole-burst RDMA write/atomic execution
+  against a direct-mode collector, with the full accounting mirror
+  (client, both QP halves, NIC cost model, memory bytes).
+* :mod:`repro.kernels.parallel` — multi-collector scale-out: shard a
+  seeded workload by :class:`~repro.core.cluster.ClusterMap` across a
+  process pool and merge per-shard results deterministically.
+
+numpy is a declared dependency, but the kernels stay importable without
+it (``HAVE_NUMPY`` gates every entry point) so stripped-down
+environments degrade to the scalar reference paths instead of failing
+at import time.
+"""
+
+from __future__ import annotations
+
+try:  # pragma: no cover - exercised implicitly by every kernel test
+    import numpy  # noqa: F401
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover
+    HAVE_NUMPY = False
+
+#: Below this batch size the scalar reference path is used even when
+#: vectorization is enabled: per-call numpy overhead (array creation,
+#: dtype promotion) exceeds the per-report savings for tiny batches.
+MIN_VECTOR_BATCH = 4
+
+__all__ = ["HAVE_NUMPY", "MIN_VECTOR_BATCH"]

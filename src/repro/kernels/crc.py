@@ -1,0 +1,209 @@
+"""Vectorized table-driven CRC and hash-family lanes.
+
+Bit-exact numpy twins of :mod:`repro.switch.crc`: the same 256-entry
+lookup tables (shared via the module-level table cache, so scalar and
+vectorized paths literally walk the same polynomials), applied one key
+*column* at a time across a whole packed batch instead of one byte at
+a time per key.  ``crc_many`` covers every Rocksoft parameter set the
+scalar :class:`~repro.switch.crc.CrcEngine` accepts (width <= 64,
+refin/refout, init/xorout, custom seeds); ``hash_lane_many`` reproduces
+the :func:`~repro.switch.crc.hash_family` lane construction, including
+the two-pass + splitmix64 finaliser for lanes wider than 32 bits.
+
+Keys of mixed lengths are packed into a zero-padded ``(n, maxlen)``
+byte matrix; a column step only advances the registers of keys long
+enough to own that column, so padding never contaminates a digest.
+"""
+
+from __future__ import annotations
+
+import zlib
+from functools import lru_cache
+
+import numpy as np
+
+from repro.switch.crc import CRC32, CrcPoly, _make_table, _reflect
+
+_MASK32 = np.uint32(0xFFFFFFFF)
+
+# numpy copies of the scalar engine's lookup tables, keyed exactly like
+# repro.switch.crc._TABLE_CACHE so one polynomial costs one conversion.
+_NP_TABLE_CACHE: dict = {}
+
+
+def _np_table(poly: CrcPoly) -> np.ndarray:
+    key = (poly.width, poly.poly, poly.refin)
+    table = _NP_TABLE_CACHE.get(key)
+    if table is None:
+        dtype = np.uint32 if poly.width <= 32 else np.uint64
+        table = _NP_TABLE_CACHE[key] = np.asarray(_make_table(poly),
+                                                  dtype=dtype)
+    return table
+
+
+_CRC32_TABLE = _np_table(CRC32)
+
+
+def pack_keys(keys, pad_to: int | None = None
+              ) -> tuple[np.ndarray, np.ndarray]:
+    """Pack variable-length byte keys into a zero-padded byte matrix.
+
+    Returns ``(packed, lengths)`` where ``packed`` is ``(n, maxlen)``
+    uint8 and ``lengths`` the true per-key byte counts.  The join runs
+    at C speed; equal-length batches (the common hot-path case — fixed
+    flow-key widths) skip the per-key padding entirely.
+    """
+    n = len(keys)
+    lengths = np.fromiter(map(len, keys), dtype=np.intp, count=n)
+    maxlen = int(lengths.max()) if n else 0
+    if pad_to is not None:
+        if pad_to < maxlen:
+            raise ValueError("pad_to smaller than the longest key")
+        maxlen = pad_to
+    if n == 0 or maxlen == 0:
+        return np.zeros((n, maxlen), dtype=np.uint8), lengths
+    if int(lengths.min()) == maxlen:
+        buf = b"".join(keys)
+    else:
+        pad = bytes(maxlen)
+        buf = b"".join((key + pad)[:maxlen] for key in keys)
+    packed = np.frombuffer(buf, dtype=np.uint8).reshape(n, maxlen)
+    return packed, lengths
+
+
+def _reflect_many(values: np.ndarray, bits: int) -> np.ndarray:
+    """Vectorized bit reflection (twin of ``switch.crc._reflect``)."""
+    out = np.zeros_like(values)
+    one = values.dtype.type(1)
+    for _ in range(bits):
+        out = (out << one) | (values & one)
+        values = values >> one
+    return out
+
+
+def crc_many(poly: CrcPoly, packed: np.ndarray, lengths: np.ndarray,
+             seed: int | None = None) -> np.ndarray:
+    """CRC of every packed key under ``poly`` (one value per row).
+
+    Bit-exact against ``CrcEngine(poly, seed).compute(key)`` for every
+    key, including the zlib-delegated CRC-32 fast path (same
+    polynomial, same table, same result).  Returns uint32 for widths
+    <= 32 and uint64 above.
+    """
+    n, maxlen = packed.shape
+    table = _np_table(poly)
+    dtype = table.dtype
+    mask = dtype.type((1 << poly.width) - 1)
+    init = seed if seed is not None else poly.init
+    crc0 = init & int(mask)
+    if poly.refin:
+        crc0 = _reflect(crc0, poly.width)
+    crc = np.full(n, crc0, dtype=dtype)
+    uniform = n == 0 or int(lengths.min()) == maxlen
+    one_byte = dtype.type(8)
+    low = dtype.type(0xFF)
+    if poly.refin:
+        for j in range(maxlen):
+            byte = packed[:, j].astype(dtype)
+            step = (crc >> one_byte) ^ table[(crc ^ byte) & low]
+            crc = step if uniform else np.where(j < lengths, step, crc)
+    elif poly.width >= 8:
+        shift = dtype.type(poly.width - 8)
+        for j in range(maxlen):
+            byte = packed[:, j].astype(dtype)
+            step = ((crc << one_byte)
+                    ^ table[((crc >> shift) ^ byte) & low]) & mask
+            crc = step if uniform else np.where(j < lengths, step, crc)
+    else:
+        up = dtype.type(8 - poly.width)
+        for j in range(maxlen):
+            byte = packed[:, j].astype(dtype)
+            step = table[((crc << up) ^ byte) & low]
+            crc = step if uniform else np.where(j < lengths, step, crc)
+    if poly.refin != poly.refout:
+        crc = _reflect_many(crc, poly.width)
+    return (crc ^ dtype.type(poly.xorout & int(mask))) & mask
+
+
+# ---------------------------------------------------------------------------
+# hash_family lanes
+# ---------------------------------------------------------------------------
+
+_SM_C1 = np.uint64(0x9E3779B97F4A7C15)
+_SM_C2 = np.uint64(0xBF58476D1CE4E5B9)
+_SM_C3 = np.uint64(0x94D049BB133111EB)
+
+
+def splitmix64_many(values: np.ndarray) -> np.ndarray:
+    """Vectorized splitmix64 finaliser (twin of ``crc._splitmix64``)."""
+    v = values.astype(np.uint64, copy=True)
+    with np.errstate(over="ignore"):
+        v += _SM_C1
+        v = (v ^ (v >> np.uint64(30))) * _SM_C2
+        v = (v ^ (v >> np.uint64(27))) * _SM_C3
+    return v ^ (v >> np.uint64(31))
+
+
+@lru_cache(maxsize=2048)
+def _lane_state(index: int, marked: bool) -> int:
+    """CRC-32 register state after a lane's constant prefix.
+
+    The scalar lanes compute ``zlib.crc32(prefix + data)``; resuming
+    from the post-prefix register (``crc32(prefix) ^ 0xFFFFFFFF``) and
+    table-stepping the data bytes is the standard CRC continuation
+    identity, so the vectorized lane needs only ``len(data)`` column
+    steps per batch regardless of prefix.
+    """
+    prefix = index.to_bytes(4, "big")
+    if marked:
+        prefix = b"\xA5" + prefix
+    return zlib.crc32(prefix) ^ 0xFFFFFFFF
+
+
+def _crc32_resume(state: int, packed: np.ndarray,
+                  lengths: np.ndarray, uniform: bool) -> np.ndarray:
+    n, maxlen = packed.shape
+    reg = np.full(n, state, dtype=np.uint32)
+    for j in range(maxlen):
+        byte = packed[:, j].astype(np.uint32)
+        step = (reg >> np.uint32(8)) ^ _CRC32_TABLE[(reg ^ byte)
+                                                    & np.uint32(0xFF)]
+        reg = step if uniform else np.where(j < lengths, step, reg)
+    return reg ^ _MASK32
+
+
+def hash_lane_many(index: int, packed: np.ndarray, lengths: np.ndarray,
+                   width_bits: int = 32) -> np.ndarray:
+    """One hash-family lane over a packed key batch.
+
+    Bit-exact against ``hash_family(index + 1, width_bits)[-1](key)``
+    per key: narrow lanes are a prefix-seeded CRC-32, wide lanes are
+    the two-pass CRC + splitmix64 construction (see
+    :func:`repro.switch.crc._hash_lane`).
+    """
+    n, maxlen = packed.shape
+    uniform = n == 0 or int(lengths.min()) == maxlen
+    if width_bits > 32:
+        full = _crc32_resume(_lane_state(index, False), packed, lengths,
+                             uniform).astype(np.uint64)
+        hi = _crc32_resume(_lane_state(index, True), packed, lengths,
+                           uniform).astype(np.uint64)
+        mixed = splitmix64_many((hi << np.uint64(32)) | full)
+        return mixed & np.uint64((1 << width_bits) - 1)
+    out = _crc32_resume(_lane_state(index, False), packed, lengths,
+                        uniform)
+    if width_bits < 32:
+        out = out & np.uint32((1 << width_bits) - 1)
+    return out
+
+
+def hash_lanes(count: int, packed: np.ndarray, lengths: np.ndarray,
+               width_bits: int = 32, start: int = 0) -> np.ndarray:
+    """Stack lanes ``start .. start+count-1`` into a ``(count, n)`` array."""
+    n = packed.shape[0]
+    dtype = np.uint64 if width_bits > 32 else np.uint32
+    out = np.empty((count, n), dtype=dtype)
+    for row in range(count):
+        out[row] = hash_lane_many(start + row, packed, lengths,
+                                  width_bits=width_bits)
+    return out

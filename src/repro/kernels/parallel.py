@@ -1,0 +1,250 @@
+"""Parallel multi-collector scale-out: one worker process per shard.
+
+Section 6 scales DTA horizontally by adding collectors and routing
+with stateless, centrally recomputable load balancing
+(:class:`~repro.core.cluster.ClusterMap`).  This module drives that
+topology across a :class:`~concurrent.futures.ProcessPoolExecutor`:
+each shard process regenerates the *same* seeded workload, keeps only
+the rows the cluster map routes to its collector, and runs a fresh
+single-collector deployment over them.  Because every shard is a pure
+function of ``(spec, shard)``, the merged result is bit-identical
+between serial and parallel execution and between worker counts — the
+determinism contract the tests in ``tests/kernels`` pin down.
+
+Per-shard results carry an obs-registry digest and a store digest
+(wall-clock timings are reported but excluded from both), and
+:func:`run_cluster` folds them — sorted by shard index — into one
+``cluster_digest``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import struct
+import time
+from dataclasses import asdict, dataclass
+
+from repro import obs
+
+# Shard deployment constants (mirroring the bench harness scale).
+KW_SLOTS = 1 << 12
+KW_DATA_BYTES = 16
+KI_SLOTS_PER_ROW = 1 << 10
+KI_ROWS = 4
+SKETCH_DEPTH = 4
+SKETCH_BATCH_COLUMNS = 16
+
+PRIMITIVES = ("key_write", "key_increment", "sketch_merge")
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Everything a shard process needs to recompute its slice.
+
+    Picklable and immutable: the spec crosses the process boundary,
+    the workload never does.
+    """
+
+    primitive: str = "key_write"
+    reports: int = 2048
+    seed: int = 1
+    batch_size: int = 64
+    collectors: int = 1
+    sketch_home: int = 0
+    vectorized: bool = False
+    redundancy: int = 2
+
+    def __post_init__(self) -> None:
+        if self.primitive not in PRIMITIVES:
+            raise ValueError(f"unknown cluster primitive "
+                             f"'{self.primitive}'")
+        if self.reports <= 0:
+            raise ValueError("reports must be positive")
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+
+
+def seeded_workload(primitive: str, reports: int, seed: int) -> dict:
+    """The full (unsharded) struct-of-arrays workload for one spec."""
+    rng = random.Random(seed)
+    if primitive == "key_write":
+        return {
+            "keys": [struct.pack(">I", rng.getrandbits(32))
+                     for _ in range(reports)],
+            "datas": [struct.pack(">QQ", i, rng.getrandbits(63))
+                      for i in range(reports)],
+        }
+    if primitive == "key_increment":
+        return {
+            "keys": [struct.pack(">I", rng.getrandbits(32))
+                     for _ in range(reports)],
+            "values": [rng.randrange(1, 100) for _ in range(reports)],
+        }
+    if primitive == "sketch_merge":
+        return {
+            "sketch_id": 0,
+            "columns": list(range(reports)),
+            "counter_rows": [tuple(rng.getrandbits(31)
+                                   for _ in range(SKETCH_DEPTH))
+                             for _ in range(reports)],
+        }
+    raise ValueError(f"unknown cluster primitive '{primitive}'")
+
+
+def _deploy_shard(spec: ClusterSpec, shard: int):
+    """A fresh one-collector deployment for shard ``shard``."""
+    from repro.core.collector import Collector
+    from repro.core.reporter import Reporter
+    from repro.core.translator import Translator
+
+    collector = Collector(f"collector-{shard}")
+    if spec.primitive == "key_write":
+        collector.serve_keywrite(slots=KW_SLOTS, data_bytes=KW_DATA_BYTES)
+    elif spec.primitive == "key_increment":
+        collector.serve_keyincrement(slots_per_row=KI_SLOTS_PER_ROW,
+                                     rows=KI_ROWS)
+    else:
+        collector.serve_sketch(width=spec.reports, depth=SKETCH_DEPTH,
+                               expected_reporters=1,
+                               batch_columns=SKETCH_BATCH_COLUMNS)
+    translator = Translator(vectorized=spec.vectorized)
+    collector.connect_translator(translator)
+    reporter = Reporter(f"shard-{shard}", 1,
+                        transmit=translator.handle_report,
+                        transmit_batch=translator.process_batch)
+    return collector, translator, reporter
+
+
+def _drive(spec: ClusterSpec, reporter, work: dict) -> float:
+    """Send the shard's rows in batches; returns wall-clock seconds."""
+    from repro.core.batch import ReportBatch
+
+    batch_size = spec.batch_size
+    start = time.perf_counter()
+    if spec.primitive == "key_write":
+        keys, datas = work["keys"], work["datas"]
+        for s in range(0, len(keys), batch_size):
+            reporter.send_batch(ReportBatch.key_writes(
+                keys[s:s + batch_size], datas[s:s + batch_size],
+                redundancy=spec.redundancy))
+    elif spec.primitive == "key_increment":
+        keys, values = work["keys"], work["values"]
+        for s in range(0, len(keys), batch_size):
+            reporter.send_batch(ReportBatch.key_increments(
+                keys[s:s + batch_size], values[s:s + batch_size],
+                redundancy=spec.redundancy))
+    else:
+        columns, rows = work["columns"], work["counter_rows"]
+        for s in range(0, len(columns), batch_size):
+            reporter.send_batch(ReportBatch.sketch_columns(
+                work["sketch_id"], columns[s:s + batch_size],
+                rows[s:s + batch_size]))
+    return time.perf_counter() - start
+
+
+def _store_region(spec: ClusterSpec, collector) -> bytes:
+    store = {"key_write": collector.keywrite,
+             "key_increment": collector.keyincrement,
+             "sketch_merge": collector.sketch}[spec.primitive]
+    return bytes(store.region.buf)
+
+
+def _sample_queries(spec: ClusterSpec, collector, work: dict) -> dict:
+    """Answers for the shard's first few keys (JSON-safe)."""
+    if spec.primitive == "sketch_merge":
+        return {}
+    seen: dict = {}
+    for key in work["keys"]:
+        if len(seen) >= 4:
+            break
+        if key in seen:
+            continue
+        if spec.primitive == "key_write":
+            answer = collector.query_value(key)
+        else:
+            answer = collector.query_counter(key)
+        if isinstance(answer, bytes):
+            answer = answer.hex()
+        seen[key.hex()] = answer
+    return seen
+
+
+def run_shard(spec: ClusterSpec, shard: int) -> dict:
+    """Run one shard end to end on a fresh registry; pure in (spec, shard)."""
+    from repro.core.cluster import ClusterMap
+
+    cluster_map = ClusterMap(collectors=spec.collectors,
+                             sketch_home=spec.sketch_home)
+    work = seeded_workload(spec.primitive, spec.reports, spec.seed)
+    mine = cluster_map.shard_workload(spec.primitive, work, shard)
+    registry = obs.Registry()
+    previous = obs.set_registry(registry)
+    try:
+        collector, translator, reporter = _deploy_shard(spec, shard)
+        elapsed = _drive(spec, reporter, mine)
+        region = _store_region(spec, collector)
+        queries = _sample_queries(spec, collector, mine)
+        snapshot = registry.snapshot()
+    finally:
+        obs.set_registry(previous)
+    rows = len(mine["columns" if spec.primitive == "sketch_merge"
+               else "keys"])
+    return {
+        "shard": shard,
+        "reports": rows,
+        "elapsed_s": round(elapsed, 6),
+        "rdma_messages": translator.stats.rdma_messages,
+        "obs_digest": "sha256:" + hashlib.sha256(
+            obs.to_jsonl(snapshot).encode()).hexdigest(),
+        "store_digest": "sha256:" + hashlib.sha256(region).hexdigest(),
+        "queries": queries,
+    }
+
+
+def _run_shard_job(job) -> dict:
+    spec, shard = job
+    return run_shard(spec, shard)
+
+
+def run_cluster(spec: ClusterSpec, *, parallel: bool = True,
+                max_workers: int | None = None) -> dict:
+    """Run every shard of ``spec`` and merge deterministically.
+
+    ``parallel=True`` uses one forked worker per collector (capped at
+    ``max_workers``); ``parallel=False`` runs the same shards in-process.
+    Either way the merged document is identical except for the
+    wall-clock fields.
+    """
+    jobs = [(spec, shard) for shard in range(spec.collectors)]
+    used_parallel = parallel and spec.collectors > 1
+    start = time.perf_counter()
+    if used_parallel:
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else None)
+        workers = max_workers or spec.collectors
+        with ProcessPoolExecutor(max_workers=workers,
+                                 mp_context=context) as pool:
+            shards = list(pool.map(_run_shard_job, jobs))
+    else:
+        shards = [run_shard(spec, shard) for _, shard in jobs]
+    elapsed = time.perf_counter() - start
+    shards.sort(key=lambda result: result["shard"])
+    digest = hashlib.sha256()
+    for result in shards:
+        digest.update(result["obs_digest"].encode())
+        digest.update(result["store_digest"].encode())
+    return {
+        "spec": asdict(spec),
+        "mode": "parallel" if used_parallel else "serial",
+        "elapsed_s": round(elapsed, 6),
+        "reports": sum(result["reports"] for result in shards),
+        "rdma_messages": sum(result["rdma_messages"]
+                             for result in shards),
+        "cluster_digest": "sha256:" + digest.hexdigest(),
+        "shards": shards,
+    }

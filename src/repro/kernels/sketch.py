@@ -1,0 +1,119 @@
+"""Batched sketch-update kernels: hash lanes + scatter accumulation.
+
+The sketch classes in :mod:`repro.sketches` keep plain-Python counter
+storage as the reference semantics (and, for default instances, as the
+storage the test suite asserts against).  These kernels compute the
+expensive part — all hash lanes for a whole key batch — vectorized,
+then either scatter straight into numpy-backed storage or *fold* the
+accumulated deltas back into list storage exactly (integer arithmetic
+on the touched indices only), so a batched update is bit-identical to
+the equivalent sequence of scalar updates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels import crc as kcrc
+
+_I64_GUARD = 1 << 56
+"""Magnitude bound under which a batch of int64 weight sums cannot
+overflow (DTA counter values are 32-bit on the wire; this guard only
+matters for adversarial property-test inputs, which fall back to the
+scalar loop)."""
+
+
+def int64_safe(values, count: int) -> bool:
+    """True when summing ``count`` of ``values`` stays inside int64."""
+    if count == 0:
+        return True
+    try:
+        peak = max(abs(int(v)) for v in values)
+    except (TypeError, ValueError):
+        return False
+    return peak * count < _I64_GUARD
+
+
+def lane_positions(depth: int, packed: np.ndarray, lengths: np.ndarray,
+                   width: int, start: int = 0) -> np.ndarray:
+    """Per-row column positions: ``hash_lane[start+r](key) % width``.
+
+    Returns a ``(depth, n)`` int64 matrix — row ``r`` holds the column
+    each key hits in sketch row ``r`` (the CMS/CountSketch update and
+    query geometry).
+    """
+    lanes = kcrc.hash_lanes(depth, packed, lengths, start=start)
+    return (lanes % np.uint32(width)).astype(np.int64)
+
+
+def sign_lanes(depth: int, packed: np.ndarray,
+               lengths: np.ndarray) -> np.ndarray:
+    """CountSketch ±1 signs: lanes ``depth .. 2*depth-1``, LSB-mapped.
+
+    Twin of ``CountSketch._sign``: sign is +1 when the lane value is
+    odd, else -1.
+    """
+    lanes = kcrc.hash_lanes(depth, packed, lengths, start=depth)
+    return np.where(lanes & np.uint32(1), np.int64(1), np.int64(-1))
+
+
+def bit_length32(values: np.ndarray) -> np.ndarray:
+    """Exact ``int.bit_length`` of uint32 values via float64 frexp.
+
+    Every uint32 is exactly representable in float64 (< 2**53), and
+    ``frexp`` normalises to ``m * 2**e`` with ``0.5 <= m < 1`` — so the
+    exponent *is* the bit length (0 for 0).
+    """
+    _, exponent = np.frexp(values.astype(np.float64))
+    return exponent.astype(np.int64)
+
+
+def hll_observations(packed: np.ndarray, lengths: np.ndarray,
+                     precision: int, hash_bits: int = 64
+                     ) -> tuple[np.ndarray, np.ndarray]:
+    """HyperLogLog (register index, rho) pairs for a key batch.
+
+    Bit-exact twin of ``HyperLogLog.update``: the 64-bit hash is lane 0
+    of the wide hash family; rho is the 1-based position of the leading
+    1-bit in the remainder (``width + 1`` for an all-zero remainder,
+    which the bit-length formula yields naturally).  The remainder can
+    span up to 60 bits — past float64's exact-integer range — so its
+    bit length is taken exactly via 32-bit halves.
+    """
+    h = kcrc.hash_lane_many(0, packed, lengths, width_bits=hash_bits)
+    width = hash_bits - precision
+    index = (h >> np.uint64(width)).astype(np.int64)
+    remainder = h & np.uint64((1 << width) - 1)
+    hi = (remainder >> np.uint64(32)).astype(np.uint32)
+    lo = (remainder & np.uint64(0xFFFFFFFF)).astype(np.uint32)
+    bl = np.where(hi > 0, bit_length32(hi) + 32, bit_length32(lo))
+    rho = np.int64(width) + 1 - bl
+    return index, rho
+
+
+def fold_add_into_list(row: list, positions: np.ndarray,
+                       addends: np.ndarray) -> None:
+    """Apply a batch of scatter-adds to a Python-list counter row.
+
+    Deltas are accumulated per unique position in int64 (callers guard
+    magnitudes via :func:`int64_safe`), then added to the list entries
+    with Python integer arithmetic — identical end state to applying
+    each (position, addend) in sequence.
+    """
+    uniq, inverse = np.unique(positions, return_inverse=True)
+    sums = np.zeros(len(uniq), dtype=np.int64)
+    np.add.at(sums, inverse, addends)
+    for i, delta in zip(uniq.tolist(), sums.tolist()):
+        if delta:
+            row[i] += delta
+
+
+def fold_max_into_list(registers: list, positions: np.ndarray,
+                       values: np.ndarray) -> None:
+    """Apply a batch of register maxima to a Python-list register file."""
+    uniq, inverse = np.unique(positions, return_inverse=True)
+    best = np.zeros(len(uniq), dtype=np.int64)
+    np.maximum.at(best, inverse, values)
+    for i, value in zip(uniq.tolist(), best.tolist()):
+        if value > registers[i]:
+            registers[i] = value

@@ -157,6 +157,22 @@ class Histogram(Metric):
         self.count += count
         self.total = total
 
+    def observe_repeated(self, value, times: int) -> None:
+        """Observe the same value ``times`` times in O(1).
+
+        Identical end state to ``observe(value)`` in a loop — the
+        vectorized lanes emit bursts of uniform payload sizes, for
+        which per-value bucketing is pure overhead.
+        """
+        if times <= 0:
+            return
+        v = int(value)
+        if v < 0:
+            raise ValueError("histogram observations must be >= 0")
+        self.buckets[min(v.bit_length(), self.NUM_BUCKETS - 1)] += times
+        self.count += times
+        self.total += value * times
+
     @staticmethod
     def bucket_bounds(index: int) -> tuple[int, float]:
         """[lo, hi) value range covered by bucket ``index``."""

@@ -221,6 +221,38 @@ class Nic:
         stats.payload_bytes += payload_total
         stats.busy_ns = busy
 
+    def charge_uniform(self, count: int, payload_bytes: int, *,
+                       atomic: bool = False,
+                       degradation: float | None = None) -> None:
+        """Account ``count`` identical messages against the cost model.
+
+        Closed-form twin of :meth:`charge_burst` for the homogeneous
+        bursts the vectorized lanes emit.  The per-message cost is
+        computed once with the exact scalar operation order, then the
+        busy-time float is advanced by the same sequence of ``+=``
+        steps — repeated float addition does not distribute, so the
+        loop is what keeps ``busy_ns`` bit-identical to the per-packet
+        path.
+        """
+        if count <= 0:
+            return
+        model = self.model
+        if degradation is None:
+            degradation = model.qp_degradation(self.active_qps)
+        if atomic:
+            t = model.t_msg_ns * model.fetch_add_penalty
+            self.stats.atomics += count
+        else:
+            t = model.t_msg_ns + payload_bytes * model.t_byte_ns
+        t *= degradation
+        stats = self.stats
+        busy = stats.busy_ns
+        for _ in range(count):
+            busy += t
+        stats.messages += count
+        stats.payload_bytes += count * payload_bytes
+        stats.busy_ns = busy
+
     def execute_burst(self, qp: QueuePair, wrs) -> tuple[list, bool]:
         """Charge and execute a burst on a resident responder QP.
 

@@ -22,6 +22,20 @@ class Sketch(abc.ABC):
     def update(self, key: bytes, weight: int = 1) -> None:
         """Account one observation of ``key``."""
 
+    def update_many(self, keys, weights=None) -> None:
+        """Account a batch of observations.
+
+        End state identical to calling :meth:`update` per key in order
+        — subclasses with vectorized kernels override this, and their
+        overrides are differentially tested against exactly this loop.
+        """
+        if weights is None:
+            for key in keys:
+                self.update(key)
+        else:
+            for key, weight in zip(keys, weights):
+                self.update(key, weight)
+
     @abc.abstractmethod
     def merge(self, other: "Sketch") -> None:
         """Fold ``other`` into ``self`` (the network-wide aggregation)."""

@@ -13,6 +13,7 @@ from __future__ import annotations
 import math
 from typing import Iterable
 
+from repro.kernels import HAVE_NUMPY, MIN_VECTOR_BATCH
 from repro.sketches.base import MergeError, Sketch
 from repro.switch.crc import hash_family
 
@@ -25,12 +26,21 @@ class CountMinSketch(Sketch):
         depth: Number of rows (independent hash functions).
     """
 
-    def __init__(self, width: int = 2048, depth: int = 4) -> None:
+    def __init__(self, width: int = 2048, depth: int = 4, *,
+                 vectorized: bool = False) -> None:
         if width <= 0 or depth <= 0:
             raise ValueError("width and depth must be positive")
         self.width = width
         self.depth = depth
-        self._rows = [[0] * width for _ in range(depth)]
+        self._vectorized = vectorized and HAVE_NUMPY
+        if self._vectorized:
+            import numpy as np
+
+            # Same values, numpy storage: every scalar method indexes
+            # an int64 matrix exactly like the list-of-lists reference.
+            self._rows = np.zeros((depth, width), dtype=np.int64)
+        else:
+            self._rows = [[0] * width for _ in range(depth)]
         self._hashes = hash_family(depth)
         self.total = 0
 
@@ -49,6 +59,46 @@ class CountMinSketch(Sketch):
         for row, h in zip(self._rows, self._hashes):
             row[h(key) % self.width] += weight
 
+    def update_many(self, keys, weights=None) -> None:
+        """Batched :meth:`update` via the vectorized hash kernels.
+
+        Bit-identical end state to the scalar loop: numpy-backed rows
+        take one scatter-add per row; list rows get the accumulated
+        per-position deltas folded back with Python integer arithmetic.
+        Small batches and weights beyond the int64 accumulation guard
+        fall back to the reference loop.
+        """
+        n = len(keys)
+        if not HAVE_NUMPY or n < MIN_VECTOR_BATCH:
+            super().update_many(keys, weights)
+            return
+        import numpy as np
+
+        from repro.kernels import crc as kcrc
+        from repro.kernels import sketch as ksketch
+
+        if weights is None:
+            addends = np.ones(n, dtype=np.int64)
+            total_delta = n
+        else:
+            weights = list(weights)
+            if not ksketch.int64_safe(weights, n):
+                super().update_many(keys, weights)
+                return
+            addends = np.asarray(weights, dtype=np.int64)
+            total_delta = sum(weights)
+        packed, lengths = kcrc.pack_keys(keys)
+        positions = ksketch.lane_positions(self.depth, packed, lengths,
+                                           self.width)
+        self.total += total_delta
+        if self._vectorized:
+            for r in range(self.depth):
+                np.add.at(self._rows[r], positions[r], addends)
+        else:
+            for r in range(self.depth):
+                ksketch.fold_add_into_list(self._rows[r], positions[r],
+                                           addends)
+
     def query(self, key: bytes) -> int:
         """Point estimate: min over rows (never underestimates)."""
         return min(row[h(key) % self.width]
@@ -59,9 +109,12 @@ class CountMinSketch(Sketch):
         assert isinstance(other, CountMinSketch)
         if (self.width, self.depth) != (other.width, other.depth):
             raise MergeError("CountMin shapes differ")
-        for mine, theirs in zip(self._rows, other._rows):
-            for i, value in enumerate(theirs):
-                mine[i] += value
+        if self._vectorized and getattr(other, "_vectorized", False):
+            self._rows += other._rows
+        else:
+            for mine, theirs in zip(self._rows, other._rows):
+                for i, value in enumerate(theirs):
+                    mine[i] += value
         self.total += other.total
 
     # -- column transport ---------------------------------------------------
@@ -81,4 +134,4 @@ class CountMinSketch(Sketch):
 
     def counters(self) -> list[list[int]]:
         """Copy of the raw counter matrix (for serialisation/tests)."""
-        return [list(row) for row in self._rows]
+        return [[int(v) for v in row] for row in self._rows]

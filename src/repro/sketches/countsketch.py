@@ -11,6 +11,7 @@ from __future__ import annotations
 import statistics
 from typing import Iterable
 
+from repro.kernels import HAVE_NUMPY, MIN_VECTOR_BATCH
 from repro.sketches.base import MergeError, Sketch
 from repro.switch.crc import hash_family
 
@@ -18,12 +19,19 @@ from repro.switch.crc import hash_family
 class CountSketch(Sketch):
     """A depth x width matrix of signed counters."""
 
-    def __init__(self, width: int = 2048, depth: int = 5) -> None:
+    def __init__(self, width: int = 2048, depth: int = 5, *,
+                 vectorized: bool = False) -> None:
         if width <= 0 or depth <= 0:
             raise ValueError("width and depth must be positive")
         self.width = width
         self.depth = depth
-        self._rows = [[0] * width for _ in range(depth)]
+        self._vectorized = vectorized and HAVE_NUMPY
+        if self._vectorized:
+            import numpy as np
+
+            self._rows = np.zeros((depth, width), dtype=np.int64)
+        else:
+            self._rows = [[0] * width for _ in range(depth)]
         self._hashes = hash_family(depth)
         self._signs = hash_family(2 * depth)[depth:]
         self.total = 0
@@ -35,6 +43,47 @@ class CountSketch(Sketch):
         self.total += weight
         for r, (row, h) in enumerate(zip(self._rows, self._hashes)):
             row[h(key) % self.width] += self._sign(r, key) * weight
+
+    def update_many(self, keys, weights=None) -> None:
+        """Batched :meth:`update` with vectorized position/sign lanes.
+
+        Bit-identical end state to the scalar loop; see
+        :meth:`CountMinSketch.update_many
+        <repro.sketches.countmin.CountMinSketch.update_many>` for the
+        fallback rules (small batches, weights past the int64 guard).
+        """
+        n = len(keys)
+        if not HAVE_NUMPY or n < MIN_VECTOR_BATCH:
+            super().update_many(keys, weights)
+            return
+        import numpy as np
+
+        from repro.kernels import crc as kcrc
+        from repro.kernels import sketch as ksketch
+
+        if weights is None:
+            addends = np.ones(n, dtype=np.int64)
+            total_delta = n
+        else:
+            weights = list(weights)
+            if not ksketch.int64_safe(weights, n):
+                super().update_many(keys, weights)
+                return
+            addends = np.asarray(weights, dtype=np.int64)
+            total_delta = sum(weights)
+        packed, lengths = kcrc.pack_keys(keys)
+        positions = ksketch.lane_positions(self.depth, packed, lengths,
+                                           self.width)
+        signs = ksketch.sign_lanes(self.depth, packed, lengths)
+        self.total += total_delta
+        if self._vectorized:
+            for r in range(self.depth):
+                np.add.at(self._rows[r], positions[r],
+                          signs[r] * addends)
+        else:
+            for r in range(self.depth):
+                ksketch.fold_add_into_list(self._rows[r], positions[r],
+                                           signs[r] * addends)
 
     def query(self, key: bytes) -> int:
         """Unbiased point estimate: median of signed row estimates."""
@@ -49,9 +98,12 @@ class CountSketch(Sketch):
         assert isinstance(other, CountSketch)
         if (self.width, self.depth) != (other.width, other.depth):
             raise MergeError("CountSketch shapes differ")
-        for mine, theirs in zip(self._rows, other._rows):
-            for i, value in enumerate(theirs):
-                mine[i] += value
+        if self._vectorized and getattr(other, "_vectorized", False):
+            self._rows += other._rows
+        else:
+            for mine, theirs in zip(self._rows, other._rows):
+                for i, value in enumerate(theirs):
+                    mine[i] += value
         self.total += other.total
 
     def columns(self) -> Iterable[tuple]:

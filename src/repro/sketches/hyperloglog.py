@@ -13,6 +13,7 @@ from __future__ import annotations
 import math
 from typing import Iterable
 
+from repro.kernels import HAVE_NUMPY, MIN_VECTOR_BATCH
 from repro.sketches.base import MergeError, Sketch
 from repro.switch.crc import hash_family
 
@@ -37,12 +38,19 @@ class HyperLogLog(Sketch):
 
     HASH_BITS = 64
 
-    def __init__(self, precision: int = 12) -> None:
+    def __init__(self, precision: int = 12, *,
+                 vectorized: bool = False) -> None:
         if not 4 <= precision <= 18:
             raise ValueError("precision must be in [4, 18]")
         self.precision = precision
         self.m = 1 << precision
-        self.registers = [0] * self.m
+        self._vectorized = vectorized and HAVE_NUMPY
+        if self._vectorized:
+            import numpy as np
+
+            self.registers = np.zeros(self.m, dtype=np.int64)
+        else:
+            self.registers = [0] * self.m
         (self._hash,) = hash_family(1, width_bits=self.HASH_BITS)
 
     def update(self, key: bytes, weight: int = 1) -> None:
@@ -58,12 +66,36 @@ class HyperLogLog(Sketch):
         if rho > self.registers[index]:
             self.registers[index] = rho
 
+    def update_many(self, keys, weights=None) -> None:
+        """Batched :meth:`update` via the vectorized (index, rho) kernel.
+
+        Bit-identical registers to the scalar loop (weights are ignored
+        either way); small batches fall back to it.
+        """
+        n = len(keys)
+        if not HAVE_NUMPY or n < MIN_VECTOR_BATCH:
+            super().update_many(keys, weights)
+            return
+        import numpy as np
+
+        from repro.kernels import crc as kcrc
+        from repro.kernels import sketch as ksketch
+
+        packed, lengths = kcrc.pack_keys(keys)
+        index, rho = ksketch.hll_observations(packed, lengths,
+                                              self.precision,
+                                              hash_bits=self.HASH_BITS)
+        if self._vectorized:
+            np.maximum.at(self.registers, index, rho)
+        else:
+            ksketch.fold_max_into_list(self.registers, index, rho)
+
     def estimate(self) -> float:
         """Cardinality estimate with small/large-range corrections."""
         m = self.m
         raw = _alpha(m) * m * m / sum(2.0 ** -r for r in self.registers)
         if raw <= 2.5 * m:
-            zeros = self.registers.count(0)
+            zeros = sum(1 for r in self.registers if r == 0)
             if zeros:
                 return m * math.log(m / zeros)
         return raw
@@ -73,8 +105,14 @@ class HyperLogLog(Sketch):
         assert isinstance(other, HyperLogLog)
         if self.precision != other.precision:
             raise MergeError("HLL precisions differ")
-        self.registers = [max(a, b)
-                          for a, b in zip(self.registers, other.registers)]
+        if self._vectorized:
+            import numpy as np
+
+            self.registers = np.maximum(self.registers,
+                                        np.asarray(other.registers))
+        else:
+            self.registers = [max(a, b) for a, b
+                              in zip(self.registers, other.registers)]
 
     # -- column transport (registers chunked into groups of 64) -----------
 

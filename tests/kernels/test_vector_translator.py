@@ -1,0 +1,179 @@
+"""Vectorized translator lanes change speed, not state.
+
+For each vector lane (Key-Write, Key-Increment, Sketch-Merge) a
+``Translator(vectorized=True)`` must produce byte-identical store
+regions and an identical obs snapshot (counters, histograms, and the
+float NIC busy clock) to the scalar batched path; ineligible batches
+must fall back to the scalar lane with the same end state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+import pytest
+
+pytest.importorskip("numpy")
+
+from repro import obs
+from repro.core.batch import ReportBatch
+from repro.core.collector import Collector
+from repro.core.reporter import Reporter
+from repro.core.translator import Translator
+
+
+def deploy(vectorized: bool):
+    registry = obs.Registry()
+    previous = obs.set_registry(registry)
+    collector = Collector()
+    collector.serve_keywrite(slots=256, data_bytes=16)
+    collector.serve_keyincrement(slots_per_row=128, rows=4)
+    collector.serve_sketch(width=256, depth=4, expected_reporters=1,
+                           batch_columns=16)
+    translator = Translator(vectorized=vectorized)
+    collector.connect_translator(translator)
+    reporter = Reporter("bench", 1, transmit=translator.handle_report,
+                        transmit_batch=translator.process_batch)
+    return registry, previous, collector, translator, reporter
+
+
+def run_lanes(vectorized: bool, drive) -> tuple:
+    """Returns (kw bytes, ki bytes, sketch bytes, obs digest)."""
+    registry, previous, collector, translator, reporter = deploy(vectorized)
+    try:
+        drive(reporter, translator)
+        digest = hashlib.sha256(
+            obs.to_jsonl(registry.snapshot()).encode()).hexdigest()
+    finally:
+        obs.set_registry(previous)
+    return (bytes(collector.keywrite.region.buf),
+            bytes(collector.keyincrement.region.buf),
+            bytes(collector.sketch.region.buf),
+            digest)
+
+
+def assert_modes_identical(drive) -> None:
+    assert run_lanes(False, drive) == run_lanes(True, drive)
+
+
+class TestVectorLanesBitExact:
+    def test_keywrite(self):
+        rng = random.Random(1)
+        keys = [rng.randbytes(rng.randint(1, 32)) for _ in range(300)]
+        datas = [rng.randbytes(rng.randint(0, 16)) for _ in range(300)]
+
+        def drive(reporter, translator):
+            for s in range(0, len(keys), 64):
+                reporter.send_batch(ReportBatch.key_writes(
+                    keys[s:s + 64], datas[s:s + 64], redundancy=2))
+
+        assert_modes_identical(drive)
+
+    def test_keyincrement_with_negative_values(self):
+        rng = random.Random(2)
+        keys = [rng.randbytes(rng.randint(1, 32)) for _ in range(300)]
+        values = [rng.choice([1, 7, -3, 10**6, -(10**12)])
+                  for _ in range(300)]
+
+        def drive(reporter, translator):
+            for s in range(0, len(keys), 64):
+                reporter.send_batch(ReportBatch.key_increments(
+                    keys[s:s + 64], values[s:s + 64], redundancy=2))
+
+        assert_modes_identical(drive)
+
+    def test_sketch_merge(self):
+        rng = random.Random(3)
+        columns = list(range(256))
+        rows = [tuple(rng.getrandbits(31) for _ in range(4))
+                for _ in range(256)]
+
+        def drive(reporter, translator):
+            for s in range(0, 256, 64):
+                reporter.send_batch(ReportBatch.sketch_columns(
+                    0, columns[s:s + 64], rows[s:s + 64]))
+
+        assert_modes_identical(drive)
+
+    def test_sketch_batched_matches_per_report(self):
+        rng = random.Random(4)
+        columns = list(range(256))
+        rows = [tuple(rng.getrandbits(31) for _ in range(4))
+                for _ in range(256)]
+
+        def per_report(reporter, translator):
+            for column, counters in zip(columns, rows):
+                reporter.sketch_column(0, column, counters)
+
+        def batched(reporter, translator):
+            for s in range(0, 256, 64):
+                reporter.send_batch(ReportBatch.sketch_columns(
+                    0, columns[s:s + 64], rows[s:s + 64]))
+
+        assert run_lanes(False, per_report) == run_lanes(True, batched)
+
+    def test_mixed_batch_sizes_and_remainders(self):
+        rng = random.Random(5)
+        keys = [rng.randbytes(8) for _ in range(131)]
+        datas = [rng.randbytes(12) for _ in range(131)]
+
+        def drive(reporter, translator):
+            cursor = 0
+            for size in (1, 2, 3, 5, 120):
+                reporter.send_batch(ReportBatch.key_writes(
+                    keys[cursor:cursor + size], datas[cursor:cursor + size],
+                    redundancy=3))
+                cursor += size
+
+        assert_modes_identical(drive)
+
+
+class TestFallbackEligibility:
+    def test_out_of_order_sketch_columns_fall_back(self):
+        rng = random.Random(6)
+        rows = [tuple(rng.getrandbits(31) for _ in range(4))
+                for _ in range(8)]
+        shuffled = [3, 0, 1, 2, 4, 5, 7, 6]
+
+        def drive(reporter, translator):
+            reporter.send_batch(ReportBatch.sketch_columns(
+                0, shuffled, rows))
+
+        # Out-of-order columns NACK on both paths, identically.
+        assert_modes_identical(drive)
+
+    def test_vector_lane_actually_runs(self):
+        registry, previous, collector, translator, reporter = deploy(True)
+        try:
+            hits = []
+            original = translator._vector_keywrite
+            translator._vector_keywrite = \
+                lambda batch: hits.append(1) or original(batch)
+            rng = random.Random(7)
+            keys = [rng.randbytes(8) for _ in range(64)]
+            datas = [rng.randbytes(8) for _ in range(64)]
+            reporter.send_batch(ReportBatch.key_writes(keys, datas,
+                                                       redundancy=2))
+            # Tiny batches stay on the scalar lane.
+            reporter.send_batch(ReportBatch.key_writes(keys[:2], datas[:2],
+                                                       redundancy=2))
+        finally:
+            obs.set_registry(previous)
+        assert len(hits) == 1
+
+    def test_scalar_translator_never_calls_kernels(self):
+        registry, previous, collector, translator, reporter = deploy(False)
+        try:
+            assert translator.vectorized is False
+            rng = random.Random(8)
+            keys = [rng.randbytes(8) for _ in range(64)]
+            datas = [rng.randbytes(8) for _ in range(64)]
+            called = []
+            translator._vector_keywrite = \
+                lambda batch: called.append(1)
+            reporter.send_batch(ReportBatch.key_writes(keys, datas,
+                                                       redundancy=2))
+        finally:
+            obs.set_registry(previous)
+        assert not called
