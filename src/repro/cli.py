@@ -10,6 +10,7 @@
     python -m repro rates                    # Table 1 report rates
     python -m repro stats --loss 0.05        # obs registry after a sim
     python -m repro bench --quick            # batched-vs-unbatched perf
+    python -m repro run --duration 10        # streaming-runtime soak
     python -m repro faults --seed 7          # chaos run + recovery audit
 """
 
@@ -220,6 +221,35 @@ def _cmd_bench(args) -> int:
     return 0 if document["pass"] else 1
 
 
+def _cmd_run(args) -> int:
+    """Soak the streaming runtime; non-zero exit if a gate fails."""
+    import datetime
+
+    from repro import bench
+    from repro.runtime import render_soak, run_soak
+
+    if args.primitive not in bench.PRIMITIVES:
+        print(f"error: unknown primitive '{args.primitive}' "
+              f"(choose from {', '.join(bench.PRIMITIVES)})",
+              file=sys.stderr)
+        return 2
+    reports = min(args.reports, 8000) if args.smoke else args.reports
+    date = datetime.date.today().strftime("%Y%m%d")
+    document = run_soak(primitive=args.primitive, reports=reports,
+                        batch_size=args.batch_size,
+                        queue_depth=args.queue_depth,
+                        workers=args.workers, seed=args.seed,
+                        duration=args.duration, rate=args.rate,
+                        smoke=args.smoke, date=date)
+    record = bench.append_history(document, args.history)
+    print(render_soak(document))
+    print(f"appended soak run {record['commit']} to {args.history}")
+    if args.out:
+        bench.write_document(document, args.out)
+        print(f"wrote {args.out}")
+    return 0 if document["pass"] else 1
+
+
 def _cmd_faults(args) -> int:
     """Run the chaos scenario and audit recovery; gate on --smoke."""
     from repro.faults import default_plan, run_chaos
@@ -349,6 +379,36 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--out", default=None, metavar="PATH",
                        help="also write the full document to PATH")
     bench.set_defaults(fn=_cmd_bench)
+
+    run = sub.add_parser(
+        "run", help="streaming-runtime soak (streamed vs serial gates)")
+    run.add_argument("--duration", type=float, default=None, metavar="S",
+                     help="wall-clock cap for the streamed lane (seconds; "
+                          "default: run the whole workload)")
+    run.add_argument("--rate", type=float, default=None, metavar="RPS",
+                     help="pace submission to at most RPS reports/sec")
+    run.add_argument("--reports", type=int, default=120_000,
+                     help="workload size (streamed lane may stop early "
+                          "under --duration)")
+    run.add_argument("--primitive", default="key_write",
+                     help="workload primitive (a repro bench primitive)")
+    run.add_argument("--workers", type=int, default=2,
+                     help="stage threads (0 = inline serial fallback)")
+    run.add_argument("--queue-depth", type=int, default=64,
+                     help="credit pool of each inter-stage queue")
+    run.add_argument("--batch-size", type=int, default=64,
+                     help="reports per submitted ReportBatch")
+    run.add_argument("--seed", type=int, default=1,
+                     help="workload RNG seed")
+    run.add_argument("--smoke", action="store_true",
+                     help="CI gate: cap the workload, gate on zero drops "
+                          "+ digest match only (skip the throughput gate)")
+    run.add_argument("--history", default="BENCH_HISTORY.jsonl",
+                     metavar="PATH",
+                     help="JSONL trajectory to append this run to")
+    run.add_argument("--out", default=None, metavar="PATH",
+                     help="also write the full document to PATH")
+    run.set_defaults(fn=_cmd_run)
 
     faults = sub.add_parser(
         "faults", help="seeded chaos run with recovery audit")

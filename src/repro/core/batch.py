@@ -233,6 +233,38 @@ class ReportBatch:
             flags |= DtaFlags.IMMEDIATE
         return flags
 
+    def wire_bytes(self) -> int:
+        """Total on-wire bytes of the batch's reports.
+
+        Eth+IPv4+UDP framing plus DTA header and subheader per report —
+        exactly ``sum(packets.report_wire_bytes(op))`` over the batch's
+        operations, computed from the column lengths without
+        serialising anything.  The streaming runtime's link stage
+        charges byte accounting from this.
+        """
+        from repro import calibration
+
+        framing = (calibration.ETH_HDR_BYTES + calibration.IPV4_HDR_BYTES
+                   + calibration.UDP_HDR_BYTES + packets.BASE_HEADER_BYTES)
+        n = len(self)
+        prim = self.primitive
+        if prim is DtaPrimitive.KEY_WRITE:
+            body = (_KW_SUB.size * n
+                    + sum(len(k) for k in self.keys)
+                    + sum(len(d) for d in self.datas))
+        elif prim is DtaPrimitive.KEY_INCREMENT:
+            body = _KI_SUB.size * n + sum(len(k) for k in self.keys)
+        elif prim is DtaPrimitive.POSTCARDING:
+            body = _PC_SUB.size * n + sum(len(k) for k in self.keys)
+        elif prim is DtaPrimitive.APPEND:
+            body = _AP_SUB.size * n + sum(len(d) for d in self.datas)
+        elif prim is DtaPrimitive.SKETCH_MERGE:
+            body = (_SM_SUB.size * n
+                    + 4 * sum(len(c) for c in self.counter_rows))
+        else:
+            raise ValueError(f"cannot size a {prim.name} batch")
+        return framing * n + body
+
     def _headers(self):
         """Per-report packed DTA base headers.
 

@@ -460,10 +460,7 @@ class Translator(Node):
         :func:`repro.kernels.burst.resolve_target`); the scalar lane
         then runs with its exact reference semantics.
         """
-        import numpy as np
-
         from repro.kernels import burst as kburst
-        from repro.kernels import crc as kcrc
 
         kw = self._kw
         layout = kw.layout
@@ -471,29 +468,61 @@ class Translator(Node):
         if (target is None or layout.base_addr != target.region.addr
                 or layout.region_bytes > target.region.length):
             return False
-        keys = batch.keys
-        n = len(keys)
-        packed, lengths = kcrc.pack_keys(keys)
+        plan = self.plan_vector_keywrite(batch, target)
+        if plan is None:
+            return False
+        row_indices, rows = plan
+        count = kburst.write_rows(target, self.client, row_indices, rows)
+        if count is None:
+            return False
+        self.account_vector_keywrite(len(batch.keys), count)
+        return True
+
+    def plan_vector_keywrite(self, batch, target):
+        """Compute a Key-Write scatter plan: ``(row_indices, rows)``.
+
+        The plan half of the vector lane — hashing, entry encoding, and
+        bounds validation against ``target``'s region, with no state
+        touched.  Applying the plan (``kernels.burst.write_rows``) and
+        charging the translator counters
+        (:meth:`account_vector_keywrite`) are separate so the streaming
+        runtime can run plan and apply in different pipeline stages.
+        Returns None when the batch is not vector-eligible.
+        """
+        import numpy as np
+
+        from repro.kernels import crc as kcrc
+
+        layout = self._kw.layout
+        packed, lengths = kcrc.pack_keys(batch.keys)
         try:
             entries = layout.encode_entries_many(packed, lengths,
                                                  batch.datas)
         except ValueError:
-            return False     # oversize data: scalar lane raises for it
+            return None      # oversize data: scalar lane raises for it
         slot_idx = layout.slot_indices_many(packed, lengths,
                                             batch.redundancy)
         # Key-major flattening preserves arrival order, which the
         # scatter's last-write-wins dedup relies on.
         row_indices = slot_idx.T.reshape(-1)
         rows = np.repeat(entries, batch.redundancy, axis=0)
-        count = kburst.write_rows(target, self.client, row_indices, rows)
-        if count is None:
-            return False
-        self.stats.reports_in += n
-        self.stats.keywrites += n
+        row_bytes = rows.shape[1]
+        if row_bytes == 0:
+            return None
+        slots = target.region.length // row_bytes
+        if len(row_indices) and (int(row_indices.min()) < 0
+                                 or int(row_indices.max()) >= slots):
+            return None      # same bounds check write_rows would fail
+        return row_indices, rows
+
+    def account_vector_keywrite(self, reports: int, count: int) -> None:
+        """Translator-side counters for an applied Key-Write plan."""
+        slot_bytes = self._kw.layout.slot_bytes
+        self.stats.reports_in += reports
+        self.stats.keywrites += reports
         self.stats.rdma_writes += count
-        self.stats.rdma_payload_bytes += count * layout.slot_bytes
-        self._payload_hist.observe_repeated(layout.slot_bytes, count)
-        return True
+        self.stats.rdma_payload_bytes += count * slot_bytes
+        self._payload_hist.observe_repeated(slot_bytes, count)
 
     def _batch_keyincrement(self, batch) -> None:
         """Key-Increment fast lane: one burst of Fetch-and-Adds."""
@@ -519,10 +548,7 @@ class Translator(Node):
 
     def _vector_keyincrement(self, batch) -> bool:
         """Vectorized Key-Increment: one scatter-add of Fetch-and-Adds."""
-        import numpy as np
-
         from repro.kernels import burst as kburst
-        from repro.kernels import crc as kcrc
 
         ki = self._ki
         layout = ki.layout
@@ -530,27 +556,56 @@ class Translator(Node):
         if (target is None or layout.base_addr != target.region.addr
                 or layout.region_bytes > target.region.length):
             return False
-        keys = batch.keys
-        n = len(keys)
-        rows = min(batch.redundancy, layout.rows)
-        try:
-            values = np.asarray(batch.values, dtype=np.int64)
-        except (OverflowError, ValueError):
-            return False     # beyond int64: scalar wrap semantics apply
-        packed, lengths = kcrc.pack_keys(keys)
-        idx = layout.counter_indices_many(packed, lengths, rows)
-        counter_indices = idx.T.reshape(-1)
-        addends = np.repeat(values, rows)
+        plan = self.plan_vector_keyincrement(batch, target)
+        if plan is None:
+            return False
+        counter_indices, addends = plan
         count = kburst.fetch_add_many(target, self.client,
                                       counter_indices, addends)
         if count is None:
             return False
-        self.stats.reports_in += n
-        self.stats.keyincrements += n
+        self.account_vector_keyincrement(len(batch.keys), count)
+        return True
+
+    def plan_vector_keyincrement(self, batch, target):
+        """Compute a Key-Increment scatter-add plan:
+        ``(counter_indices, addends)``.
+
+        Plan half of the vector lane (see
+        :meth:`plan_vector_keywrite`): hashing plus bounds validation
+        against ``target``'s region, no state touched.  Returns None
+        when the batch is not vector-eligible.
+        """
+        import numpy as np
+
+        from repro.kernels import crc as kcrc
+
+        layout = self._ki.layout
+        rows = min(batch.redundancy, layout.rows)
+        try:
+            values = np.asarray(batch.values, dtype=np.int64)
+        except (OverflowError, ValueError):
+            return None      # beyond int64: scalar wrap semantics apply
+        packed, lengths = kcrc.pack_keys(batch.keys)
+        idx = layout.counter_indices_many(packed, lengths, rows)
+        counter_indices = idx.T.reshape(-1)
+        addends = np.repeat(values, rows)
+        region = target.region
+        if region.length % 8:
+            return None
+        slots = region.length // 8
+        if len(counter_indices) and (int(counter_indices.min()) < 0
+                                     or int(counter_indices.max()) >= slots):
+            return None      # same bounds check fetch_add_many applies
+        return counter_indices, addends
+
+    def account_vector_keyincrement(self, reports: int, count: int) -> None:
+        """Translator-side counters for an applied Key-Increment plan."""
+        self.stats.reports_in += reports
+        self.stats.keyincrements += reports
         self.stats.rdma_atomics += count
         self.stats.rdma_payload_bytes += count * 8
         self._payload_hist.observe_repeated(8, count)
-        return True
 
     def _batch_postcard(self, batch) -> None:
         """Postcarding fast lane: cache inserts, then one write burst.

@@ -182,3 +182,55 @@ class Link:
         if self.sim.now <= 0:
             return 0.0
         return min(1.0, self._busy_until / self.sim.now)
+
+
+class StreamLink:
+    """Carrier-granular link accounting for the streaming runtime.
+
+    The runtime's reporter->translator hop is lossless by construction
+    (PFC semantics: backpressure comes from the engine's bounded credit
+    queues, never from tail drops), so this link performs no event
+    simulation and draws no RNG — its accounting is a pure function of
+    the carriers that cross it, which keeps streamed obs digests
+    bit-identical across worker counts.  The one non-deterministic
+    thing a real wire does — going down — is modelled as an explicit
+    fault window (:meth:`begin_fault`), the hook
+    :class:`repro.faults.FaultInjector`-style plans use to black out
+    the hop mid-stream; carriers sent inside the window are dropped
+    whole and counted in ``fault_drops``.
+    """
+
+    def __init__(self, name: str = "stream") -> None:
+        self.name = name
+        self.stats = LinkStats(labels={"link": name})
+        self._fault = False
+
+    def begin_fault(self) -> None:
+        """Open a blackout window: every carrier is dropped whole."""
+        self._fault = True
+
+    def end_fault(self) -> None:
+        """Close the blackout window; delivery resumes."""
+        self._fault = False
+
+    @property
+    def fault_active(self) -> bool:
+        return self._fault
+
+    def transmit(self, reports: int, size_bytes: int) -> bool:
+        """Charge one carrier crossing the hop; False means dropped.
+
+        ``reports`` DTA reports totalling ``size_bytes`` on-wire bytes
+        (see :meth:`ReportBatch.wire_bytes
+        <repro.core.batch.ReportBatch.wire_bytes>`).  Bytes are charged
+        even for a blacked-out carrier — the frames left the reporter;
+        they just never arrived.
+        """
+        self.stats.sent += reports
+        self.stats.bytes_sent += size_bytes
+        if self._fault:
+            self.stats.random_drops += reports
+            self.stats.fault_drops += reports
+            return False
+        self.stats.delivered += reports
+        return True

@@ -23,6 +23,7 @@ from repro.faults.recovery import (
     bind_qp_recovery,
     drain_losses,
     ha_star,
+    recover_stream,
 )
 from repro.faults.scenarios import ChaosResult, default_plan, run_chaos
 
@@ -38,5 +39,6 @@ __all__ = [
     "default_plan",
     "drain_losses",
     "ha_star",
+    "recover_stream",
     "run_chaos",
 ]

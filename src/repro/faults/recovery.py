@@ -155,6 +155,40 @@ def _reconcile_tail(translator: Translator, reporter: Reporter) -> int:
     return work
 
 
+def recover_stream(engine, reporters: list, *, rounds: int = 8) -> int:
+    """Recovery sweep for a drained streaming engine.
+
+    The streaming runtime (:class:`repro.runtime.StreamEngine`)
+    collects translator control frames (NACKs, congestion signals)
+    instead of short-circuiting them into reporter state mid-stream —
+    single-writer determinism — and, in direct deployments without a
+    control sink, still holds them after :meth:`drain
+    <repro.runtime.StreamEngine.drain>`.  This sweep is the streaming
+    counterpart of :func:`drain_losses`: apply those frames to their
+    reporters (serving the NACKs, raising congestion levels), then run
+    the ordinary controller reconciliation over the engine's
+    translator.  Call it after ``drain()``/``close()``, exactly where a
+    serial run would call :func:`drain_losses`.  Returns control frames
+    applied plus re-sends issued.
+    """
+    from repro.core import packets
+
+    by_id = {reporter.reporter_id: reporter for reporter in reporters}
+    frames, engine.pending_controls = list(engine.pending_controls), []
+    work = 0
+    for _src, raw in frames:
+        header, op = packets.decode_report(raw)
+        reporter = by_id.get(header.reporter_id)
+        if reporter is None:
+            continue
+        if isinstance(op, packets.Nack):
+            work += reporter.handle_nack(op)
+        elif isinstance(op, packets.CongestionSignal):
+            reporter.handle_congestion(op)
+    return work + drain_losses([engine.translator], reporters,
+                               rounds=rounds)
+
+
 def drain_losses(translators: list, reporters: list, *,
                  sim: Simulator | None = None, rounds: int = 8) -> int:
     """Controller recovery sweep: replay every recoverable report.

@@ -156,6 +156,16 @@ class Registry:
         self._metrics[metric.key] = metric
         return metric
 
+    def declare_gauge(self, name: str, /, fn=None, **labels) -> Gauge:
+        """A fresh gauge bound to (name, labels), replacing any
+        previous binding (e.g. per-queue depth gauges that must not be
+        shared across engine instances)."""
+        metric = Gauge(name, labels)
+        if fn is not None:
+            metric.fn = fn
+        self._metrics[metric.key] = metric
+        return metric
+
     def declare_histogram(self, name: str, /, **labels) -> Histogram:
         """A fresh histogram bound to (name, labels), replacing any
         previous binding."""

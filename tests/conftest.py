@@ -1,13 +1,58 @@
-"""Shared fixtures: a fully wired DTA deployment in direct mode."""
+"""Shared fixtures: a fully wired DTA deployment in direct mode.
+
+Also the suite's hygiene layer: every test runs against a fresh obs
+registry and cleared hash/CRC memo caches (see ``_fresh_globals``), so
+no test observes state another test left behind and the suite passes
+under any execution order (``pytest -p no:randomly`` not required; try
+``--ff`` or a reversed file list — the digests still agree).
+"""
 
 from __future__ import annotations
 
+import hypothesis
 import pytest
 
 from repro import obs
 from repro.core.collector import Collector
 from repro.core.reporter import Reporter
 from repro.core.translator import Translator
+
+# Explicit no-deadline profile: the property suites drive whole
+# deployments per example, whose wall-clock varies too much for
+# hypothesis's default 200ms deadline on a loaded CI box; derandomized
+# so a red run reproduces from the seed in the failure message.
+hypothesis.settings.register_profile(
+    "repro-ci", deadline=None, derandomize=True)
+hypothesis.settings.load_profile("repro-ci")
+
+
+@pytest.fixture(autouse=True)
+def _fresh_globals():
+    """Per-test reset of module-global mutable state.
+
+    Swaps in a fresh metrics registry (components built inside the test
+    bind to it; the previous registry — which module/class-scoped
+    fixtures may hold components against — comes back untouched
+    afterwards) and clears the CRC/hash memo caches, whose content is
+    input-deterministic but whose *presence* could mask cold-path bugs
+    depending on which test ran first.
+    """
+    from repro.switch import crc as switch_crc
+
+    previous = obs.set_registry(obs.Registry())
+    switch_crc._TABLE_CACHE.clear()
+    switch_crc._hash_lane.cache_clear()
+    try:
+        from repro.kernels import crc as kernel_crc
+    except ImportError:        # numpy-less environment: nothing cached
+        pass
+    else:
+        kernel_crc._NP_TABLE_CACHE.clear()
+        kernel_crc._lane_state.cache_clear()
+    try:
+        yield
+    finally:
+        obs.set_registry(previous)
 
 
 @pytest.fixture

@@ -1,0 +1,144 @@
+"""Property tests for the DTA wire codecs.
+
+Hypothesis-driven round-trip and rejection properties over every
+report type (the five primitives plus the NACK and congestion control
+messages).  The suite runs under the ``repro-ci`` profile registered in
+``tests/conftest.py`` — ``deadline=None`` (whole-codec examples on a
+loaded CI box blow the default 200ms deadline for reasons unrelated to
+the code) and ``derandomize=True`` (a red run reproduces exactly).
+
+Rejection properties pin the three malformation classes the decoder
+must catch: truncation at *every* byte boundary, a bad version nibble,
+and an unknown primitive code.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import packets
+from repro.core.batch import ReportBatch
+from repro.core.packets import (
+    BASE_HEADER_BYTES,
+    DTA_VERSION,
+    Append,
+    CongestionSignal,
+    DtaFlags,
+    KeyIncrement,
+    KeyWrite,
+    Nack,
+    PacketDecodeError,
+    Postcard,
+    SketchColumn,
+)
+
+keys = st.binary(min_size=1, max_size=packets.MAX_KEY_BYTES)
+datas = st.binary(max_size=packets.MAX_DATA_BYTES)
+redundancies = st.integers(min_value=1, max_value=16)
+u16 = st.integers(min_value=0, max_value=0xFFFF)
+u32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+i64 = st.integers(min_value=-(1 << 63), max_value=(1 << 63) - 1)
+
+operations = st.one_of(
+    st.builds(KeyWrite, key=keys, data=datas, redundancy=redundancies),
+    st.builds(KeyIncrement, key=keys, value=i64, redundancy=redundancies),
+    st.builds(Postcard, key=keys,
+              hop=st.integers(min_value=0, max_value=31), value=u32,
+              path_length=st.integers(min_value=0, max_value=255),
+              redundancy=st.integers(min_value=0, max_value=255)),
+    st.builds(Append, list_id=u16,
+              data=st.binary(min_size=1,
+                             max_size=packets.MAX_DATA_BYTES)),
+    st.builds(SketchColumn, sketch_id=u16, column=u16,
+              counters=st.lists(u32, min_size=1,
+                                max_size=255).map(tuple)),
+    st.builds(Nack, expected_seq=u32,
+              missing=st.integers(min_value=1, max_value=0xFFFFFFFF)),
+    st.builds(CongestionSignal,
+              level=st.integers(min_value=0, max_value=255)),
+)
+
+flag_values = st.sampled_from([
+    DtaFlags.NONE, DtaFlags.ESSENTIAL, DtaFlags.IMMEDIATE,
+    DtaFlags.ESSENTIAL | DtaFlags.IMMEDIATE,
+    DtaFlags.ESSENTIAL | DtaFlags.RETRANSMIT,
+])
+
+
+@settings(max_examples=120)
+@given(operation=operations, reporter_id=u16, seq=u32, flags=flag_values)
+def test_round_trip_every_report_type(operation, reporter_id, seq, flags):
+    raw = packets.make_report(operation, reporter_id=reporter_id,
+                              seq=seq, flags=flags)
+    header, decoded = packets.decode_report(raw)
+    assert decoded == operation
+    assert header.reporter_id == reporter_id
+    assert header.seq == seq
+    assert header.flags == flags
+    assert type(decoded) is type(operation)
+
+
+@settings(max_examples=80)
+@given(operation=operations)
+def test_every_strict_prefix_is_rejected(operation):
+    """Reports carry exact sizes: any truncation must raise, never
+    silently decode a shorter record."""
+    raw = packets.make_report(operation)
+    for cut in range(len(raw)):
+        with pytest.raises(PacketDecodeError):
+            packets.decode_report(raw[:cut])
+
+
+@settings(max_examples=60)
+@given(operation=operations,
+       version=st.integers(min_value=0, max_value=15).filter(
+           lambda v: v != DTA_VERSION))
+def test_bad_version_nibble_is_rejected(operation, version):
+    raw = bytearray(packets.make_report(operation))
+    raw[0] = (version << 4) | (raw[0] & 0xF)
+    with pytest.raises(PacketDecodeError):
+        packets.decode_report(bytes(raw))
+
+
+@settings(max_examples=60)
+@given(operation=operations,
+       code=st.sampled_from([0, 6, 7, 8, 9, 10, 11, 12, 13]))
+def test_unknown_primitive_code_is_rejected(operation, code):
+    raw = bytearray(packets.make_report(operation))
+    raw[0] = (DTA_VERSION << 4) | code
+    with pytest.raises(PacketDecodeError):
+        packets.decode_report(bytes(raw))
+
+
+@settings(max_examples=50)
+@given(pairs=st.lists(st.tuples(keys, datas), min_size=1, max_size=16),
+       redundancy=redundancies)
+def test_batch_iter_raw_matches_per_report_encoding(pairs, redundancy):
+    """``ReportBatch.iter_raw`` is byte-identical to ``make_report`` on
+    the equivalent per-report operations — the property the batched
+    and per-report lanes' digest agreement ultimately rests on."""
+    batch = ReportBatch.key_writes([k for k, _ in pairs],
+                                   [d for _, d in pairs],
+                                   redundancy=redundancy)
+    expected = [packets.make_report(
+        KeyWrite(key=k, data=d, redundancy=redundancy))
+        for k, d in pairs]
+    assert list(batch.iter_raw()) == expected
+
+
+@settings(max_examples=50)
+@given(entries=st.lists(st.tuples(u16, st.binary(min_size=1, max_size=64)),
+                        min_size=1, max_size=16))
+def test_append_batch_iter_raw_matches_per_report_encoding(entries):
+    batch = ReportBatch.appends([i for i, _ in entries],
+                                [d for _, d in entries])
+    expected = [packets.make_report(Append(list_id=i, data=d))
+                for i, d in entries]
+    assert list(batch.iter_raw()) == expected
+
+
+def test_header_length_constant_matches_format():
+    assert BASE_HEADER_BYTES == 8
+    header = packets.DtaHeader(primitive=packets.DtaPrimitive.KEY_WRITE)
+    assert len(header.pack()) == BASE_HEADER_BYTES
