@@ -429,6 +429,10 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--quiet", action="store_true",
                         help="summary line only")
     faults.set_defaults(fn=_cmd_faults)
+
+    from repro.queries.cli import add_query_parser
+
+    add_query_parser(sub)
     return parser
 
 

@@ -302,6 +302,21 @@ class Collector(Node):
             raise RuntimeError("append service not provisioned")
         return self.append.poller(list_id)
 
+    def snapshot(self, *, batch_seq: int | None = None):
+        """Freeze every provisioned store for isolated querying.
+
+        Returns a :class:`~repro.queries.snapshot.CollectorSnapshot`
+        exposing the same query API over copied store memory, so a
+        reader can keep querying a stable view while reports continue
+        to land in the live regions.  When the collector is being fed
+        by a :class:`~repro.runtime.engine.StreamEngine`, prefer
+        ``engine.snapshot()``, which additionally synchronizes with the
+        execute stage so the copy lands on a batch boundary.
+        """
+        from repro.queries.snapshot import snapshot_of
+
+        return snapshot_of(self, batch_seq=batch_seq)
+
     def drain_notifications(self) -> list:
         """Collect pending RDMA-immediate interrupts (Section 6).
 

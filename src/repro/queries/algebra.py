@@ -1,0 +1,575 @@
+"""The compositional query algebra over DTA collector stores.
+
+Sonata (SIGCOMM'18) expresses telemetry questions as chains of dataflow
+operators; :mod:`repro.telemetry.sonata_dataflow` already runs that
+model on the *switch* side.  This module is the collector-side half:
+a :class:`Plan` is a source over one of the five primitive stores
+(Key-Write slots, Key-Increment counters, Postcarding chunks, Append
+lists, the merged sketch) composed with ``filter / map / reduce /
+distinct / topk / join / union`` operators, evaluated lazily against a
+:class:`~repro.queries.snapshot.CollectorSnapshot` (or a quiesced live
+collector — the two expose the same store attributes).
+
+Rows are plain dicts.  Every operator that changes cardinality
+(``reduce``, ``distinct``, ``topk``) emits its rows in a *canonical
+order* (see :func:`canon`), which is what makes the algebra's
+determinism claims checkable:
+
+* evaluating a plan twice over the same snapshot is bit-equal;
+* ``reduce`` with a commutative ``how`` (sum/min/max/count) and
+  ``distinct`` are insensitive to source row order;
+* ``filter(p).filter(q) == filter(q).filter(p)``;
+* ``topk(k=None)`` is a total ordering — ``topk(k)`` is its prefix.
+
+Cost accounting flows through the :class:`ExecContext` the sources
+receive: every store probe records rows scanned and bytes touched, so
+:class:`repro.queries.engine.QueryEngine` can charge each query to the
+``queries.*`` obs series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.switch.crc import hash_family
+
+# ----------------------------------------------------------------------
+# Canonical ordering — mixed-type, total, deterministic
+# ----------------------------------------------------------------------
+
+
+def canon(value):
+    """A sort key imposing one total order across row value types.
+
+    Rows mix bytes keys, int counters, str labels, and list paths; a
+    plain ``sorted`` would raise on the first cross-type comparison.
+    """
+    if value is None:
+        return (0,)
+    if isinstance(value, bool):
+        return (1, int(value))
+    if isinstance(value, (int, float)):
+        return (2, value)
+    if isinstance(value, (bytes, bytearray)):
+        return (3, bytes(value))
+    if isinstance(value, str):
+        return (4, value)
+    if isinstance(value, (tuple, list)):
+        return (5, tuple(canon(item) for item in value))
+    if isinstance(value, dict):
+        return (6, tuple(sorted((str(k), canon(v))
+                                for k, v in value.items())))
+    return (7, repr(value))
+
+
+def row_canon(row) -> tuple:
+    """Canonical key for a whole row (field-order independent)."""
+    if isinstance(row, dict):
+        return canon(row)
+    return canon(row)
+
+
+def _getter(spec):
+    """Field access: a string names a row column, a callable is used
+    as-is (the escape hatch for computed keys)."""
+    if callable(spec):
+        return spec
+    return lambda row: row[spec]
+
+
+# ----------------------------------------------------------------------
+# Execution context — where cost accounting accumulates
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ExecContext:
+    """Per-execution scratch: the snapshot plus cost accumulators."""
+
+    snapshot: object
+    rows_scanned: int = 0
+    bytes_touched: int = 0
+
+    def scanned(self, rows: int, bytes_touched: int) -> None:
+        self.rows_scanned += rows
+        self.bytes_touched += bytes_touched
+
+    def store(self, attr: str):
+        store = getattr(self.snapshot, attr, None)
+        if store is None:
+            raise RuntimeError(
+                f"query needs the '{attr}' service, which the snapshot "
+                "does not carry")
+        return store
+
+
+# ----------------------------------------------------------------------
+# Sources
+# ----------------------------------------------------------------------
+
+
+class Source:
+    """Produces the root rows of a plan from a snapshot."""
+
+    def rows(self, ctx: ExecContext) -> list:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class LiteralRows(Source):
+    """A fixed row list — joins against operator watchlists, tests."""
+
+    items: tuple
+
+    def rows(self, ctx: ExecContext) -> list:
+        return [dict(row) for row in self.items]
+
+    def describe(self) -> str:
+        return f"literal[{len(self.items)}]"
+
+
+@dataclass(frozen=True)
+class KeyWriteValues(Source):
+    """Key-Write lookups for a candidate key set.
+
+    Rows: ``{"key", "value", "found", "matched_slots"}`` — ``value`` is
+    ``None`` on an empty return, exactly the store's query semantics.
+    """
+
+    keys: tuple
+    redundancy: int | None = None
+    consensus: int = 1
+
+    def rows(self, ctx: ExecContext) -> list:
+        from repro import calibration
+
+        store = ctx.store("keywrite")
+        n = self.redundancy or calibration.DEFAULT_REDUNDANCY
+        out = []
+        for key in self.keys:
+            result = store.query(key, redundancy=self.redundancy,
+                                 consensus=self.consensus)
+            ctx.scanned(n, n * store.layout.slot_bytes)
+            out.append({"key": key, "value": result.value,
+                        "found": result.found,
+                        "matched_slots": result.matched_slots})
+        return out
+
+    def describe(self) -> str:
+        return f"keywrite[{len(self.keys)}]"
+
+
+@dataclass(frozen=True)
+class CounterEstimates(Source):
+    """Key-Increment CMS point estimates for a candidate key set.
+
+    Rows: ``{"key", "count"}``.
+    """
+
+    keys: tuple
+    redundancy: int | None = None
+
+    def rows(self, ctx: ExecContext) -> list:
+        from repro.core.stores.keyincrement import COUNTER_BYTES
+
+        store = ctx.store("keyincrement")
+        n = min(self.redundancy or store.layout.rows, store.layout.rows)
+        out = []
+        for key in self.keys:
+            count = store.query(key, redundancy=self.redundancy)
+            ctx.scanned(n, n * COUNTER_BYTES)
+            out.append({"key": key, "count": count})
+        return out
+
+    def describe(self) -> str:
+        return f"counters[{len(self.keys)}]"
+
+
+@dataclass(frozen=True)
+class SketchEstimates(Source):
+    """Merged-sketch CMS estimates for a candidate key set.
+
+    Rows: ``{"key", "estimate"}``.  The counter matrix is read once per
+    execution (one contiguous region scan), then probed per key — the
+    pattern :class:`~repro.queries.library.HeavyHitterScan` always used.
+    """
+
+    keys: tuple
+    depth: int | None = None
+
+    def rows(self, ctx: ExecContext) -> list:
+        store = ctx.store("sketch")
+        layout = store.layout
+        rows = store.matrix()
+        ctx.scanned(layout.width * layout.depth, layout.region_bytes)
+        hashes = hash_family(self.depth or layout.depth)
+        out = []
+        for key in self.keys:
+            estimate = min(row[h(key) % layout.width]
+                           for row, h in zip(rows, hashes))
+            out.append({"key": key, "estimate": estimate})
+        return out
+
+    def describe(self) -> str:
+        return f"sketch[{len(self.keys)}]"
+
+
+@dataclass(frozen=True)
+class PostcardPaths(Source):
+    """Postcarding path lookups for a candidate key set.
+
+    Rows: ``{"key", "path", "found"}`` — ``path`` is ``None`` when the
+    chunks are empty or inconsistent (Appendix A.7 semantics).
+    """
+
+    keys: tuple
+    redundancy: int = 1
+
+    def rows(self, ctx: ExecContext) -> list:
+        store = ctx.store("postcarding")
+        layout = store.layout
+        out = []
+        for key in self.keys:
+            path = store.query(key, redundancy=self.redundancy)
+            ctx.scanned(self.redundancy,
+                        self.redundancy * layout.chunk_payload_bytes)
+            out.append({"key": key, "path": path,
+                        "found": path is not None})
+        return out
+
+    def describe(self) -> str:
+        return f"postcards[{len(self.keys)}]"
+
+
+@dataclass(frozen=True)
+class AppendEntries(Source):
+    """Published entries of one Append list, in landing order.
+
+    Rows: ``{"list_id", "index", "data"}``; ``index`` is the absolute
+    position (head count) of the entry.  Scanning starts at ``start``
+    and ends at the first unpublished slot (lap-tag mismatch) or after
+    ``limit`` rows — the poller protocol, expressed as a source.
+    """
+
+    list_id: int
+    start: int = 0
+    limit: int | None = None
+    decode: object = None     # optional callable: raw bytes -> value
+
+    def rows(self, ctx: ExecContext) -> list:
+        from repro.core.stores.append import lap_tag
+
+        store = ctx.store("append")
+        layout = store.layout
+        out = []
+        position = self.start
+        while self.limit is None or len(out) < self.limit:
+            slot = position % layout.capacity
+            tag, data = store.read_entry(self.list_id, slot)
+            ctx.scanned(1, layout.entry_bytes)
+            if tag != lap_tag(position // layout.capacity):
+                break
+            value = self.decode(data) if self.decode is not None else data
+            out.append({"list_id": self.list_id, "index": position,
+                        "data": value})
+            position += 1
+        return out
+
+    def describe(self) -> str:
+        return f"append[list={self.list_id}, start={self.start}]"
+
+
+# ----------------------------------------------------------------------
+# Operators
+# ----------------------------------------------------------------------
+
+
+class Operator:
+    def apply(self, rows: list, ctx: ExecContext) -> list:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__.lower()
+
+
+@dataclass(frozen=True)
+class Filter(Operator):
+    predicate: object
+
+    def apply(self, rows, ctx):
+        predicate = self.predicate
+        return [row for row in rows if predicate(row)]
+
+    def describe(self) -> str:
+        return "filter"
+
+
+@dataclass(frozen=True)
+class Map(Operator):
+    """1:1 row transform (project, decode, annotate)."""
+
+    fn: object
+
+    def apply(self, rows, ctx):
+        fn = self.fn
+        return [fn(row) for row in rows]
+
+    def describe(self) -> str:
+        return "map"
+
+
+@dataclass(frozen=True)
+class Distinct(Operator):
+    """Set semantics: one row per distinct key, canonically ordered.
+
+    The canonical output order is what makes ``distinct`` insensitive
+    to source row order — the first-seen row of each key is kept, but
+    emission order never depends on arrival order.
+    """
+
+    key: object = None
+
+    def apply(self, rows, ctx):
+        key_fn = _getter(self.key) if self.key is not None else row_canon
+        seen = {}
+        for row in rows:
+            seen.setdefault(canon(key_fn(row)), row)
+        return [seen[k] for k in sorted(seen)]
+
+    def describe(self) -> str:
+        return "distinct"
+
+
+_REDUCERS = {
+    "sum": lambda acc, value: acc + value,
+    "min": min,
+    "max": max,
+    "count": lambda acc, value: acc + 1,
+}
+_REDUCE_INIT = {"sum": 0, "count": 0}
+
+
+@dataclass(frozen=True)
+class Reduce(Operator):
+    """Group-by + commutative aggregate.
+
+    Emits ``{"key": group, "value": aggregate}`` rows sorted by the
+    canonical group order.  ``how`` must be commutative/associative
+    (sum, min, max, count) — that is the operator's order-insensitivity
+    contract, and the property suite holds it to that.
+    """
+
+    key: object
+    value: object = None
+    how: str = "sum"
+
+    def __post_init__(self) -> None:
+        if self.how not in _REDUCERS:
+            raise ValueError(
+                f"unknown reduce how={self.how!r} "
+                f"(choose from {', '.join(sorted(_REDUCERS))})")
+
+    def apply(self, rows, ctx):
+        key_fn = _getter(self.key)
+        value_fn = (_getter(self.value) if self.value is not None
+                    else lambda row: 1)
+        fold = _REDUCERS[self.how]
+        groups: dict = {}
+        for row in rows:
+            group = key_fn(row)
+            value = value_fn(row)
+            slot = canon(group)
+            if slot not in groups:
+                init = _REDUCE_INIT.get(self.how)
+                groups[slot] = (group,
+                                fold(init, value) if init is not None
+                                else value)
+            else:
+                groups[slot] = (group, fold(groups[slot][1], value))
+        return [{"key": groups[slot][0], "value": groups[slot][1]}
+                for slot in sorted(groups)]
+
+    def describe(self) -> str:
+        return f"reduce[{self.how}]"
+
+
+@dataclass(frozen=True)
+class TopK(Operator):
+    """The ``k`` largest rows by a metric, ties broken canonically.
+
+    ``k=None`` keeps every row — a deterministic total ordering, so
+    ``topk(k)`` is always a prefix of ``topk(None)``.
+    """
+
+    k: int | None
+    by: object
+    reverse: bool = True
+
+    def apply(self, rows, ctx):
+        by_fn = _getter(self.by)
+        ordered = sorted(rows, key=lambda row: (canon(by_fn(row)),
+                                                row_canon(row)),
+                         reverse=self.reverse)
+        if self.k is None:
+            return ordered
+        return ordered[:self.k]
+
+    def describe(self) -> str:
+        return f"topk[{self.k if self.k is not None else 'all'}]"
+
+
+@dataclass(frozen=True)
+class Join(Operator):
+    """Hash join against another plan, evaluated on the same snapshot.
+
+    ``on`` names the join key in both row sets (or is a callable
+    applied to both); right-side fields merge into the left row, the
+    left value winning on column clashes.  ``how="inner"`` drops
+    unmatched left rows, ``how="left"`` keeps them unmerged.
+    """
+
+    other: object            # Plan
+    on: object
+    how: str = "inner"
+
+    def __post_init__(self) -> None:
+        if self.how not in ("inner", "left"):
+            raise ValueError(f"unknown join how={self.how!r}")
+
+    def apply(self, rows, ctx):
+        on_fn = _getter(self.on)
+        right_rows = _run(self.other, ctx)
+        right: dict = {}
+        for row in right_rows:
+            right.setdefault(canon(on_fn(row)), []).append(row)
+        out = []
+        for row in rows:
+            matches = right.get(canon(on_fn(row)))
+            if matches is None:
+                if self.how == "left":
+                    out.append(dict(row))
+                continue
+            for match in matches:
+                merged = dict(match)
+                merged.update(row)
+                out.append(merged)
+        return out
+
+    def describe(self) -> str:
+        return f"join[{self.how}]({self.other.describe()})"
+
+
+@dataclass(frozen=True)
+class Union(Operator):
+    """Concatenate another plan's rows (bag union, left rows first)."""
+
+    other: object            # Plan
+
+    def apply(self, rows, ctx):
+        return list(rows) + _run(self.other, ctx)
+
+    def describe(self) -> str:
+        return f"union({self.other.describe()})"
+
+
+# ----------------------------------------------------------------------
+# Plans
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Plan:
+    """A source plus a chain of operators; immutable and composable.
+
+    Combinators return new plans, so partial plans can be shared::
+
+        candidates = counter_estimates(keys)
+        heavy = candidates.filter(lambda r: r["count"] >= 100)
+        top = heavy.topk(10, by="count")
+    """
+
+    source: Source
+    ops: tuple = field(default_factory=tuple)
+
+    def _with(self, op: Operator) -> "Plan":
+        return Plan(self.source, self.ops + (op,))
+
+    def filter(self, predicate) -> "Plan":
+        return self._with(Filter(predicate))
+
+    def map(self, fn) -> "Plan":
+        return self._with(Map(fn))
+
+    def distinct(self, key=None) -> "Plan":
+        return self._with(Distinct(key))
+
+    def reduce(self, key, value=None, how: str = "sum") -> "Plan":
+        return self._with(Reduce(key, value, how))
+
+    def topk(self, k: int | None, by, *, reverse: bool = True) -> "Plan":
+        return self._with(TopK(k, by, reverse))
+
+    def join(self, other: "Plan", on, how: str = "inner") -> "Plan":
+        return self._with(Join(other, on, how))
+
+    def union(self, other: "Plan") -> "Plan":
+        return self._with(Union(other))
+
+    def describe(self) -> str:
+        chain = " | ".join([self.source.describe()]
+                           + [op.describe() for op in self.ops])
+        return chain
+
+
+def _run(plan: Plan, ctx: ExecContext) -> list:
+    rows = plan.source.rows(ctx)
+    for op in plan.ops:
+        rows = op.apply(rows, ctx)
+    return rows
+
+
+def run_plan(plan: Plan, snapshot, ctx: ExecContext | None = None) -> list:
+    """Evaluate ``plan`` against ``snapshot``; returns the row list.
+
+    ``snapshot`` is anything exposing the served-store attributes — a
+    :class:`~repro.queries.snapshot.CollectorSnapshot` for isolated
+    reads, or a quiesced live :class:`~repro.core.collector.Collector`.
+    Pass an :class:`ExecContext` to accumulate cost across plans.
+    """
+    if ctx is None:
+        ctx = ExecContext(snapshot)
+    return _run(plan, ctx)
+
+
+# ----------------------------------------------------------------------
+# Plan builders — the public spelling of the sources
+# ----------------------------------------------------------------------
+
+
+def literal_rows(rows) -> Plan:
+    return Plan(LiteralRows(tuple(dict(row) for row in rows)))
+
+
+def keywrite_values(keys, *, redundancy: int | None = None,
+                    consensus: int = 1) -> Plan:
+    return Plan(KeyWriteValues(tuple(keys), redundancy, consensus))
+
+
+def counter_estimates(keys, *, redundancy: int | None = None) -> Plan:
+    return Plan(CounterEstimates(tuple(keys), redundancy))
+
+
+def sketch_estimates(keys, *, depth: int | None = None) -> Plan:
+    return Plan(SketchEstimates(tuple(keys), depth))
+
+
+def postcard_paths(keys, *, redundancy: int = 1) -> Plan:
+    return Plan(PostcardPaths(tuple(keys), redundancy))
+
+
+def append_entries(list_id: int, *, start: int = 0,
+                   limit: int | None = None, decode=None) -> Plan:
+    return Plan(AppendEntries(list_id, start, limit, decode))

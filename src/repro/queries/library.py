@@ -1,0 +1,239 @@
+"""Operator-facing query workflows, expressed as algebra plans.
+
+Figure 1 ends at a "Queries" box: once reports sit in queryable
+structures, operators ask real questions — where did this flow go, what
+is being dropped and why, which flows are heavy network-wide.  These
+helpers package those workflows; since the serving-tier rework each one
+*builds a plan* on :mod:`repro.queries.algebra` and executes it through
+a :class:`~repro.queries.engine.QueryEngine`, so there is exactly one
+query path — ad-hoc plans, these helpers, and the ``repro query`` CLI
+all scan stores the same way and account cost the same way.
+
+Every helper accepts either a live :class:`~repro.core.collector
+.Collector` (quiesced reads, the historical behaviour) or a running
+:class:`~repro.runtime.engine.StreamEngine` / frozen snapshot, in which
+case reads are snapshot-isolated automatically.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.queries import algebra
+from repro.queries.engine import QueryEngine
+
+
+@dataclass(frozen=True)
+class TraceResult:
+    """Outcome of a path-trace query."""
+
+    flow_key: bytes
+    path: list | None          # switch ids, ingress -> egress
+    source: str                # "postcarding" | "key_write" | "missing"
+
+    @property
+    def found(self) -> bool:
+        return self.path is not None
+
+
+class PathTracer:
+    """Per-flow path tracing with Postcarding + Key-Write fallback.
+
+    Deployments often run both INT modes (Section 5.1); the tracer asks
+    the Postcarding store first (one random access) and falls back to
+    an INT-MD path stored under the flow key via Key-Write.  The
+    preference is encoded in the plan itself: both sources are ranked,
+    and a min-reduce per flow key keeps the best-ranked answer.
+    """
+
+    def __init__(self, collector, *, hops: int = 5,
+                 kw_redundancy: int = 2) -> None:
+        self.collector = collector
+        self.engine = QueryEngine(collector)
+        self.hops = hops
+        self.kw_redundancy = kw_redundancy
+
+    def plan(self, flow_keys) -> algebra.Plan:
+        """The trace plan for a batch of flow keys.
+
+        Rows out: ``{"key": k, "value": (rank, source, path)}`` for
+        every key that any store can answer; rank 0 is Postcarding,
+        rank 1 the Key-Write fallback.
+        """
+        keys = tuple(flow_keys)
+        hops = self.hops
+        stores = self.engine.stores
+
+        def decode_kw(row):
+            ids = list(struct.unpack(f">{hops}I",
+                                     row["value"][:4 * hops]))
+            while ids and ids[-1] == 0:
+                ids.pop()        # strip the sink's zero padding
+            return {"key": row["key"], "path": ids, "rank": 1,
+                    "source": "key_write"}
+
+        branches = []
+        if getattr(stores, "postcarding", None) is not None:
+            branches.append(
+                algebra.postcard_paths(keys)
+                .filter(lambda row: row["found"])
+                .map(lambda row: {"key": row["key"], "path": row["path"],
+                                  "rank": 0, "source": "postcarding"}))
+        if getattr(stores, "keywrite", None) is not None:
+            branches.append(
+                algebra.keywrite_values(keys,
+                                        redundancy=self.kw_redundancy)
+                .filter(lambda row: row["found"]
+                        and len(row["value"]) >= 4 * hops)
+                .map(decode_kw))
+        if not branches:
+            return algebra.literal_rows([])
+        plan = branches[0]
+        for branch in branches[1:]:
+            plan = plan.union(branch)
+        return plan.reduce(
+            key=lambda row: row["key"],
+            value=lambda row: (row["rank"], row["source"],
+                               tuple(row["path"])),
+            how="min")
+
+    def trace(self, flow_key: bytes, *, snapshot=None) -> TraceResult:
+        """Best-effort path for a flow."""
+        return self.trace_many([flow_key], snapshot=snapshot)[flow_key]
+
+    def trace_many(self, flow_keys, *, snapshot=None) -> dict:
+        """Batch tracing; returns {flow_key: TraceResult}."""
+        keys = list(flow_keys)
+        result = self.engine.execute(self.plan(keys), name="path_trace",
+                                     snapshot=snapshot)
+        answered = {row["key"]: row["value"] for row in result.rows}
+        out = {}
+        for key in keys:
+            if key in answered:
+                _rank, source, path = answered[key]
+                out[key] = TraceResult(key, list(path), source)
+            else:
+                out[key] = TraceResult(key, None, "missing")
+        return out
+
+
+@dataclass
+class LossSummary:
+    """Aggregated view over a loss-event list."""
+
+    total_drops: int = 0
+    by_switch: Counter = field(default_factory=Counter)
+    by_reason: Counter = field(default_factory=Counter)
+    lossiest_flows: Counter = field(default_factory=Counter)
+
+    def top_switches(self, n: int = 5) -> list:
+        return self.by_switch.most_common(n)
+
+    def top_flows(self, n: int = 5) -> list:
+        return self.lossiest_flows.most_common(n)
+
+
+class LossLedger:
+    """Continuously digests a NetSeer-style loss list (Append).
+
+    Every :meth:`refresh` runs an :func:`~repro.queries.algebra
+    .append_entries` plan from the last drained position and folds the
+    newly landed 18-byte loss events into running aggregates — the
+    "real-time telemetry processing" headroom Fig. 12's takeaway
+    promises the CPU.
+    """
+
+    def __init__(self, collector, list_id: int) -> None:
+        from repro.telemetry.netseer import LossEvent
+
+        self._event_cls = LossEvent
+        self.engine = QueryEngine(collector)
+        self.list_id = list_id
+        self.position = 0
+        self.summary = LossSummary()
+
+    def refresh(self) -> int:
+        """Ingest newly published events; returns how many arrived."""
+        plan = algebra.append_entries(
+            self.list_id, start=self.position,
+            decode=self._event_cls.unpack)
+        result = self.engine.execute(plan, name="loss_ledger")
+        for row in result.rows:
+            event = row["data"]
+            self.summary.total_drops += event.count
+            self.summary.by_switch[event.switch_id] += event.count
+            self.summary.by_reason[event.reason.name] += event.count
+            self.summary.lossiest_flows[event.flow_key] += event.count
+        self.position += len(result.rows)
+        return len(result.rows)
+
+
+class HeavyHitterScan:
+    """Network-wide heavy hitters from the merged sketch + candidates.
+
+    A CMS cannot enumerate keys; the standard pattern pairs it with a
+    candidate set (e.g. the keys recently appended to a list, or the
+    operator's watchlist) and reports those whose network-wide estimate
+    crosses a threshold — a filter + topk plan over the sketch source.
+    """
+
+    def __init__(self, collector, *, depth: int | None = None) -> None:
+        self.collector = collector
+        self.engine = QueryEngine(collector)
+        if getattr(self.engine.stores, "sketch", None) is None:
+            raise RuntimeError("sketch service not provisioned")
+        self.depth = depth
+
+    def plan(self, candidates, threshold: int) -> algebra.Plan:
+        return (algebra.sketch_estimates(tuple(candidates),
+                                         depth=self.depth)
+                .filter(lambda row: row["estimate"] >= threshold)
+                .topk(None, by="estimate"))
+
+    def estimate(self, key: bytes) -> int:
+        """CMS point estimate for one key (never underestimates)."""
+        result = self.engine.execute(
+            algebra.sketch_estimates((key,), depth=self.depth),
+            name="sketch_estimate")
+        return result.rows[0]["estimate"]
+
+    def heavy_hitters(self, candidates, threshold: int) -> list:
+        """Candidates whose estimate >= threshold, heaviest first."""
+        result = self.engine.execute(self.plan(candidates, threshold),
+                                     name="heavy_hitters")
+        return [(row["key"], row["estimate"]) for row in result.rows]
+
+
+class FlowHealthReport:
+    """One flow's health across every store that knows about it."""
+
+    def __init__(self, collector, *, hops: int = 5) -> None:
+        self.collector = collector
+        self.engine = QueryEngine(collector)
+        self.tracer = PathTracer(collector, hops=hops)
+
+    def report(self, flow_key: bytes) -> dict:
+        """Everything the collector knows about one flow.
+
+        One view serves the whole report: under a streaming target the
+        trace, counter, and latest-value reads all see the same batch
+        boundary.
+        """
+        view = self.engine._view()
+        out: dict = {"flow": flow_key}
+        trace = self.tracer.trace(flow_key, snapshot=view)
+        out["path"] = trace.path
+        out["path_source"] = trace.source
+        if getattr(view, "keyincrement", None) is not None:
+            result = self.engine.execute(
+                algebra.counter_estimates((flow_key,)),
+                name="flow_health", snapshot=view)
+            out["counter"] = result.rows[0]["count"]
+        if getattr(view, "keywrite", None) is not None:
+            result = self.engine.execute(
+                algebra.keywrite_values((flow_key,)),
+                name="flow_health", snapshot=view)
+            out["latest_value"] = result.rows[0]["value"]
+        return out

@@ -35,6 +35,15 @@ functions synchronously inside :meth:`StreamEngine.submit`, making it
 bit-identical to the threaded runs — and, on every shared series, to
 today's plain serial ``send_batch`` loop.
 
+The contract extends to readers: the execute stage is the *only* store
+writer, and it applies each burst under :attr:`StreamEngine.store_lock`.
+:meth:`StreamEngine.snapshot` takes the same lock, so every snapshot
+lands exactly on a batch boundary — a reader can never observe a
+partially applied burst, no matter how many reader threads run against
+a live stream.  The serving tier's ``queries.wall_ns`` histogram is
+wall-clock-dependent for the same reason the ``runtime.*`` series are,
+and :func:`pipeline_digest` excludes it alongside them.
+
 Vectorized overlap
 ------------------
 Pure-Python stages share the GIL, so threading alone buys nothing; the
@@ -210,6 +219,10 @@ class StreamEngine:
                            "translate": self._translate_stage,
                            "execute": self._execute_stage}
         self._finalizers = {"translate": self._translate_finalize}
+        #: Serializes store mutation (execute stage) against snapshot
+        #: acquisition; see "Determinism contract" above.
+        self.store_lock = threading.Lock()
+        self._executed_seq: int | None = None
         self._groups: tuple = ()
         self._queues: list = []
         self._threads: list = []
@@ -418,20 +431,28 @@ class StreamEngine:
         return [_Burst(FLUSH_SEQ, ops)]
 
     def _execute_stage(self, burst: _Burst) -> None:
-        """Replay the deferred verbs against the real RDMA client."""
+        """Replay the deferred verbs against the real RDMA client.
+
+        The whole burst applies under :attr:`store_lock`: this stage is
+        the only store writer, so holding the lock per burst makes
+        batch boundaries the only states a :meth:`snapshot` can see.
+        """
         client = self._real_client
         stats = self._stage_stats["execute"]
         stats.carriers += 1
-        for op in burst.ops:
-            kind = op[0]
-            if kind == "post":
-                client.post(op[1])
-            elif kind == "burst":
-                client.post_burst(op[1])
-            elif kind == "write_rows":
-                self._apply_write_rows(client, op)
-            else:
-                self._apply_fetch_add(client, op)
+        with self.store_lock:
+            for op in burst.ops:
+                kind = op[0]
+                if kind == "post":
+                    client.post(op[1])
+                elif kind == "burst":
+                    client.post_burst(op[1])
+                elif kind == "write_rows":
+                    self._apply_write_rows(client, op)
+                else:
+                    self._apply_fetch_add(client, op)
+            if burst.seq != FLUSH_SEQ:
+                self._executed_seq = burst.seq
         return None
 
     # ------------------------------------------------------------------
@@ -673,6 +694,27 @@ class StreamEngine:
     def stage_stats(self, stage: str) -> StageStats:
         return self._stage_stats[stage]
 
+    @property
+    def executed_seq(self) -> int | None:
+        """Sequence of the last fully applied burst (None before any)."""
+        return self._executed_seq
+
+    def snapshot(self):
+        """Freeze the collector's stores at a batch boundary.
+
+        Takes :attr:`store_lock`, so the copy happens strictly between
+        burst applications: the returned
+        :class:`~repro.queries.snapshot.CollectorSnapshot` reflects
+        every submitted batch up to ``snapshot.batch_seq`` and nothing
+        of any later one.  Cheap (a memcpy per store region), so
+        thousands of readers can snapshot while the stream ingests.
+        """
+        from repro.queries.snapshot import snapshot_of
+
+        with self.store_lock:
+            return snapshot_of(self.collector,
+                               batch_seq=self._executed_seq)
+
 
 # ----------------------------------------------------------------------
 # Digest helpers — the determinism contract, made checkable
@@ -680,20 +722,25 @@ class StreamEngine:
 
 
 def pipeline_digest(snapshot) -> str:
-    """SHA-256 over the snapshot minus the ``runtime.*`` series.
+    """SHA-256 over the snapshot minus the wall-clock-dependent series.
 
-    Queue depths, stalls, and stall times measure *scheduling*, which
-    legitimately differs run to run; everything else measures the
-    *computation* and must be bit-identical across worker counts and
-    queue depths.  This digest is what the differential tests and the
-    soak gate compare.
+    Queue depths, stalls, and stall times (``runtime.*``) measure
+    *scheduling*, and query wall time (``queries.wall_ns``) measures
+    the host clock; both legitimately differ run to run.  Everything
+    else measures the *computation* and must be bit-identical across
+    worker counts and queue depths.  This digest is what the
+    differential tests and the soak gate compare.
     """
     from repro.obs.registry import Snapshot
 
+    def _excluded(series: str) -> bool:
+        return (series.startswith("runtime.")
+                or series == "queries.wall_ns")
+
     samples = {key: value for key, value in snapshot.samples.items()
-               if not key[0].startswith("runtime.")}
+               if not _excluded(key[0])}
     kinds = {key: kind for key, kind in snapshot.kinds.items()
-             if not key[0].startswith("runtime.")}
+             if not _excluded(key[0])}
     filtered = Snapshot(epoch=snapshot.epoch, samples=samples, kinds=kinds)
     return "sha256:" + hashlib.sha256(
         obs.to_jsonl(filtered).encode()).hexdigest()

@@ -31,4 +31,5 @@ def test_expected_example_set():
         "network_wide_sketches",
         "fat_tree_monitoring",
         "operations_center",
+        "query_serving",
     }

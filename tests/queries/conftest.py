@@ -1,0 +1,28 @@
+"""Fixtures for the serving-tier suite: a five-store direct rig."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.collector import Collector
+from repro.core.reporter import Reporter
+from repro.core.translator import Translator
+from repro.telemetry.netseer import LossEvent
+
+
+@pytest.fixture
+def rig():
+    """A quiesced direct-mode deployment serving all five primitives."""
+    col = Collector()
+    col.serve_keywrite(slots=4096, data_bytes=20)
+    col.serve_postcarding(chunks=2048, value_set=range(256),
+                          cache_slots=256)
+    col.serve_append(lists=2, capacity=256,
+                     data_bytes=LossEvent.RECORD_BYTES, batch_size=1)
+    col.serve_keyincrement(slots_per_row=1024, rows=4)
+    col.serve_sketch(width=64, depth=4, expected_reporters=1,
+                     batch_columns=64)
+    tr = Translator()
+    col.connect_translator(tr)
+    rep = Reporter("sw", 1, transmit=tr.handle_report)
+    return col, tr, rep

@@ -1,0 +1,162 @@
+"""The operator library as algebra plans: semantics + cost accounting."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro import obs
+from repro.queries import (
+    HeavyHitterScan,
+    LossLedger,
+    PathTracer,
+    QueryEngine,
+    snapshot_of,
+)
+
+FLOW = b"Q" * 13
+
+
+class TestPathTracerFallback:
+    """Direct units for the Postcarding -> Key-Write preference chain."""
+
+    def test_postcarding_wins_when_both_answer(self, rig):
+        col, _tr, rep = rig
+        for hop, sw in enumerate([10, 20, 30]):
+            rep.postcard(FLOW, hop, sw, path_length=3)
+        rep.key_write(FLOW, struct.pack(">5I", 1, 2, 3, 4, 5),
+                      redundancy=2)
+        result = PathTracer(col).trace(FLOW)
+        assert result.source == "postcarding"
+        assert result.path == [10, 20, 30]
+
+    def test_keywrite_fallback_strips_zero_padding(self, rig):
+        col, _tr, rep = rig
+        rep.key_write(FLOW, struct.pack(">5I", 7, 8, 0, 0, 0),
+                      redundancy=2)
+        result = PathTracer(col).trace(FLOW)
+        assert result.source == "key_write"
+        assert result.path == [7, 8]
+
+    def test_short_keywrite_value_is_not_a_path(self):
+        # The store pads values to its data_bytes, so "too short" means
+        # the *slot* is smaller than 4 * hops — a 12-byte store cannot
+        # plausibly hold a 5-hop path, but can hold a 3-hop one.
+        from repro.core.collector import Collector
+        from repro.core.reporter import Reporter
+        from repro.core.translator import Translator
+
+        col = Collector()
+        col.serve_keywrite(slots=512, data_bytes=12)
+        tr = Translator()
+        col.connect_translator(tr)
+        rep = Reporter("sw", 1, transmit=tr.handle_report)
+        rep.key_write(FLOW, struct.pack(">3I", 7, 8, 9), redundancy=2)
+        result = PathTracer(col, hops=5).trace(FLOW)
+        assert result.source == "missing"
+        assert result.path is None and not result.found
+        shallow = PathTracer(col, hops=3).trace(FLOW)
+        assert shallow.source == "key_write"
+        assert shallow.path == [7, 8, 9]
+
+    def test_missing_everywhere(self, rig):
+        col, _tr, _rep = rig
+        result = PathTracer(col).trace(b"nobody-home!!")
+        assert result.source == "missing"
+
+    def test_trace_over_frozen_snapshot(self, rig):
+        col, _tr, rep = rig
+        rep.postcard(FLOW, 0, 9, path_length=1)
+        snap = snapshot_of(col)
+        rep.postcard(FLOW, 0, 77, path_length=1)  # diverge live store
+        assert PathTracer(snap).trace(FLOW).path == [9]
+        assert PathTracer(col).trace(FLOW).path == [77]
+
+    def test_plan_skips_unprovisioned_stores(self):
+        from repro.core.collector import Collector
+        from repro.core.reporter import Reporter
+        from repro.core.translator import Translator
+
+        col = Collector()
+        col.serve_keywrite(slots=512, data_bytes=20)
+        tr = Translator()
+        col.connect_translator(tr)
+        rep = Reporter("sw", 1, transmit=tr.handle_report)
+        rep.key_write(FLOW, struct.pack(">5I", 4, 5, 6, 0, 0),
+                      redundancy=2)
+        result = PathTracer(col).trace(FLOW)
+        assert result.source == "key_write"
+        assert result.path == [4, 5, 6]
+
+
+class TestCostAccounting:
+    def test_each_helper_charges_its_own_query_name(self, rig):
+        col, _tr, rep = rig
+        rep.postcard(FLOW, 0, 3, path_length=1)
+        PathTracer(col).trace(FLOW)
+        ledger = LossLedger(col, list_id=0)
+        ledger.refresh()
+        snapshot = obs.get_registry().snapshot()
+        assert snapshot.value("queries.executed", query="path_trace") == 1
+        assert snapshot.value("queries.executed", query="loss_ledger") == 1
+        assert snapshot.value("queries.rows_scanned",
+                              query="path_trace") > 0
+
+    def test_costs_scale_with_work(self, rig):
+        col, _tr, _rep = rig
+        engine = QueryEngine(col)
+        from repro.queries import algebra
+
+        small = engine.execute(
+            algebra.keywrite_values([FLOW], redundancy=2), name="s")
+        large = engine.execute(
+            algebra.keywrite_values([bytes([i]) * 13
+                                     for i in range(32)],
+                                    redundancy=2), name="l")
+        assert large.cost.rows_scanned == 32 * small.cost.rows_scanned
+        assert large.cost.bytes_touched == 32 * small.cost.bytes_touched
+        assert small.cost.wall_ns >= 0
+
+
+class TestHeavyHitters:
+    def test_plan_form_matches_legacy_answers(self, rig):
+        col, _tr, rep = rig
+        from repro.sketches.countmin import CountMinSketch
+
+        sketch = CountMinSketch(width=64, depth=4)
+        for _ in range(40):
+            sketch.update(b"elephant")
+        for _ in range(3):
+            sketch.update(b"mouse")
+        for index, column in sketch.columns():
+            rep.sketch_column(0, index, column)
+        scan = HeavyHitterScan(col)
+        hits = scan.heavy_hitters([b"elephant", b"mouse"], threshold=10)
+        assert [key for key, _ in hits] == [b"elephant"]
+        plan = scan.plan([b"elephant", b"mouse"], threshold=10)
+        assert "sketch" in plan.describe()
+        assert "topk" in plan.describe()
+
+    def test_requires_sketch_service(self):
+        from repro.core.collector import Collector
+
+        with pytest.raises(RuntimeError, match="sketch"):
+            HeavyHitterScan(Collector())
+
+
+class TestLossLedgerPlans:
+    def test_refresh_resumes_from_position(self, rig):
+        col, _tr, rep = rig
+        from repro.telemetry.netseer import DropReason, NetSeerSwitch
+
+        switch = NetSeerSwitch(rep, switch_id=3, loss_list=1, coalesce=1)
+        ledger = LossLedger(col, list_id=1)
+        switch.observe_drop(FLOW, DropReason.QUEUE_OVERFLOW)
+        switch.observe_drop(FLOW, DropReason.QUEUE_OVERFLOW)
+        assert ledger.refresh() == 2
+        assert ledger.position == 2
+        switch.observe_drop(b"B" * 13, DropReason.ACL_DENY)
+        assert ledger.refresh() == 1
+        assert ledger.summary.total_drops == 3
+        assert ledger.summary.by_reason["ACL_DENY"] == 1
