@@ -127,21 +127,33 @@ class KeyWriteLayout:
         datas[i])`` — big-endian checksum followed by the zero-padded
         value.
         """
-        import numpy as np
-
         from repro.kernels import crc as kcrc
 
-        n = packed.shape[0]
         for data in datas:
             if len(data) > self.data_bytes:
                 raise ValueError(
                     f"data ({len(data)}B) exceeds slot value width "
                     f"({self.data_bytes}B)")
+        packed_data, _ = kcrc.pack_keys(datas, pad_to=self.data_bytes)
+        return self.encode_entries_packed(packed, lengths, packed_data)
+
+    def encode_entries_packed(self, packed, lengths, packed_data):
+        """:meth:`encode_entries_many` from an already-padded data matrix.
+
+        ``packed_data`` must be ``(n, data_bytes)`` uint8 with values
+        zero-padded on the right (what ``kernels.crc.pack_keys`` with
+        ``pad_to=data_bytes`` produces); length validation is the
+        caller's job.  This is the form the shared-memory plan workers
+        consume — the data column crosses the process boundary as one
+        matrix, no per-value Python objects.
+        """
+        import numpy as np
+
+        n = packed.shape[0]
         entries = np.zeros((n, self.slot_bytes), dtype=np.uint8)
         entries[:, :CHECKSUM_BYTES] = (
             self.checksums_many(packed, lengths).astype(">u4")
             .view(np.uint8).reshape(n, CHECKSUM_BYTES))
-        packed_data, _ = kcrc.pack_keys(datas, pad_to=self.data_bytes)
         entries[:, CHECKSUM_BYTES:] = packed_data
         return entries
 

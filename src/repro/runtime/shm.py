@@ -1,0 +1,754 @@
+"""Shared-memory rings: the process lane's stage couplings.
+
+PR 5's threaded :class:`~repro.runtime.engine.StreamEngine` tops out
+well short of the hardware because every pure-Python stage shares the
+GIL; only the numpy kernels overlap.  This module provides the
+substrate for the ``executor="process"`` lane: fixed-slot
+struct-of-arrays ring buffers over :mod:`multiprocessing.shared_memory`
+(the Confluo/BTrDB ingest idiom — see PAPERS.md) and a pool of *plan
+worker* processes that run the translator's pure plan kernels
+(:func:`repro.core.translator.plan_keywrite_packed` /
+``plan_keyincrement_packed``) outside the parent interpreter.
+
+Two pieces:
+
+:class:`ShmCreditQueue`
+    A bounded SPSC ring whose slots live in one shared-memory segment.
+    It preserves :class:`~repro.runtime.queues.CreditQueue` semantics
+    exactly — capacity is a credit pool (puts block when it is
+    exhausted), :meth:`~ShmCreditQueue.close` ends the stream (gets
+    drain, then return the :data:`~repro.runtime.queues.CLOSED`
+    sentinel; puts raise :class:`~repro.runtime.queues.QueueClosed`),
+    and :meth:`~ShmCreditQueue.abort` poisons both ends with
+    :class:`~repro.runtime.queues.QueueAborted` so a dead peer can
+    never leave the other side blocked.  Credits are a pair of
+    multiprocessing semaphores; close/abort over-release them so every
+    blocked peer wakes and re-checks the shared flags.  Each slot
+    carries one message as length-prefixed segments under a
+    seqlock-style header (the slot's publish counter is written odd
+    before the payload and even after, and validated on read), and
+    :meth:`~ShmCreditQueue.get` returns **zero-copy numpy views** over
+    the shared segment — the consumer releases the slot's credit only
+    via :meth:`ShmMessage.release`, so a view is never overwritten
+    while live.
+
+:class:`PlanWorkerPool`
+    N worker processes, one request + one result ring each.  The
+    parent serializes a vector-eligible batch's columns (packed key
+    matrix, lengths, values/data matrix) into a request slot; the
+    worker computes the pure plan half — CRC hash lanes, entry
+    encoding, bounds checks, exactly the functions the thread lane
+    calls — and publishes ``(row_indices, rows)`` /
+    ``(counter_indices, addends)`` into its result ring, or a
+    ``FALLBACK`` marker when the plan is ineligible (the parent then
+    routes the batch through the scalar reference lane).  All
+    *stateful* work — reporter/link/translator accounting, store
+    mutation — stays in the parent, applied in submit order, which is
+    what makes the process lane digest-identical to ``workers=0`` by
+    construction (see ``docs/CONCURRENCY.md``).
+
+Worker-side throughput counters (planned/fallback/error counts, busy
+nanoseconds) live in a small shared stats segment; the parent merges
+them into the ``runtime.*`` gauge namespace
+(``runtime.plan_worker_*``), which — like every ``runtime.*``
+series — is excluded from :func:`~repro.runtime.engine.pipeline_digest`
+because it measures scheduling, not computation.
+
+Lifecycle: the creating process owns every segment.  ``shutdown()``
+(and the engine's ``close()``) joins the workers and **unlinks** all
+segments; the leak tests in ``tests/runtime/test_shm.py`` assert that
+re-attaching by name afterwards raises ``FileNotFoundError``.
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+from dataclasses import dataclass
+
+import multiprocessing
+from multiprocessing import shared_memory
+
+from repro import obs
+from repro.runtime.queues import (
+    CLOSED,
+    QueueAborted,
+    QueueClosed,
+    QueueStats,
+)
+
+try:
+    import numpy as np
+except ImportError:          # pragma: no cover - process lane needs numpy
+    np = None
+
+#: How long a blocked peer sleeps between shared-flag re-checks.  The
+#: semaphore wakes it immediately on a normal hand-off; the spin only
+#: bounds how late it notices close/abort/peer-death.
+_SPIN_S = 0.05
+
+# Control block (one per ring, at segment offset 0).
+_CTRL = struct.Struct("<5Q")           # enqueued, dequeued, closed,
+_CTRL_BYTES = 64                       # aborted, high_watermark (+pad)
+
+#: Most segments a message may carry.
+MAX_SEGMENTS = 6
+_SLOT_HDR = struct.Struct("<3Q6Q")     # publish_seq, kind, nseg, lens[6]
+_SLOT_HDR_BYTES = _SLOT_HDR.size
+
+
+def _align8(n: int) -> int:
+    return (n + 7) & ~7
+
+
+def _untrack(shm) -> None:
+    """Detach an *attached* segment from this process's resource tracker.
+
+    Attaching registers the name with :mod:`multiprocessing`'s resource
+    tracker exactly as creating does (bpo-39959), so without this the
+    tracker would complain about — and try to unlink — segments the
+    creating process already owns and unlinks itself.  Under the
+    ``fork`` start method the child *shares* the parent's tracker, so
+    its duplicate registration collapses into the parent's and
+    unregistering here would strip the owner's entry instead — skip.
+    """
+    try:
+        if multiprocessing.get_start_method(allow_none=True) == "fork":
+            return
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+
+
+class RingPeerDead(RuntimeError):
+    """The process on the other end of a ring died mid-stream."""
+
+
+class ShmMessage:
+    """One dequeued ring message: zero-copy views + the slot's credit.
+
+    ``segments`` are uint8 numpy views directly over the shared
+    segment; reshape/``.view(dtype)`` them as the message kind
+    dictates.  They stay valid until :meth:`release`, which returns the
+    slot's credit to the producer — after that the producer may
+    overwrite the slot, so drop every view first.
+    """
+
+    __slots__ = ("kind", "ticket", "segments", "_queue", "_released")
+
+    def __init__(self, kind: int, ticket: int, segments: list,
+                 queue: "ShmCreditQueue") -> None:
+        self.kind = kind
+        self.ticket = ticket
+        self.segments = segments
+        self._queue = queue
+        self._released = False
+
+    def release(self) -> None:
+        """Return the slot credit (idempotent); views die here."""
+        if not self._released:
+            self._released = True
+            self.segments = []
+            self._queue._free.release()
+
+
+class ShmCreditQueue:
+    """A bounded SPSC credit ring over one shared-memory segment.
+
+    Cross-process twin of :class:`~repro.runtime.queues.CreditQueue`
+    with identical semantics (see the module docstring); single
+    producer, single consumer.  Create it in the owning process and
+    hand :attr:`descriptor` to the peer, which calls :meth:`attach`.
+
+    Args:
+        capacity: Credit pool size; must be >= 1 (same rule, same
+            reason as ``CreditQueue``).
+        payload_bytes: Per-slot payload capacity; a :meth:`put` whose
+            segments exceed it raises ``ValueError`` before touching
+            the ring.
+        name: Metric label (``runtime.*`` gauges) and error context.
+    """
+
+    def __init__(self, capacity: int, payload_bytes: int = 1 << 18,
+                 name: str = "shmq", *, _attach: tuple | None = None) -> None:
+        if np is None:
+            raise RuntimeError("shared-memory rings require numpy")
+        if _attach is None and capacity < 1:
+            raise ValueError(
+                f"queue '{name}' capacity must be >= 1 (got {capacity}): "
+                "a zero-capacity credit queue can never transfer a "
+                "carrier")
+        self.capacity = capacity
+        self.payload_bytes = payload_bytes
+        self.name = name
+        self._slot_stride = _SLOT_HDR_BYTES + _align8(payload_bytes)
+        self._owner = _attach is None
+        if _attach is None:
+            size = _CTRL_BYTES + capacity * self._slot_stride
+            self._shm = shared_memory.SharedMemory(create=True, size=size)
+            ctx = multiprocessing.get_context()
+            self._free = ctx.Semaphore(capacity)
+            self._filled = ctx.Semaphore(0)
+            self._shm.buf[:_CTRL_BYTES] = bytes(_CTRL_BYTES)
+            self.stats = QueueStats(labels={"queue": name})
+            registry = obs.get_registry()
+            self._depth_gauge = registry.declare_gauge(
+                "runtime.queue_depth", fn=self.__len__, queue=name)
+            self._hwm_gauge = registry.declare_gauge(
+                "runtime.queue_high_watermark",
+                fn=lambda: self.high_watermark, queue=name)
+        else:
+            shm_name, free, filled = _attach
+            self._shm = shared_memory.SharedMemory(name=shm_name)
+            _untrack(self._shm)
+            self._free = free
+            self._filled = filled
+            self.stats = None
+        self._mem = np.frombuffer(self._shm.buf, dtype=np.uint8)
+        self._unlinked = False
+
+    # ------------------------------------------------------------------
+    # Cross-process plumbing
+    # ------------------------------------------------------------------
+
+    @property
+    def descriptor(self) -> tuple:
+        """Everything the peer process needs to :meth:`attach`."""
+        return (self.capacity, self.payload_bytes, self.name,
+                (self._shm.name, self._free, self._filled))
+
+    @classmethod
+    def attach(cls, descriptor: tuple) -> "ShmCreditQueue":
+        """Open the peer end of a ring created elsewhere."""
+        capacity, payload_bytes, name, handles = descriptor
+        return cls(capacity, payload_bytes, name, _attach=handles)
+
+    # ------------------------------------------------------------------
+    # Control-block accessors (plain loads/stores; the semaphore ops
+    # around every hand-off are the cross-process memory fences)
+    # ------------------------------------------------------------------
+
+    def _ctrl(self) -> tuple:
+        if self._mem is None:
+            # Detached: the last snapshot keeps depth/high-watermark
+            # introspection working after the segment is gone.
+            return self._final_ctrl
+        return _CTRL.unpack_from(self._shm.buf, 0)
+
+    def _set_ctrl(self, index: int, value: int) -> None:
+        struct.pack_into("<Q", self._shm.buf, index * 8, value)
+
+    @property
+    def closed(self) -> bool:
+        return self._ctrl()[2] != 0
+
+    @property
+    def aborted(self) -> bool:
+        return self._ctrl()[3] != 0
+
+    @property
+    def high_watermark(self) -> int:
+        """Deepest occupancy seen so far."""
+        return self._ctrl()[4]
+
+    def __len__(self) -> int:
+        enq, deq = self._ctrl()[:2]
+        return enq - deq
+
+    # ------------------------------------------------------------------
+
+    def put(self, kind: int, segments: list,
+            liveness=None) -> None:
+        """Publish one message, blocking while no credit is available.
+
+        ``segments`` is a list of bytes-like objects and/or contiguous
+        numpy arrays (at most :data:`MAX_SEGMENTS`).  Raises
+        :class:`QueueClosed` after :meth:`close`, :class:`QueueAborted`
+        after :meth:`abort`, and :class:`RingPeerDead` if ``liveness``
+        (an optional callable) reports the consumer gone while we wait.
+        """
+        if len(segments) > MAX_SEGMENTS:
+            raise ValueError(f"message has {len(segments)} segments "
+                             f"(max {MAX_SEGMENTS})")
+        raws = [seg if isinstance(seg, (bytes, bytearray, memoryview))
+                else np.ascontiguousarray(seg).view(np.uint8).reshape(-1)
+                for seg in segments]
+        lens = [len(raw) if isinstance(raw, (bytes, bytearray, memoryview))
+                else raw.nbytes for raw in raws]
+        total = sum(_align8(n) for n in lens)
+        if total > self.payload_bytes:
+            raise ValueError(
+                f"message ({total}B) exceeds slot payload capacity "
+                f"({self.payload_bytes}B) of queue '{self.name}'")
+        self._acquire(self._free, "put", liveness)
+        if self.aborted:
+            raise QueueAborted(self.name)
+        if self.closed:
+            raise QueueClosed(self.name)
+        enq, deq = self._ctrl()[:2]
+        base = _CTRL_BYTES + (enq % self.capacity) * self._slot_stride
+        # Seqlock-style publish: odd while writing, even when visible.
+        struct.pack_into("<Q", self._shm.buf, base, 2 * enq + 1)
+        offset = base + _SLOT_HDR_BYTES
+        for raw, n in zip(raws, lens):
+            if isinstance(raw, (bytes, bytearray, memoryview)):
+                self._mem[offset:offset + n] = np.frombuffer(
+                    raw, dtype=np.uint8)
+            else:
+                self._mem[offset:offset + n] = raw
+            offset += _align8(n)
+        lens += [0] * (MAX_SEGMENTS - len(lens))
+        _SLOT_HDR.pack_into(self._shm.buf, base, 2 * enq + 2, kind,
+                            len(raws), *lens)
+        self._set_ctrl(0, enq + 1)
+        depth = enq + 1 - deq
+        if depth > self.high_watermark:
+            self._set_ctrl(4, depth)
+        if self.stats is not None:
+            self.stats.enqueued += 1
+        self._filled.release()
+
+    def get(self, liveness=None):
+        """Take the oldest message, blocking while the ring is empty.
+
+        Returns :data:`CLOSED` once the ring is closed *and* drained;
+        raises :class:`QueueAborted` immediately if poisoned (pending
+        slots are abandoned — the pipeline is dead) and
+        :class:`RingPeerDead` if ``liveness`` reports the producer gone
+        while we wait.  The returned :class:`ShmMessage` holds the
+        slot's credit until its ``release()``.
+        """
+        self._acquire(self._filled, "get", liveness)
+        if self.aborted:
+            raise QueueAborted(self.name)
+        if len(self) == 0:
+            # Woken by close()'s over-release: the stream has ended.
+            return CLOSED
+        enq, deq = self._ctrl()[:2]
+        base = _CTRL_BYTES + (deq % self.capacity) * self._slot_stride
+        header = _SLOT_HDR.unpack_from(self._shm.buf, base)
+        if header[0] != 2 * deq + 2:
+            raise RuntimeError(
+                f"torn read on queue '{self.name}' slot {deq}: "
+                f"publish seq {header[0]} != {2 * deq + 2}")
+        kind, nseg = header[1], header[2]
+        segments = []
+        offset = base + _SLOT_HDR_BYTES
+        for i in range(nseg):
+            n = header[3 + i]
+            segments.append(self._mem[offset:offset + n])
+            offset += _align8(n)
+        self._set_ctrl(1, deq + 1)
+        if self.stats is not None:
+            self.stats.dequeued += 1
+        return ShmMessage(kind, deq, segments, self)
+
+    def _acquire(self, sem, side: str, liveness) -> None:
+        """One credit, with close/abort wake-ups and stall accounting."""
+        if sem.acquire(block=False):
+            return
+        stats = self.stats
+        if stats is not None:
+            if side == "put":
+                stats.put_stalls += 1
+            else:
+                stats.get_stalls += 1
+        started = time.monotonic()
+        try:
+            while True:
+                if self.aborted:
+                    raise QueueAborted(self.name)
+                if side == "put" and self.closed:
+                    raise QueueClosed(self.name)
+                if side == "get" and self.closed and len(self) == 0:
+                    # Re-signal so every later get() also sees the end.
+                    self._filled.release()
+                    if sem.acquire(block=False):
+                        return
+                    continue
+                if sem.acquire(timeout=_SPIN_S):
+                    return
+                if liveness is not None and not liveness():
+                    raise RingPeerDead(
+                        f"peer of queue '{self.name}' died while "
+                        f"blocked in {side}()")
+        finally:
+            if stats is not None:
+                elapsed = time.monotonic() - started
+                if side == "put":
+                    stats.put_stall_seconds += elapsed
+                else:
+                    stats.get_stall_seconds += elapsed
+
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """End the stream: puts start raising, gets drain then CLOSED.
+
+        Idempotent.  Over-releases both semaphores so every blocked
+        peer wakes and re-checks the shared flag.
+        """
+        self._set_ctrl(2, 1)
+        self._wake()
+
+    def abort(self) -> None:
+        """Poison the ring: every blocked or future put/get raises.
+
+        Idempotent; pending slots are abandoned.
+        """
+        self._set_ctrl(3, 1)
+        self._wake()
+
+    def _wake(self) -> None:
+        for _ in range(self.capacity + 2):
+            self._free.release()
+            self._filled.release()
+
+    def detach(self) -> None:
+        """Drop this process's mapping (leaves the segment alive)."""
+        if self._mem is None:
+            return
+        self._final_ctrl = _CTRL.unpack_from(self._shm.buf, 0)
+        self._mem = None
+        try:
+            self._shm.close()
+        except BufferError:      # a live view still pins the mapping
+            pass
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner side; idempotent)."""
+        if not self._unlinked:
+            self._unlinked = True
+            self.detach()
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+
+
+# ----------------------------------------------------------------------
+# Plan worker pool
+# ----------------------------------------------------------------------
+
+#: Request/response message kinds.
+REQ_KEYWRITE = 1
+REQ_KEYINCREMENT = 2
+RES_KEYWRITE = 3
+RES_KEYINCREMENT = 4
+RES_FALLBACK = 5
+RES_ERROR = 6
+
+_STATS_FIELDS = ("planned", "fallbacks", "errors", "busy_ns")
+
+
+@dataclass(frozen=True)
+class KeyWritePlanSpec:
+    """Static Key-Write plan parameters shipped to the workers."""
+
+    base_addr: int
+    slots: int
+    data_bytes: int
+    region_length: int
+
+
+@dataclass(frozen=True)
+class KeyIncrementPlanSpec:
+    """Static Key-Increment plan parameters shipped to the workers."""
+
+    base_addr: int
+    slots_per_row: int
+    rows: int
+    region_length: int
+
+
+def _plan_request(msg: ShmMessage, kw_spec, ki_spec,
+                  kw_layout, ki_layout) -> tuple:
+    """Compute one request's plan; returns ``(kind, segments)``.
+
+    Isolated in its own frame so every zero-copy view over the request
+    slot dies when it returns — the caller can then release the slot
+    and, at stream end, detach the mapping without exported pointers.
+    """
+    from repro.core.translator import (
+        plan_keyincrement_packed,
+        plan_keywrite_packed,
+    )
+
+    meta = msg.segments[0].view("<i8")
+    seq, n, maxlen, fanout = (int(meta[0]), int(meta[1]),
+                              int(meta[2]), int(meta[3]))
+    try:
+        if msg.kind == REQ_KEYWRITE:
+            packed = msg.segments[1].reshape(n, maxlen)
+            lengths = msg.segments[2].view("<i8")
+            data_packed = msg.segments[3].reshape(n, kw_spec.data_bytes)
+            plan = plan_keywrite_packed(
+                kw_layout, packed, lengths, data_packed, fanout,
+                kw_spec.region_length)
+            if plan is None:
+                return (RES_FALLBACK, [np.asarray([seq], dtype="<i8")])
+            row_indices, rows = plan
+            head = np.asarray(
+                [seq, n, len(row_indices), rows.shape[1]], dtype="<i8")
+            return (RES_KEYWRITE,
+                    [head, row_indices.astype("<i8", copy=False),
+                     np.ascontiguousarray(rows)])
+        if msg.kind == REQ_KEYINCREMENT:
+            packed = msg.segments[1].reshape(n, maxlen)
+            lengths = msg.segments[2].view("<i8")
+            values = msg.segments[3].view("<i8")
+            plan = plan_keyincrement_packed(
+                ki_layout, packed, lengths, values, fanout,
+                ki_spec.region_length)
+            if plan is None:
+                return (RES_FALLBACK, [np.asarray([seq], dtype="<i8")])
+            counter_indices, addends = plan
+            head = np.asarray(
+                [seq, n, len(counter_indices)], dtype="<i8")
+            return (RES_KEYINCREMENT,
+                    [head, counter_indices.astype("<i8", copy=False),
+                     np.ascontiguousarray(addends.astype("<i8",
+                                                         copy=False))])
+        raise ValueError(f"unknown request kind {msg.kind}")
+    except Exception as exc:  # noqa: BLE001 - forwarded upstream
+        return (RES_ERROR, [np.asarray([seq], dtype="<i8"),
+                            repr(exc).encode()])
+
+
+def _plan_worker_main(index: int, req_desc: tuple, res_desc: tuple,
+                      kw_spec, ki_spec, stats_name: str) -> None:
+    """Worker process body: pure plans in, plan arrays out.
+
+    Touches no deployment state — it rebuilds the store *layouts* from
+    their scalar parameters (hash families are derived
+    deterministically, Section 3.2, so translator, collector, and this
+    worker all agree without coordination) and runs the same
+    ``plan_*_packed`` kernels the thread lane calls.  Every exception
+    is reported as a ``RES_ERROR`` message, never a silent exit.
+    """
+    from repro.core.stores.keyincrement import KeyIncrementLayout
+    from repro.core.stores.keywrite import KeyWriteLayout
+
+    req = ShmCreditQueue.attach(req_desc)
+    res = ShmCreditQueue.attach(res_desc)
+    stats_shm = shared_memory.SharedMemory(name=stats_name)
+    _untrack(stats_shm)
+    counters = np.frombuffer(stats_shm.buf, dtype=np.uint64)
+    base = index * len(_STATS_FIELDS)
+    kw_layout = (KeyWriteLayout(kw_spec.base_addr, kw_spec.slots,
+                                kw_spec.data_bytes)
+                 if kw_spec is not None else None)
+    ki_layout = (KeyIncrementLayout(ki_spec.base_addr,
+                                    ki_spec.slots_per_row, ki_spec.rows)
+                 if ki_spec is not None else None)
+    try:
+        while True:
+            try:
+                msg = req.get()
+            except QueueAborted:
+                break
+            if msg is CLOSED:
+                break
+            started = time.perf_counter_ns()
+            out = _plan_request(msg, kw_spec, ki_spec,
+                                kw_layout, ki_layout)
+            msg.release()
+            counters[base + 3] += time.perf_counter_ns() - started
+            if out[0] == RES_FALLBACK:
+                counters[base + 1] += 1
+            elif out[0] == RES_ERROR:
+                counters[base + 2] += 1
+            else:
+                counters[base] += 1
+            try:
+                res.put(out[0], out[1])
+            except (QueueAborted, QueueClosed):
+                break
+            out = None
+    finally:
+        counters = None
+        stats_shm.close()
+        req.detach()
+        res.detach()
+
+
+class PlanWorkerPool:
+    """N plan-worker processes with one request + one result ring each.
+
+    Rings are strictly SPSC: the parent's submit side produces
+    requests, one worker consumes them and produces results, the
+    parent's apply side consumes those — in FIFO order on every ring,
+    so results read back in dispatch order, which is all the apply
+    stage needs to preserve submit-order state mutation.
+
+    Args:
+        workers: Process count (>= 1).
+        kw_spec / ki_spec: Static plan parameters, or None when the
+            deployment doesn't serve that primitive vectorized.
+        depth: Credit pool of each ring.
+        payload_bytes: Slot payload capacity; an over-size batch simply
+            fails :meth:`dispatch` and takes the parent's scalar lane.
+        name: Metric/label prefix (the engine's name).
+    """
+
+    def __init__(self, workers: int, *, kw_spec=None, ki_spec=None,
+                 depth: int = 8, payload_bytes: int = 1 << 18,
+                 name: str = "stream") -> None:
+        if workers < 1:
+            raise ValueError("a plan pool needs >= 1 worker")
+        if np is None:
+            raise RuntimeError("the process lane requires numpy")
+        self.workers = workers
+        self.name = name
+        self.kw_spec = kw_spec
+        self.ki_spec = ki_spec
+        self._shutdown = False
+        self.requests = [
+            ShmCreditQueue(depth, payload_bytes,
+                           name=f"{name}.plan{i}.req")
+            for i in range(workers)]
+        self.results = [
+            ShmCreditQueue(depth, payload_bytes,
+                           name=f"{name}.plan{i}.res")
+            for i in range(workers)]
+        self._stats_shm = shared_memory.SharedMemory(
+            create=True, size=workers * len(_STATS_FIELDS) * 8)
+        self._stats_shm.buf[:] = bytes(len(self._stats_shm.buf))
+        self._counters = np.frombuffer(self._stats_shm.buf,
+                                       dtype=np.uint64)
+        registry = obs.get_registry()
+        for i in range(workers):
+            for j, field_name in enumerate(_STATS_FIELDS):
+                registry.declare_gauge(
+                    f"runtime.plan_worker_{field_name}",
+                    fn=(lambda i=i, j=j:
+                        int(self._counters[i * len(_STATS_FIELDS) + j])),
+                    engine=name, worker=str(i))
+        ctx = multiprocessing.get_context()
+        self.processes = []
+        for i in range(workers):
+            process = ctx.Process(
+                target=_plan_worker_main,
+                args=(i, self.requests[i].descriptor,
+                      self.results[i].descriptor, kw_spec, ki_spec,
+                      self._stats_shm.name),
+                name=f"{name}-plan{i}", daemon=True)
+            process.start()
+            self.processes.append(process)
+
+    # ------------------------------------------------------------------
+
+    def worker_stats(self, index: int) -> dict:
+        """This worker's shared counters, as a plain dict."""
+        base = index * len(_STATS_FIELDS)
+        return {field_name: int(self._counters[base + j])
+                for j, field_name in enumerate(_STATS_FIELDS)}
+
+    def _alive(self, index: int):
+        process = self.processes[index]
+        return lambda: process.is_alive()
+
+    def dispatch_keywrite(self, index: int, seq: int, batch) -> bool:
+        """Serialize a Key-Write batch into worker ``index``'s ring.
+
+        Returns False when the batch cannot take the shm lane (oversize
+        data — which the scalar lane must raise for — or a message too
+        large for a slot); the caller then routes it locally.
+        """
+        from repro.kernels import crc as kcrc
+
+        data_bytes = self.kw_spec.data_bytes
+        for data in batch.datas:
+            if len(data) > data_bytes:
+                return False
+        packed, lengths = kcrc.pack_keys(batch.keys)
+        data_packed, _ = kcrc.pack_keys(batch.datas, pad_to=data_bytes)
+        meta = np.asarray(
+            [seq, packed.shape[0], packed.shape[1], batch.redundancy],
+            dtype="<i8")
+        try:
+            self.requests[index].put(
+                REQ_KEYWRITE,
+                [meta, packed, lengths.astype("<i8", copy=False),
+                 data_packed],
+                liveness=self._alive(index))
+        except ValueError:
+            return False
+        return True
+
+    def dispatch_keyincrement(self, index: int, seq: int, batch) -> bool:
+        """Serialize a Key-Increment batch; False -> parent scalar lane."""
+        from repro.kernels import crc as kcrc
+
+        try:
+            values = np.asarray(batch.values, dtype=np.int64)
+        except (OverflowError, ValueError):
+            return False     # beyond int64: scalar wrap semantics apply
+        rows = min(batch.redundancy, self.ki_spec.rows)
+        packed, lengths = kcrc.pack_keys(batch.keys)
+        meta = np.asarray(
+            [seq, packed.shape[0], packed.shape[1], rows], dtype="<i8")
+        try:
+            self.requests[index].put(
+                REQ_KEYINCREMENT,
+                [meta, packed, lengths.astype("<i8", copy=False), values],
+                liveness=self._alive(index))
+        except ValueError:
+            return False
+        return True
+
+    def result(self, index: int) -> ShmMessage:
+        """Blocking read of worker ``index``'s next result.
+
+        Raises :class:`RingPeerDead` if the worker dies while we wait —
+        the engine surfaces that as a translate-stage
+        :class:`~repro.runtime.engine.StageError`.
+        """
+        message = self.results[index].get(liveness=self._alive(index))
+        if message is CLOSED:
+            raise RingPeerDead(
+                f"worker {index} of pool '{self.name}' closed its "
+                "result ring mid-stream")
+        return message
+
+    # ------------------------------------------------------------------
+
+    def finish(self, timeout: float = 10.0) -> None:
+        """Graceful end-of-stream: close request rings, join workers."""
+        for ring in self.requests:
+            ring.close()
+        for process in self.processes:
+            process.join(timeout=timeout)
+
+    def abort(self) -> None:
+        """Failure path: poison every ring so nobody blocks."""
+        for ring in self.requests:
+            ring.abort()
+        for ring in self.results:
+            ring.abort()
+
+    def shutdown(self) -> None:
+        """Tear everything down and unlink the segments.  Idempotent."""
+        if self._shutdown:
+            return
+        self._shutdown = True
+        self.abort()
+        for process in self.processes:
+            process.join(timeout=5.0)
+        for process in self.processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+        self._counters = None
+        for ring in self.requests + self.results:
+            ring.unlink()
+        try:
+            self._stats_shm.close()
+        except BufferError:
+            pass
+        try:
+            self._stats_shm.unlink()
+        except FileNotFoundError:
+            pass

@@ -1,0 +1,110 @@
+"""The docs link checker itself (it gates CI's docs job).
+
+``tools/check_markdown_links.py`` is stdlib-only and importable;
+``main(argv)`` accepts absolute paths (they pass through the
+repo-root join), so these tests exercise it against synthetic docs in
+``tmp_path``: broken relative links, broken GitHub-style anchors, and
+the docs/-to-root traversal pattern the real tree relies on
+(``docs/FOO.md`` linking ``../README.md``).  A final test holds the
+real default doc set green — the same invocation CI runs.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+_TOOL = (pathlib.Path(__file__).resolve().parents[2]
+         / "tools" / "check_markdown_links.py")
+_spec = importlib.util.spec_from_file_location("check_markdown_links",
+                                               _TOOL)
+checker = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(checker)
+
+
+def _run(paths, capsys):
+    code = checker.main([str(p) for p in paths])
+    return code, capsys.readouterr().out
+
+
+def test_valid_relative_link_passes(tmp_path, capsys):
+    (tmp_path / "TARGET.md").write_text("# Target\n")
+    doc = tmp_path / "doc.md"
+    doc.write_text("See [the target](TARGET.md).\n")
+    code, out = _run([doc], capsys)
+    assert code == 0
+    assert "0 broken links" in out
+
+
+def test_broken_relative_link_fails(tmp_path, capsys):
+    doc = tmp_path / "doc.md"
+    doc.write_text("Start.\n\nSee [missing](no/such/file.md).\n")
+    code, out = _run([doc], capsys)
+    assert code == 1
+    assert ":3: broken link -> no/such/file.md" in out
+
+
+def test_broken_anchor_fails(tmp_path, capsys):
+    (tmp_path / "TARGET.md").write_text(
+        "# Real heading\n\n## Soak lane (`repro-soak/2`)\n")
+    doc = tmp_path / "doc.md"
+    doc.write_text(
+        "[ok](TARGET.md#real-heading)\n"
+        "[ok too](TARGET.md#soak-lane-repro-soak2)\n"
+        "[stale](TARGET.md#soak-lane-repro-soak1)\n")
+    code, out = _run([doc], capsys)
+    assert code == 1
+    assert ":3: broken link -> TARGET.md#soak-lane-repro-soak1" in out
+    assert out.count("broken link ->") == 1
+
+
+def test_in_page_anchor_checked_against_own_headings(tmp_path, capsys):
+    doc = tmp_path / "doc.md"
+    doc.write_text("# Alpha\n\n[up](#alpha)\n[nowhere](#beta)\n")
+    code, out = _run([doc], capsys)
+    assert code == 1
+    assert "#beta" in out
+
+
+def test_duplicate_headings_get_dedup_suffixes(tmp_path, capsys):
+    doc = tmp_path / "doc.md"
+    doc.write_text("# Setup\n\n# Setup\n\n[second](#setup-1)\n")
+    code, _out = _run([doc], capsys)
+    assert code == 0
+
+
+def test_fenced_blocks_are_ignored(tmp_path, capsys):
+    doc = tmp_path / "doc.md"
+    doc.write_text("```\n[not a link](missing.md)\n# not a heading\n```\n")
+    code, _out = _run([doc], capsys)
+    assert code == 0
+
+
+def test_docs_to_root_traversal(tmp_path, capsys):
+    """The real tree's ``docs/FOO.md -> ../README.md`` pattern."""
+    docs = tmp_path / "docs"
+    docs.mkdir()
+    (tmp_path / "README.md").write_text("# Top\n")
+    good = docs / "GOOD.md"
+    good.write_text("Back [to the top](../README.md#top).\n")
+    bad = docs / "BAD.md"
+    bad.write_text("Back [to nothing](../MISSING.md).\n")
+    code, _out = _run([good], capsys)
+    assert code == 0
+    code, out = _run([bad], capsys)
+    assert code == 1
+    assert "../MISSING.md" in out
+
+
+def test_missing_file_is_a_failure(tmp_path, capsys):
+    code, _out = _run([tmp_path / "ABSENT.md"], capsys)
+    assert code == 1
+
+
+def test_repo_default_doc_set_is_green(capsys):
+    """The exact invocation CI's docs job runs."""
+    code, out = _run([], capsys)
+    assert code == 0, out

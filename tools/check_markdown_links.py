@@ -3,10 +3,14 @@
 
 Stdlib-only, so it runs anywhere CI can run Python.  Verifies that
 every relative link target — ``[text](path)``, with an optional
-``#fragment`` stripped — resolves to a file or directory relative to
-the markdown file containing it.  External links (``http(s)://``,
-``mailto:``) and pure in-page anchors (``#section``) are skipped: this
-guards the docs cross-reference graph, not the internet.
+``#fragment`` — resolves to a file or directory relative to the
+markdown file containing it, and that a fragment pointing into a
+markdown file names a real heading (GitHub anchor slugs: lowercase,
+punctuation dropped, spaces to hyphens, ``-1``/``-2``… suffixes on
+duplicates).  Pure in-page anchors (``#section``) are validated
+against the containing file; external links (``http(s)://``,
+``mailto:``) are skipped — this guards the docs cross-reference
+graph, not the internet.
 
 Usage::
 
@@ -34,12 +38,50 @@ DEFAULT_DOCS = [
     "docs/ARCHITECTURE.md",
     "docs/BENCHMARKS.md",
     "docs/CALIBRATION.md",
+    "docs/CONCURRENCY.md",
     "docs/PROTOCOL.md",
 ]
 
 # [text](target) — target up to the first unescaped ')'; images too.
 _LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 _FENCE = re.compile(r"^(```|~~~)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+# Characters GitHub keeps in an anchor slug: word chars, hyphens,
+# spaces (which then become hyphens).  Everything else is dropped.
+_SLUG_DROP = re.compile(r"[^\w\- ]")
+# Inline markup GitHub strips before slugging: code-span backticks,
+# emphasis asterisks, and link syntax (keeping the link text).
+# Underscores stay — GitHub keeps them (``pipeline_digest`` slugs with
+# the underscore intact).
+_MD_INLINE = re.compile(r"[`*]|\[([^\]]*)\]\([^)]*\)")
+
+
+def github_slug(heading: str) -> str:
+    """The GitHub anchor slug of one heading (before dedup suffixes)."""
+    text = _MD_INLINE.sub(lambda m: m.group(1) or "", heading.strip())
+    text = _SLUG_DROP.sub("", text.lower())
+    return text.replace(" ", "-")
+
+
+def heading_anchors(path: pathlib.Path) -> set:
+    """Every anchor a markdown file exposes, dedup suffixes included."""
+    anchors: set = set()
+    counts: dict = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(1))
+        seen = counts.get(slug, 0)
+        counts[slug] = seen + 1
+        anchors.add(slug if seen == 0 else f"{slug}-{seen}")
+    return anchors
 
 
 def iter_links(path: pathlib.Path):
@@ -54,7 +96,7 @@ def iter_links(path: pathlib.Path):
             continue
         for match in _LINK.finditer(line):
             target = match.group(1)
-            if target.startswith(("http://", "https://", "mailto:", "#")):
+            if target.startswith(("http://", "https://", "mailto:")):
                 continue
             yield number, target
 
@@ -62,10 +104,18 @@ def iter_links(path: pathlib.Path):
 def check_file(path: pathlib.Path) -> list:
     """Broken links in one markdown file, as (line, target) pairs."""
     broken = []
+    anchor_cache: dict = {}
     for number, target in iter_links(path):
-        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        rel, _, fragment = target.partition("#")
+        resolved = (path.parent / rel).resolve() if rel else path
         if not resolved.exists():
             broken.append((number, target))
+            continue
+        if fragment and resolved.suffix.lower() == ".md":
+            if resolved not in anchor_cache:
+                anchor_cache[resolved] = heading_anchors(resolved)
+            if fragment not in anchor_cache[resolved]:
+                broken.append((number, target))
     return broken
 
 
