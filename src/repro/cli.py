@@ -440,6 +440,10 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.queries.cli import add_query_parser
 
     add_query_parser(sub)
+
+    from repro.transport.cli import add_transport_parsers
+
+    add_transport_parsers(sub)
     return parser
 
 

@@ -388,10 +388,19 @@ def decode_report(raw: bytes) -> tuple:
     return header, sub.unpack(raw[BASE_HEADER_BYTES:])
 
 
+# Hoisted off the per-report hot path: report_wire_bytes runs once per
+# report inside ReportBatch.wire_bytes, so the calibration lookup and
+# the constant header sum are paid at import time, not per call.  (The
+# import is safe here: repro/__init__ binds ``calibration`` before any
+# submodule that reaches this module.)
+from repro import calibration as _calibration
+
+_WIRE_HEADER_BYTES = (_calibration.ETH_HDR_BYTES
+                      + _calibration.IPV4_HDR_BYTES
+                      + _calibration.UDP_HDR_BYTES
+                      + BASE_HEADER_BYTES)
+
+
 def report_wire_bytes(operation) -> int:
     """On-wire size of a DTA report (Eth+IP+UDP+DTA headers + payload)."""
-    from repro import calibration
-
-    payload = BASE_HEADER_BYTES + len(operation.pack())
-    return (calibration.ETH_HDR_BYTES + calibration.IPV4_HDR_BYTES
-            + calibration.UDP_HDR_BYTES + payload)
+    return _WIRE_HEADER_BYTES + len(operation.pack())

@@ -151,17 +151,33 @@ class ProtectionDomain:
 
     def __init__(self) -> None:
         self._regions: dict[int, MemoryRegion] = {}
+        #: Optional ``callable(length) -> writable buffer`` consulted by
+        #: :meth:`register` when no explicit buffer is passed.  The
+        #: deployment lane (:mod:`repro.transport`) points this at
+        #: ``multiprocessing.shared_memory`` segments so registered
+        #: collector stores live in memory other processes can map —
+        #: the software analogue of ``ibv_reg_mr`` pinning user pages.
+        self.buffer_factory = None
 
     def register(self, length: int,
                  access: AccessFlags = (AccessFlags.LOCAL_WRITE
                                         | AccessFlags.REMOTE_WRITE
                                         | AccessFlags.REMOTE_READ
                                         | AccessFlags.REMOTE_ATOMIC),
-                 addr: int | None = None) -> MemoryRegion:
-        """Register a fresh region of ``length`` bytes (``ibv_reg_mr``)."""
+                 addr: int | None = None,
+                 buf=None) -> MemoryRegion:
+        """Register a region of ``length`` bytes (``ibv_reg_mr``).
+
+        ``buf`` (or, failing that, :attr:`buffer_factory`) supplies the
+        backing buffer — any writable bytes-like of exactly ``length``
+        bytes; by default a fresh zeroed ``bytearray`` is allocated.
+        """
         if addr is None:
             addr = next(self._next_addr)
-        region = MemoryRegion(addr=addr, length=length, access=access)
+        if buf is None and self.buffer_factory is not None:
+            buf = self.buffer_factory(length)
+        region = MemoryRegion(addr=addr, length=length, access=access,
+                              buf=buf)
         self._regions[region.rkey] = region
         return region
 

@@ -32,6 +32,13 @@ from collections import deque
 
 from repro import obs
 
+#: The one monotonic time source every runtime measurement shares.
+#: Queue stall seconds (here and in :mod:`repro.runtime.shm`) and the
+#: soak harness's elapsed/pacing clock (:mod:`repro.runtime.soak`) all
+#: read this callable, so stall fractions divide into elapsed seconds
+#: measured on the same clock.
+_clock = time.monotonic
+
 #: Sentinel returned by :meth:`CreditQueue.get` once the queue is
 #: closed and drained.  An identity check (``item is CLOSED``) is the
 #: consumer's termination condition.
@@ -105,11 +112,11 @@ class CreditQueue:
             if len(self._items) >= self.capacity \
                     and not self._closed and not self._aborted:
                 self.stats.put_stalls += 1
-                started = time.monotonic()
+                started = _clock()
                 while len(self._items) >= self.capacity \
                         and not self._closed and not self._aborted:
                     self._not_full.wait()
-                self.stats.put_stall_seconds += time.monotonic() - started
+                self.stats.put_stall_seconds += _clock() - started
             if self._aborted:
                 raise QueueAborted(self.name)
             if self._closed:
@@ -132,11 +139,11 @@ class CreditQueue:
         with self._not_empty:
             if not self._items and not self._closed and not self._aborted:
                 self.stats.get_stalls += 1
-                started = time.monotonic()
+                started = _clock()
                 while not self._items \
                         and not self._closed and not self._aborted:
                     self._not_empty.wait()
-                self.stats.get_stall_seconds += time.monotonic() - started
+                self.stats.get_stall_seconds += _clock() - started
             if self._aborted:
                 raise QueueAborted(self.name)
             if self._items:

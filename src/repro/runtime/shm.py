@@ -75,6 +75,7 @@ from repro.runtime.queues import (
     QueueAborted,
     QueueClosed,
     QueueStats,
+    _clock,
 )
 
 try:
@@ -113,11 +114,21 @@ def _untrack(shm) -> None:
     unregistering here would strip the owner's entry instead — skip.
     """
     try:
-        if multiprocessing.get_start_method(allow_none=True) == "fork":
+        # allow_none would report None in a process that never resolved
+        # a start method, and the platform default there IS fork — which
+        # must take the skip branch below, not fall through to unregister.
+        if multiprocessing.get_start_method() == "fork":
             return
         from multiprocessing import resource_tracker
 
-        resource_tracker.unregister(shm._name, "shared_memory")
+        # The tracker knows the segment by the name the platform layer
+        # registered: on POSIX that is the shm_open() name, which
+        # carries a leading "/" that the public ``name`` property
+        # strips.  Reconstruct it instead of reaching into ``_name``.
+        name = shm.name
+        if not name.startswith("/"):
+            name = "/" + name
+        resource_tracker.unregister(name, "shared_memory")
     except Exception:
         pass
 
@@ -355,7 +366,7 @@ class ShmCreditQueue:
                 stats.put_stalls += 1
             else:
                 stats.get_stalls += 1
-        started = time.monotonic()
+        started = _clock()
         try:
             while True:
                 if self.aborted:
@@ -371,12 +382,19 @@ class ShmCreditQueue:
                 if sem.acquire(timeout=_SPIN_S):
                     return
                 if liveness is not None and not liveness():
+                    # A dead peer must not mask a concurrent teardown:
+                    # close()/abort() may have landed while we spun, and
+                    # a torn-down ring surfaces that verdict (CLOSED /
+                    # QueueClosed / QueueAborted at the loop top) rather
+                    # than a spurious peer-death error or a hang.
+                    if self.aborted or self.closed:
+                        continue
                     raise RingPeerDead(
                         f"peer of queue '{self.name}' died while "
                         f"blocked in {side}()")
         finally:
             if stats is not None:
-                elapsed = time.monotonic() - started
+                elapsed = _clock() - started
                 if side == "put":
                     stats.put_stall_seconds += elapsed
                 else:

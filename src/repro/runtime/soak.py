@@ -35,6 +35,7 @@ import time
 from repro import bench, obs
 from repro.core.batch import ReportBatch
 from repro.runtime.engine import StreamEngine, pipeline_digest, store_digest
+from repro.runtime.queues import _clock
 
 SOAK_SCHEMA = "repro-soak/2"
 #: Streamed reports/sec must beat the serial reference by this factor.
@@ -82,11 +83,11 @@ def run_lane(primitive: str, work: dict, *, workers: int,
                           name="soak")
     submitted = 0
     try:
-        start = time.perf_counter()
+        start = _clock()
         deadline = start + duration if duration else None
         engine.start()
         for s in range(0, n, batch_size):
-            now = time.perf_counter()
+            now = _clock()
             if deadline is not None and now >= deadline:
                 break
             if rate and submitted:
@@ -98,7 +99,7 @@ def run_lane(primitive: str, work: dict, *, workers: int,
             engine.submit(_make_batch(primitive, work, s, e))
             submitted += e - s
         engine.drain()
-        elapsed = time.perf_counter() - start
+        elapsed = _clock() - start
         snapshot = registry.snapshot()
     finally:
         engine.close()

@@ -1,0 +1,165 @@
+"""Wire-to-batch assembly: the determinism seam shared by both lanes.
+
+The socket lane's gate is digest equality with the in-process lane, and
+equality is cheapest to guarantee when both lanes literally run the
+same code over the same byte stream.  :class:`ReportAssembler` is that
+code: it consumes post-impairment DTA wire bytes in arrival order,
+routes each report to its collector shard with the stateless
+:class:`~repro.core.cluster.ClusterMap`, coalesces runs of homogeneous
+plain reports into :class:`~repro.core.batch.ReportBatch` carriers
+(the hot path), and diverts anything carrying per-report control-plane
+state — essential sequence numbers, immediate flags, retransmits —
+through :meth:`Translator.handle_report
+<repro.core.translator.Translator.handle_report>` so loss detection
+and NACK generation keep their exact per-report semantics.
+
+The translator daemon feeds it datagram payloads off the socket; the
+reference lane feeds it the same payload sequence in process.  Same
+bytes + same assembler + single-writer translators = same stores, by
+construction rather than by hoping two implementations agree.
+"""
+
+from __future__ import annotations
+
+from repro.core import packets
+from repro.core.batch import ReportBatch
+from repro.core.packets import (
+    Append,
+    DtaFlags,
+    DtaPrimitive,
+    KeyIncrement,
+    KeyWrite,
+    PacketDecodeError,
+    Postcard,
+    SketchColumn,
+)
+
+#: Flags that force a report through the per-report lane: essential
+#: reports feed the loss detector, immediates must convert their write,
+#: and retransmits must bypass loss detection.
+_PER_REPORT_FLAGS = (DtaFlags.ESSENTIAL | DtaFlags.IMMEDIATE
+                     | DtaFlags.RETRANSMIT)
+
+
+class ReportAssembler:
+    """Routes and batches a stream of DTA wire bytes into translators.
+
+    Args:
+        translators: One :class:`~repro.core.translator.Translator` per
+            collector shard, ordered by cluster index.
+        cluster_map: The shared stateless routing.
+        batch_size: Coalescing limit — a pending run is flushed once it
+            holds this many reports (and whenever the run's identity
+            changes or a per-report-lane report lands on the shard,
+            which preserves arrival order).
+    """
+
+    def __init__(self, translators, cluster_map, *,
+                 batch_size: int = 64) -> None:
+        if len(translators) != cluster_map.collectors:
+            raise ValueError("one translator per collector required")
+        self.translators = list(translators)
+        self.cluster_map = cluster_map
+        self.batch_size = batch_size
+        self.reports = 0
+        self.malformed = 0
+        self.batches = 0
+        self.per_report = 0
+        # shard -> (run_key, [ops]) of not-yet-flushed plain reports
+        self._pending: dict[int, tuple] = {}
+
+    # ------------------------------------------------------------------
+
+    def feed(self, raw: bytes) -> None:
+        """Consume one DTA report in wire form."""
+        try:
+            header, op = packets.decode_report(raw)
+        except (PacketDecodeError, ValueError, KeyError):
+            self.malformed += 1
+            return
+        if header.primitive in (DtaPrimitive.NACK, DtaPrimitive.CONGESTION):
+            # Control messages have no business on the report socket.
+            self.malformed += 1
+            return
+        self.reports += 1
+
+        if isinstance(op, Append):
+            shard = self.cluster_map.for_list(op.list_id)
+        elif isinstance(op, SketchColumn):
+            shard = self.cluster_map.for_sketch(op.sketch_id)
+        else:
+            shard = self.cluster_map.for_key(op.key)
+
+        if header.flags & _PER_REPORT_FLAGS:
+            # Keep shard-local order: everything batched so far happened
+            # before this report, so it must reach the translator first.
+            self._flush_shard(shard)
+            self.per_report += 1
+            self.translators[shard].handle_report(raw)
+            return
+
+        run_key = self._run_key(header, op)
+        pending = self._pending.get(shard)
+        if pending is not None and pending[0] != run_key:
+            self._flush_shard(shard)
+            pending = None
+        if pending is None:
+            pending = (run_key, [])
+            self._pending[shard] = pending
+        pending[1].append(op)
+        if len(pending[1]) >= self.batch_size:
+            self._flush_shard(shard)
+
+    def finish(self) -> None:
+        """End of stream: flush every pending run and append batch."""
+        for shard in sorted(self._pending):
+            self._flush_shard(shard)
+        for translator in self.translators:
+            translator.flush_appends()
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _run_key(header, op) -> tuple:
+        """Identity a report must share with its run to coalesce.
+
+        ``reporter_id`` is part of the identity because Sketch-Merge
+        tracks per-reporter column cursors and
+        :attr:`ReportBatch.reporter_id` is batch-wide; including it for
+        every primitive keeps the rule uniform.
+        """
+        if isinstance(op, (KeyWrite, KeyIncrement, Postcard)):
+            return (header.primitive, header.reporter_id, op.redundancy)
+        if isinstance(op, SketchColumn):
+            return (header.primitive, header.reporter_id, op.sketch_id)
+        return (header.primitive, header.reporter_id)
+
+    def _flush_shard(self, shard: int) -> None:
+        pending = self._pending.pop(shard, None)
+        if pending is None:
+            return
+        (primitive, reporter_id, *rest), ops = pending
+        if primitive is DtaPrimitive.KEY_WRITE:
+            batch = ReportBatch.key_writes(
+                [op.key for op in ops], [op.data for op in ops],
+                redundancy=rest[0])
+        elif primitive is DtaPrimitive.KEY_INCREMENT:
+            batch = ReportBatch.key_increments(
+                [op.key for op in ops], [op.value for op in ops],
+                redundancy=rest[0])
+        elif primitive is DtaPrimitive.POSTCARDING:
+            batch = ReportBatch.postcards(
+                [op.key for op in ops], [op.hop for op in ops],
+                [op.value for op in ops],
+                path_lengths=[op.path_length for op in ops],
+                redundancy=rest[0])
+        elif primitive is DtaPrimitive.APPEND:
+            batch = ReportBatch.appends(
+                [op.list_id for op in ops], [op.data for op in ops])
+        else:
+            batch = ReportBatch.sketch_columns(
+                rest[0], [op.column for op in ops],
+                [op.counters for op in ops])
+        batch.reporter_id = reporter_id
+        self.batches += 1
+        self.translators[shard].process_batch(batch)

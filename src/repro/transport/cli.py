@@ -1,0 +1,111 @@
+"""CLI verbs for the deployment lane: ``repro serve`` / ``repro deploy``.
+
+``serve`` runs the full differential — socket lane against the
+in-process reference — and exits non-zero unless every gate holds;
+``deploy`` runs the socket lane alone (no reference pass) for
+throughput measurement.  Both honour ``--smoke`` for a capped quick
+run and can append their document to the benchmark history.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+
+from repro import bench
+from repro.transport.loss import LossSpec
+from repro.transport.serve import (
+    ServeSpec,
+    render_serve,
+    run_serve,
+)
+
+_SMOKE_REPORTS = 4000
+
+
+def _add_common(parser, default_reports: int) -> None:
+    parser.add_argument("--primitive", choices=bench.PRIMITIVES,
+                        default="key_write",
+                        help="workload primitive (default key_write)")
+    parser.add_argument("--reports", type=int, default=default_reports,
+                        help="reports to stream")
+    parser.add_argument("--collectors", type=int, default=2,
+                        help="collector daemons (default 2)")
+    parser.add_argument("--batch-size", type=int, default=64,
+                        help="assembler coalescing limit (default 64)")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="workload seed (default 1)")
+    parser.add_argument("--drop", type=float, default=0.0,
+                        help="seeded shim drop rate (default 0)")
+    parser.add_argument("--reorder", type=float, default=0.0,
+                        help="seeded shim reorder rate (default 0)")
+    parser.add_argument("--reorder-span", type=int, default=3,
+                        help="max positions a datagram slips (default 3)")
+    parser.add_argument("--loss-seed", type=int, default=7,
+                        help="shim RNG seed (default 7)")
+    parser.add_argument("--vectorized", action="store_true",
+                        help="use the vectorized translator plan halves")
+    parser.add_argument("--smoke", action="store_true",
+                        help=f"cap reports at {_SMOKE_REPORTS} for CI")
+    parser.add_argument("--history", default=None, metavar="PATH",
+                        help="append the document to this history file")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="also write the document to PATH as JSON")
+
+
+def _spec(args) -> ServeSpec:
+    reports = args.reports
+    if args.smoke:
+        reports = min(reports, _SMOKE_REPORTS)
+    return ServeSpec(
+        primitive=args.primitive,
+        reports=reports,
+        collectors=args.collectors,
+        batch_size=args.batch_size,
+        seed=args.seed,
+        loss=LossSpec(seed=args.loss_seed, drop_rate=args.drop,
+                      reorder_rate=args.reorder,
+                      reorder_span=args.reorder_span),
+        vectorized=args.vectorized,
+    )
+
+
+def _finish(document, args) -> int:
+    print(render_serve(document))
+    if args.history:
+        bench.append_history(document, path=args.history)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(document, fh, indent=2)
+            fh.write("\n")
+    return 0 if document["pass"] else 1
+
+
+def _cmd_serve(args) -> int:
+    date = datetime.date.today().strftime("%Y%m%d")
+    document = run_serve(_spec(args), date=date, reference=True,
+                         smoke=args.smoke)
+    return _finish(document, args)
+
+
+def _cmd_deploy(args) -> int:
+    date = datetime.date.today().strftime("%Y%m%d")
+    document = run_serve(_spec(args), date=date, reference=False,
+                         smoke=args.smoke)
+    return _finish(document, args)
+
+
+def add_transport_parsers(sub) -> None:
+    """Register ``serve`` and ``deploy`` on the main subparser set."""
+    serve = sub.add_parser(
+        "serve",
+        help="run the socket deployment lane against the in-process "
+             "reference and gate on digest equality")
+    _add_common(serve, default_reports=20000)
+    serve.set_defaults(fn=_cmd_serve)
+
+    deploy = sub.add_parser(
+        "deploy",
+        help="run the socket deployment lane alone (no reference pass)")
+    _add_common(deploy, default_reports=50000)
+    deploy.set_defaults(fn=_cmd_deploy)

@@ -1,0 +1,345 @@
+"""Deployment-lane processes: collector daemons and a translator daemon.
+
+The process topology mirrors Figure 2 of the paper:
+
+* N **collector daemons** each map their primitive stores onto
+  ``multiprocessing.shared_memory`` segments and then go idle — their
+  CPU runs only when asked a query or a digest, which is the paper's
+  zero-CPU collection claim restated as process architecture.
+* one **translator daemon** maps the *same* segments, provisions an
+  identical deployment over them, and converts the DTA datagram stream
+  arriving on its UDP socket into RDMA verbs.  Its
+  :class:`~repro.core.transport.RdmaClient` writes land in the shared
+  segments — collector memory — exactly the seam a pyverbs backend
+  would replace with real ``ibv_post_send``.
+
+The parent (``repro.transport.serve``) owns the segments: it creates
+them from :func:`segment_plan`, hands the names to both daemon kinds
+(which attach and untrack, like the shm ring workers in
+:mod:`repro.runtime.shm`), and unlinks them on teardown — so a crashed
+daemon can never leak a segment past the lane's context manager.
+
+Store sizing mirrors ``bench._deploy`` so socket-lane throughput cells
+are comparable with the in-process benchmark history.
+"""
+
+from __future__ import annotations
+
+import gc
+import socket
+
+from repro import calibration, obs
+from repro.core.cluster import ClusterMap
+from repro.core.collector import Collector
+from repro.core.stores.append import AppendLayout
+from repro.core.stores.keyincrement import KeyIncrementLayout
+from repro.core.stores.keywrite import KeyWriteLayout
+from repro.core.stores.postcarding import PostcardingLayout
+from repro.core.stores.sketchstore import SketchLayout
+from repro.core.translator import Translator
+from repro.runtime.engine import store_digest
+from repro.runtime.shm import _untrack
+from repro.transport.assembler import ReportAssembler
+from repro.transport.envelope import (
+    KIND_CTRL,
+    KIND_END,
+    KIND_REPORT,
+    Reassembler,
+    end_total,
+    wrap,
+    wrap_ack,
+)
+
+# Deployment scale, mirroring bench._deploy so throughput numbers are
+# comparable across lanes.
+KW_SLOTS = 1 << 16
+KW_DATA_BYTES = 16
+KI_SLOTS_PER_ROW = 1 << 12
+KI_ROWS = 4
+PC_CHUNKS = 1 << 14
+PC_HOPS = 5
+PC_VALUES = range(256)
+AP_LISTS = 4
+AP_CAPACITY = 1 << 15
+AP_DATA_BYTES = 16
+AP_BATCH = 16
+SM_DEPTH = 4
+SM_BATCH_COLUMNS = 16
+
+#: Receiver re-acks at least this often while idle so a lost ACK can
+#: never wedge the reporter's send window.
+_SOCK_TIMEOUT_S = 0.05
+
+_MAX_DGRAM = 65535
+
+
+def segment_plan(sketch_width: int = 0) -> list:
+    """``(store, region_bytes)`` per served primitive, in serve order.
+
+    The order is load-bearing: :func:`provision_collector` registers
+    regions in exactly this order, so the k-th segment backs the k-th
+    store on every process that maps the plan.
+    """
+    pc_pad = max(calibration.POSTCARDING_SLOT_PAD_BYTES, PC_HOPS * 4)
+    plan = [
+        ("keywrite", KeyWriteLayout(base_addr=0, slots=KW_SLOTS,
+                                    data_bytes=KW_DATA_BYTES).region_bytes),
+        ("keyincrement", KeyIncrementLayout(
+            base_addr=0, slots_per_row=KI_SLOTS_PER_ROW,
+            rows=KI_ROWS).region_bytes),
+        ("postcarding", PostcardingLayout(
+            base_addr=0, chunks=PC_CHUNKS, hops=PC_HOPS,
+            slot_bits=32, pad_to=pc_pad).region_bytes),
+        ("append", AppendLayout(base_addr=0, lists=AP_LISTS,
+                                capacity=AP_CAPACITY,
+                                data_bytes=AP_DATA_BYTES).region_bytes),
+    ]
+    if sketch_width:
+        plan.append(("sketch", SketchLayout(
+            base_addr=0, width=sketch_width, depth=SM_DEPTH).region_bytes))
+    return plan
+
+
+def provision_collector(name: str, *, sketch_width: int = 0,
+                        buffers=None) -> Collector:
+    """A bench-scale collector, optionally over supplied store buffers.
+
+    ``buffers`` (when given) must match :func:`segment_plan` — one
+    writable buffer per store, consumed in serve order through the
+    protection domain's ``buffer_factory`` seam.
+    """
+    collector = Collector(name)
+    if buffers is not None:
+        remaining = list(buffers)
+
+        def factory(length: int):
+            buf = remaining.pop(0)
+            if len(buf) != length:
+                raise ValueError(
+                    f"segment/store size mismatch: {len(buf)} != {length}")
+            return buf
+
+        collector.nic.pd.buffer_factory = factory
+    collector.serve_keywrite(slots=KW_SLOTS, data_bytes=KW_DATA_BYTES)
+    collector.serve_keyincrement(slots_per_row=KI_SLOTS_PER_ROW,
+                                 rows=KI_ROWS)
+    collector.serve_postcarding(chunks=PC_CHUNKS, value_set=PC_VALUES,
+                                hops=PC_HOPS)
+    collector.serve_append(lists=AP_LISTS, capacity=AP_CAPACITY,
+                           data_bytes=AP_DATA_BYTES, batch_size=AP_BATCH)
+    if sketch_width:
+        collector.serve_sketch(width=sketch_width, depth=SM_DEPTH,
+                               expected_reporters=1,
+                               batch_columns=SM_BATCH_COLUMNS)
+    collector.nic.pd.buffer_factory = None
+    return collector
+
+
+def _attach_segments(names, plan):
+    """Map the parent's segments; returns ``(shms, buffers)``.
+
+    Like the shm ring workers, attaching must not register the segment
+    with this process's resource tracker as if it owned it — the parent
+    is the owner and unlinks on teardown (see :func:`_untrack`).
+    """
+    from multiprocessing import shared_memory
+
+    shms = []
+    buffers = []
+    for name, (_store, length) in zip(names, plan):
+        shm = shared_memory.SharedMemory(name=name)
+        _untrack(shm)
+        shms.append(shm)
+        buffers.append(shm.buf[:length])
+    return shms, buffers
+
+
+def _release_segments(shms, buffers) -> None:
+    """Drop buffer views and close mappings (never unlink — not owner)."""
+    buffers.clear()
+    # Stores and NIC links sit in reference cycles that keep exported
+    # memoryviews alive past ``del``; collect before unmapping.
+    gc.collect()
+    for shm in shms:
+        try:
+            shm.close()
+        except BufferError:
+            pass   # a store still pins the view; process exit unmaps
+
+
+# ---------------------------------------------------------------------------
+# Collector daemon
+# ---------------------------------------------------------------------------
+
+
+def collector_daemon_main(shard: int, sketch_width: int, segment_names,
+                          conn) -> None:
+    """Serve one collector shard over shared segments; then sit idle.
+
+    The command loop is the *only* CPU this process spends after
+    provisioning: ``("digest", None)`` hashes the stores,
+    ``("query_value", key)`` / ``("query_counter", key)`` answer
+    collector queries (used by the NACK settle test to prove
+    retransmitted data landed), ``("stop", None)`` exits.
+    """
+    obs.set_registry(obs.Registry())
+    plan = segment_plan(sketch_width)
+    shms, buffers = _attach_segments(segment_names, plan)
+    collector = provision_collector(f"collector-{shard}",
+                                    sketch_width=sketch_width,
+                                    buffers=buffers)
+    conn.send(("ready", shard))
+    try:
+        while True:
+            try:
+                command, arg = conn.recv()
+            except EOFError:
+                break
+            if command == "digest":
+                conn.send(("digest", store_digest(collector)))
+            elif command == "query_value":
+                conn.send(("value", collector.query_value(arg)))
+            elif command == "query_counter":
+                conn.send(("counter", collector.query_counter(arg)))
+            elif command == "stop":
+                conn.send(("stopped", shard))
+                break
+            else:
+                conn.send(("error", f"unknown command {command!r}"))
+    finally:
+        del collector
+        _release_segments(shms, buffers)
+
+
+# ---------------------------------------------------------------------------
+# Translator daemon
+# ---------------------------------------------------------------------------
+
+
+def translator_daemon_main(shard_segment_names, sketch_width: int,
+                           vectorized: bool, batch_size: int,
+                           ctrl_addr, conn) -> None:
+    """Receive DTA datagrams and translate them into RDMA writes.
+
+    Owns the data socket (bound to an ephemeral loopback port reported
+    back over ``conn``) and the control send socket toward
+    ``ctrl_addr``.  Reports are re-ordered by lane sequence
+    (:class:`Reassembler`), then routed/batched/translated by the
+    shared :class:`ReportAssembler`.  A ``KIND_END`` datagram flushes
+    everything and reports ``("drained", stats)``; the parent may send
+    further traffic and ENDs afterwards (NACK settle rounds).
+    """
+    obs.set_registry(obs.Registry())
+    shards = len(shard_segment_names)
+    all_shms = []
+    all_buffers = []
+    collectors = []
+    translators = []
+    for shard, names in enumerate(shard_segment_names):
+        plan = segment_plan(sketch_width)
+        shms, buffers = _attach_segments(names, plan)
+        all_shms.extend(shms)
+        all_buffers.append(buffers)
+        collector = provision_collector(f"collector-{shard}",
+                                        sketch_width=sketch_width,
+                                        buffers=buffers)
+        translator = Translator(f"translator-{shard}",
+                                vectorized=vectorized)
+        collector.connect_translator(translator)
+        collectors.append(collector)
+        translators.append(translator)
+    del collector, translator, shms, buffers
+
+    ctrl_sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    ctrl_seq = [0]
+
+    def make_control_sink(shard: int):
+        # The shard byte routes the frame back to the matching per-shard
+        # seq stream inside the SocketReporter's ClusterReporter.
+        prefix = bytes([shard])
+
+        def control_sink(_src, raw):
+            ctrl_sock.sendto(wrap(ctrl_seq[0], prefix + raw, KIND_CTRL),
+                             ctrl_addr)
+            ctrl_seq[0] += 1
+
+        return control_sink
+
+    for shard, translator in enumerate(translators):
+        translator.control_sink = make_control_sink(shard)
+    del translator   # the loop var would pin the last shard's regions
+
+    assembler = ReportAssembler(translators,
+                                ClusterMap(collectors=shards),
+                                batch_size=batch_size)
+    reassembler = Reassembler()
+
+    data_sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    data_sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 1 << 22)
+    data_sock.bind(("127.0.0.1", 0))
+    data_sock.settimeout(_SOCK_TIMEOUT_S)
+    conn.send(("ready", data_sock.getsockname()[1]))
+
+    last_ack = [0]
+
+    def send_ack():
+        ctrl_sock.sendto(wrap_ack(ctrl_seq[0], reassembler.next_seq),
+                         ctrl_addr)
+        ctrl_seq[0] += 1
+        last_ack[0] = reassembler.next_seq
+
+    try:
+        while True:
+            if conn.poll():
+                command, _arg = conn.recv()
+                if command == "stop":
+                    conn.send(("stopped", _drain_stats(assembler,
+                                                       reassembler,
+                                                       translators)))
+                    break
+            try:
+                datagram = data_sock.recv(_MAX_DGRAM)
+            except socket.timeout:
+                # Idle re-ack: a lost ACK must not wedge the window.
+                if reassembler.next_seq:
+                    send_ack()
+                continue
+            for kind, payload in reassembler.push(datagram):
+                if kind == KIND_REPORT:
+                    assembler.feed(payload)
+                elif kind == KIND_END:
+                    try:
+                        expected = end_total(payload)
+                    except ValueError:
+                        reassembler.malformed += 1
+                        continue
+                    assembler.finish()
+                    send_ack()
+                    stats = _drain_stats(assembler, reassembler,
+                                         translators)
+                    stats["expected_reports"] = expected
+                    conn.send(("drained", stats))
+                # Unknown kinds (fuzz) are simply ignored.
+            if reassembler.next_seq - last_ack[0] >= 64:
+                send_ack()
+    finally:
+        data_sock.close()
+        ctrl_sock.close()
+        del assembler, translators, collectors
+        for pinned in all_buffers:
+            pinned.clear()
+        _release_segments(all_shms, [])
+
+
+def _drain_stats(assembler, reassembler, translators) -> dict:
+    return {
+        "reports": assembler.reports,
+        "batches": assembler.batches,
+        "per_report": assembler.per_report,
+        "malformed": assembler.malformed + reassembler.malformed,
+        "delivered": reassembler.delivered,
+        "duplicates": reassembler.duplicates,
+        "waiting": reassembler.waiting,
+        "rdma_messages": sum(t.stats.rdma_messages for t in translators),
+        "nacks_sent": sum(t.stats.nacks_sent for t in translators),
+    }

@@ -1,0 +1,200 @@
+"""The socket-side reporter: DTA wire bytes out, control frames in.
+
+Wraps the existing :class:`~repro.core.reporter.Reporter` — sequence
+counters, backup buffer, NACK/congestion handling all unchanged — and
+gives it a real UDP transmit path: every report runs through the
+seeded loss shim (the lane's "wire"), survivors get a lane envelope
+sequence number and leave on the data socket.  Retransmits bypass the
+shim: a NACK-triggered re-send models the reporter's second attempt,
+not a datagram the netem schedule already ruled on.
+
+The send window (``window`` datagrams beyond the translator's last
+cumulative ACK) keeps kernel socket buffers from overflowing — lane
+loss must come from the seeded shim, never from a full loopback queue.
+Waiting on the window doubles as control polling, so NACKs arriving
+mid-stream are served promptly.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+from repro.core import packets
+from repro.core.cluster import ClusterMap, ClusterReporter
+from repro.core.packets import DtaFlags
+from repro.core.transport import CtrlFrame
+from repro.transport.envelope import (
+    KIND_ACK,
+    KIND_CTRL,
+    ack_delivered,
+    unwrap,
+    wrap,
+    wrap_end,
+)
+from repro.transport.loss import LossSpec
+
+
+class SocketReporter:
+    """A reporter whose transmit path is a UDP socket plus loss shim.
+
+    Essential reports go through an embedded
+    :class:`~repro.core.cluster.ClusterReporter`: one per-shard
+    :class:`~repro.core.reporter.Reporter` seq stream, matching the
+    in-process cluster contract — each shard translator's loss detector
+    sees a contiguous sequence, and returning control frames carry the
+    shard index so NACKs reach the seq stream they name.
+
+    Args:
+        name: Reporter node name.
+        reporter_id: 16-bit DTA identity.
+        data_addr: ``(host, port)`` of the translator daemon's socket.
+        shards: Collector count (sizes the per-shard seq streams).
+        loss: The seeded impairment applied to first-transmissions.
+        window: Max datagrams in flight beyond the last cumulative ACK.
+    """
+
+    def __init__(self, name: str, reporter_id: int, *, data_addr,
+                 shards: int = 1, loss: LossSpec | None = None,
+                 window: int = 512) -> None:
+        self.data_addr = data_addr
+        self.window = window
+        self.shim = (loss or LossSpec()).shim()
+        self.cluster = ClusterReporter(
+            name, reporter_id,
+            cluster_map=ClusterMap(collectors=shards),
+            transmits=[self.transmit] * shards)
+        self._seq = 0                  # lane seq: assigned post-shim
+        self._acked = 0                # translator's cumulative delivery
+        self.datagrams_sent = 0
+        self.acks_received = 0
+        self.sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self.sock.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, 1 << 22)
+        self.ctrl_sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self.ctrl_sock.bind(("127.0.0.1", 0))
+        self.ctrl_sock.setblocking(False)
+
+    @property
+    def ctrl_addr(self):
+        """Where the translator daemon should send control frames."""
+        return self.ctrl_sock.getsockname()
+
+    @property
+    def stats(self):
+        """Aggregated reporter statistics across shard seq streams."""
+        return self.cluster.stats
+
+    # ------------------------------------------------------------------
+    # Transmit path (the embedded Reporter's ``transmit`` callable)
+    # ------------------------------------------------------------------
+
+    def transmit(self, raw: bytes) -> None:
+        """Shim, envelope, and send one DTA report."""
+        if raw[1] & int(DtaFlags.RETRANSMIT):
+            self._send(raw)
+            return
+        for survivor in self.shim.step(raw):
+            self._send(survivor)
+
+    def _send(self, payload: bytes) -> None:
+        while self._seq - self._acked >= self.window:
+            self.poll_control(timeout=0.5)
+        self.sock.sendto(wrap(self._seq, payload), self.data_addr)
+        self._seq += 1
+        self.datagrams_sent += 1
+
+    def end_stream(self) -> int:
+        """Flush the shim and mark end-of-stream.
+
+        Returns the total number of report datagrams emitted so far —
+        also carried in the END datagram for delivery conservation.
+        May be called again after NACK settle rounds; each call emits a
+        fresh END covering everything sent to date.
+        """
+        for survivor in self.shim.flush():
+            self._send(survivor)
+        total = self.datagrams_sent
+        self.sock.sendto(wrap_end(self._seq, total), self.data_addr)
+        self._seq += 1
+        return total
+
+    def send_raw_datagram(self, datagram: bytes) -> None:
+        """Fuzz hook: put arbitrary bytes on the wire, bypassing shim,
+        envelope, and window accounting alike."""
+        self.sock.sendto(datagram, self.data_addr)
+
+    # ------------------------------------------------------------------
+    # Control path
+    # ------------------------------------------------------------------
+
+    def poll_control(self, timeout: float = 0.0) -> int:
+        """Drain the control socket; returns frames processed.
+
+        ACK frames advance the send window; CTRL frames carry DTA
+        control messages into the embedded reporter's existing
+        NACK/congestion machinery (which may retransmit through
+        :meth:`transmit`).  With a ``timeout`` the call blocks up to
+        that long for the *first* frame — the window-wait path.
+        """
+        processed = 0
+        deadline = time.monotonic() + timeout if timeout else None
+        while True:
+            try:
+                datagram = self.ctrl_sock.recv(65535)
+            except BlockingIOError:
+                if deadline is None or processed:
+                    return processed
+                if time.monotonic() >= deadline:
+                    return processed
+                time.sleep(0.001)
+                continue
+            try:
+                _seq, kind, payload = unwrap(datagram)
+            except ValueError:
+                continue
+            if kind == KIND_ACK:
+                try:
+                    delivered = ack_delivered(payload)
+                except ValueError:
+                    continue
+                if delivered > self._acked:
+                    self._acked = delivered
+                self.acks_received += 1
+                processed += 1
+            elif kind == KIND_CTRL:
+                # First byte: originating shard; rest: the DTA control
+                # message for that shard's seq stream.
+                if not payload:
+                    continue
+                shard = payload[0]
+                if shard >= len(self.cluster.reporters):
+                    continue
+                raw = payload[1:]
+                try:
+                    packets.DtaHeader.unpack(raw)
+                except packets.PacketDecodeError:
+                    continue
+                self.cluster.reporters[shard].receive(
+                    CtrlFrame(src="translator", raw=raw))
+                processed += 1
+
+    def settle(self, rounds: int = 3, timeout: float = 0.5) -> int:
+        """Serve pending NACKs for up to ``rounds`` control passes.
+
+        Returns the total number of retransmissions issued.  Each
+        round waits up to ``timeout`` for control traffic; a round
+        with no retransmissions ends the settle early.
+        """
+        total = 0
+        for _ in range(rounds):
+            before = self.stats.retransmitted
+            self.poll_control(timeout=timeout)
+            after = self.stats.retransmitted
+            total += after - before
+            if after == before:
+                break
+        return total
+
+    def close(self) -> None:
+        self.sock.close()
+        self.ctrl_sock.close()

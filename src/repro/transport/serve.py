@@ -1,0 +1,444 @@
+"""The deployment lane: real processes, real sockets, one digest gate.
+
+``run_serve`` drives a seeded workload through two lanes and demands
+bit-identical collector stores:
+
+* **socket lane** — a :class:`SocketLane`: N collector daemons over
+  shared-memory store segments, one translator daemon on a UDP socket,
+  and a :class:`~repro.transport.reporter.SocketReporter` whose
+  transmit path applies the seeded loss shim before the wire.
+* **reference lane** — the same pre-encoded report bytes through the
+  same :class:`~repro.transport.assembler.ReportAssembler` and a shim
+  built from the same :class:`~repro.transport.loss.LossSpec`, all in
+  this process.
+
+Because both lanes share the byte stream, the impairment schedule, and
+the assembly code, digest equality is a property of the transport —
+kernel reordering hidden by the lane envelope, no kernel loss thanks
+to the ACK window — rather than of two implementations happening to
+agree.  This is the ``workers=0`` determinism contract of
+docs/CONCURRENCY.md extended across process and socket boundaries.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import asdict, dataclass, field
+
+from repro import bench, obs
+from repro.core import packets
+from repro.core.cluster import ClusterMap
+from repro.runtime.engine import store_digest
+from repro.runtime.queues import _clock
+from repro.transport.assembler import ReportAssembler
+from repro.transport.daemons import (
+    PC_HOPS,
+    collector_daemon_main,
+    provision_collector,
+    segment_plan,
+    translator_daemon_main,
+)
+from repro.transport.loss import LossSpec
+from repro.transport.reporter import SocketReporter
+from repro.core.translator import Translator
+
+SERVE_SCHEMA = "repro-serve/1"
+
+_READY_TIMEOUT_S = 30.0
+_DRAIN_TIMEOUT_S = 60.0
+_STOP_TIMEOUT_S = 5.0
+
+
+class ServeError(RuntimeError):
+    """The socket lane failed structurally (daemon death, timeout)."""
+
+
+@dataclass(frozen=True)
+class ServeSpec:
+    """Everything that determines a deployment-lane run."""
+
+    primitive: str = "key_write"
+    reports: int = 20000
+    collectors: int = 2
+    batch_size: int = 64
+    seed: int = 1
+    loss: LossSpec = field(default_factory=LossSpec)
+    vectorized: bool = False
+    window: int = 512
+
+    def __post_init__(self) -> None:
+        if self.primitive not in bench.PRIMITIVES:
+            raise ValueError(f"unknown primitive '{self.primitive}'")
+        if self.reports <= 0:
+            raise ValueError("reports must be positive")
+        if self.collectors <= 0:
+            raise ValueError("need at least one collector")
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+
+    @property
+    def sketch_width(self) -> int:
+        return self.reports if self.primitive == "sketch_merge" else 0
+
+
+def encode_workload(spec: ServeSpec, *, reporter_id: int = 1) -> list:
+    """The run's report stream as DTA wire bytes, pre-impairment.
+
+    Reuses the seeded ``bench`` workload generator and the existing
+    wire codec (:func:`repro.core.packets.make_report`) so the stream
+    is byte-identical no matter which lane consumes it.  Non-essential
+    by construction: the differential gate must not depend on NACK
+    retransmission timing.
+    """
+    work = bench._workload(spec.primitive, spec.reports, spec.seed)
+    raws = []
+    if spec.primitive == "key_write":
+        for key, data in zip(work["keys"], work["datas"]):
+            raws.append(packets.make_report(
+                packets.KeyWrite(key=key, data=data, redundancy=2),
+                reporter_id=reporter_id))
+    elif spec.primitive == "key_increment":
+        for key, value in zip(work["keys"], work["values"]):
+            raws.append(packets.make_report(
+                packets.KeyIncrement(key=key, value=value, redundancy=2),
+                reporter_id=reporter_id))
+    elif spec.primitive == "postcarding":
+        for key, hop, value in zip(work["keys"], work["hops"],
+                                   work["values"]):
+            raws.append(packets.make_report(
+                packets.Postcard(key=key, hop=hop, value=value,
+                                 path_length=PC_HOPS, redundancy=1),
+                reporter_id=reporter_id))
+    elif spec.primitive == "append":
+        for list_id, data in zip(work["list_ids"], work["datas"]):
+            raws.append(packets.make_report(
+                packets.Append(list_id=list_id, data=data),
+                reporter_id=reporter_id))
+    else:
+        for column, counters in zip(work["columns"],
+                                    work["counter_rows"]):
+            raws.append(packets.make_report(
+                packets.SketchColumn(sketch_id=0, column=column,
+                                     counters=counters),
+                reporter_id=reporter_id))
+    return raws
+
+
+# ---------------------------------------------------------------------------
+# The socket lane
+# ---------------------------------------------------------------------------
+
+
+class SocketLane:
+    """Owns the lane's processes, sockets, and shared segments.
+
+    Use as a context manager; ``__exit__`` stops every daemon and
+    unlinks every segment regardless of how the run ended, so a crash
+    mid-stream cannot leak ``/dev/shm`` entries.
+    """
+
+    def __init__(self, spec: ServeSpec) -> None:
+        self.spec = spec
+        self.reporter: SocketReporter | None = None
+        self._segments: list = []          # flat list of SharedMemory
+        self._collector_procs: list = []
+        self._collector_conns: list = []
+        self._translator_proc = None
+        self._translator_conn = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    def __enter__(self) -> "SocketLane":
+        from multiprocessing import shared_memory
+
+        spec = self.spec
+        ctx = multiprocessing.get_context()
+        plan = segment_plan(spec.sketch_width)
+        names_per_shard = []
+        try:
+            for _shard in range(spec.collectors):
+                names = []
+                for _store, length in plan:
+                    shm = shared_memory.SharedMemory(
+                        create=True, size=max(1, length))
+                    self._segments.append(shm)
+                    names.append(shm.name)
+                names_per_shard.append(names)
+
+            for shard in range(spec.collectors):
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=collector_daemon_main,
+                    args=(shard, spec.sketch_width,
+                          names_per_shard[shard], child_conn),
+                    daemon=True, name=f"dta-collector-{shard}")
+                proc.start()
+                child_conn.close()
+                self._collector_procs.append(proc)
+                self._collector_conns.append(parent_conn)
+            for shard, conn in enumerate(self._collector_conns):
+                self._await(conn, self._collector_procs[shard],
+                            expect="ready")
+
+            self.reporter = SocketReporter(
+                "serve-reporter", 1, data_addr=None,
+                shards=spec.collectors, loss=spec.loss,
+                window=spec.window)
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=translator_daemon_main,
+                args=(names_per_shard, spec.sketch_width,
+                      spec.vectorized, spec.batch_size,
+                      self.reporter.ctrl_addr, child_conn),
+                daemon=True, name="dta-translator")
+            proc.start()
+            child_conn.close()
+            self._translator_proc = proc
+            self._translator_conn = parent_conn
+            _tag, port = self._await(parent_conn, proc, expect="ready")
+            self.reporter.data_addr = ("127.0.0.1", port)
+        except BaseException:
+            self.__exit__(None, None, None)
+            raise
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._stop_daemons()
+        if self.reporter is not None:
+            self.reporter.close()
+            self.reporter = None
+        for shm in self._segments:
+            try:
+                shm.close()
+            except BufferError:   # pragma: no cover - parent holds no views
+                pass
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+        self._segments.clear()
+
+    # -- the run -------------------------------------------------------
+
+    def send(self, raws) -> None:
+        """Transmit pre-encoded reports through shim + envelope."""
+        transmit = self.reporter.transmit
+        for raw in raws:
+            transmit(raw)
+
+    def drain(self, timeout: float = _DRAIN_TIMEOUT_S) -> dict:
+        """End-of-stream handshake: wait for the translator's flush.
+
+        Raises :class:`ServeError` if any daemon dies or the drain does
+        not complete in ``timeout`` seconds.
+        """
+        deadline = _clock() + timeout
+        conn = self._translator_conn
+        while True:
+            self._check_alive()
+            if conn.poll(0.05):
+                tag, payload = conn.recv()
+                if tag == "drained":
+                    return payload
+                raise ServeError(f"unexpected translator reply {tag!r}")
+            # Keep the window/control machinery moving while we wait.
+            self.reporter.poll_control()
+            if _clock() >= deadline:
+                raise ServeError(
+                    f"translator did not drain within {timeout:.0f}s")
+
+    def digests(self) -> list:
+        """Store digests from every collector daemon, in shard order."""
+        out = []
+        for shard, conn in enumerate(self._collector_conns):
+            conn.send(("digest", None))
+            _tag, digest = self._await(
+                conn, self._collector_procs[shard], expect="digest")
+            out.append(digest)
+        return out
+
+    def query(self, shard: int, command: str, key: bytes):
+        """Ask one collector daemon a store query (settle tests)."""
+        conn = self._collector_conns[shard]
+        conn.send((command, key))
+        _tag, answer = self._await(conn, self._collector_procs[shard])
+        return answer
+
+    # -- internals -----------------------------------------------------
+
+    def _await(self, conn, proc, *, expect: str | None = None,
+               timeout: float = _READY_TIMEOUT_S):
+        deadline = _clock() + timeout
+        while not conn.poll(0.05):
+            if not proc.is_alive():
+                raise ServeError(
+                    f"daemon {proc.name} died "
+                    f"(exitcode {proc.exitcode})")
+            if _clock() >= deadline:
+                raise ServeError(
+                    f"daemon {proc.name} silent for {timeout:.0f}s")
+        reply = conn.recv()
+        if expect is not None and reply[0] != expect:
+            raise ServeError(
+                f"daemon {proc.name} replied {reply[0]!r}, "
+                f"wanted {expect!r}")
+        return reply
+
+    def _check_alive(self) -> None:
+        procs = list(self._collector_procs)
+        if self._translator_proc is not None:
+            procs.append(self._translator_proc)
+        for proc in procs:
+            if not proc.is_alive():
+                raise ServeError(
+                    f"daemon {proc.name} died mid-stream "
+                    f"(exitcode {proc.exitcode})")
+
+    def _stop_daemons(self) -> None:
+        pairs = list(zip(self._collector_conns, self._collector_procs))
+        if self._translator_proc is not None:
+            pairs.append((self._translator_conn, self._translator_proc))
+        for conn, proc in pairs:
+            if proc.is_alive():
+                try:
+                    conn.send(("stop", None))
+                except (BrokenPipeError, OSError):
+                    pass
+        for conn, proc in pairs:
+            proc.join(timeout=_STOP_TIMEOUT_S)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=_STOP_TIMEOUT_S)
+            conn.close()
+        self._collector_conns.clear()
+        self._collector_procs.clear()
+        self._translator_conn = None
+        self._translator_proc = None
+
+
+# ---------------------------------------------------------------------------
+# Reference lane + the differential run
+# ---------------------------------------------------------------------------
+
+
+def run_reference(spec: ServeSpec, raws) -> list:
+    """The in-process twin: same bytes, same shim, same assembler.
+
+    Returns the per-shard store digests the socket lane must match.
+    """
+    registry = obs.Registry()
+    previous = obs.set_registry(registry)
+    try:
+        collectors = []
+        translators = []
+        for shard in range(spec.collectors):
+            collector = provision_collector(
+                f"collector-{shard}", sketch_width=spec.sketch_width)
+            translator = Translator(f"translator-{shard}",
+                                    vectorized=spec.vectorized)
+            collector.connect_translator(translator)
+            collectors.append(collector)
+            translators.append(translator)
+        assembler = ReportAssembler(
+            translators, ClusterMap(collectors=spec.collectors),
+            batch_size=spec.batch_size)
+        shim = spec.loss.shim()
+        for raw in raws:
+            for survivor in shim.step(raw):
+                assembler.feed(survivor)
+        for survivor in shim.flush():
+            assembler.feed(survivor)
+        assembler.finish()
+        return [store_digest(collector) for collector in collectors]
+    finally:
+        obs.set_registry(previous)
+
+
+def run_serve(spec: ServeSpec, *, date: str,
+              reference: bool = True, smoke: bool = False) -> dict:
+    """Run the deployment lane end to end; returns the gated document."""
+    registry = obs.Registry()
+    previous = obs.set_registry(registry)
+    try:
+        raws = encode_workload(spec)
+        with SocketLane(spec) as lane:
+            start = _clock()
+            lane.send(raws)
+            sent = lane.reporter.end_stream()
+            stats = lane.drain()
+            elapsed = _clock() - start
+            lane_digests = lane.digests()
+            shim = lane.reporter.shim
+            datagrams = lane.reporter.datagrams_sent
+            lane_seqs = lane.reporter._seq
+        ref_digests = run_reference(spec, raws) if reference else None
+    finally:
+        obs.set_registry(previous)
+
+    gates = [
+        ["every surviving datagram delivered in order",
+         stats["delivered"] == lane_seqs and stats["waiting"] == 0],
+        ["every delivered report decoded",
+         stats["reports"] == sent and stats["malformed"] == 0],
+    ]
+    if reference:
+        gates.append(["socket-lane store digests match in-process lane",
+                      lane_digests == ref_digests])
+    document = {
+        "schema": SERVE_SCHEMA,
+        "date": date,
+        "config": {
+            "primitive": spec.primitive,
+            "reports": spec.reports,
+            "collectors": spec.collectors,
+            "batch_size": spec.batch_size,
+            "seed": spec.seed,
+            "vectorized": spec.vectorized,
+            "window": spec.window,
+            "loss": asdict(spec.loss),
+            "smoke": smoke,
+        },
+        "socket": {
+            "reports_sent": sent,
+            "datagrams_sent": datagrams,
+            "shim": {"dropped": shim.dropped,
+                     "reordered": shim.reordered,
+                     "passed": shim.passed},
+            "elapsed_s": round(elapsed, 6),
+            "reports_per_sec": round(stats["reports"] / elapsed, 1)
+            if elapsed > 0 else 0.0,
+            "translator": stats,
+            "store_digests": lane_digests,
+        },
+        "reference": ({"store_digests": ref_digests}
+                      if reference else None),
+        "gates": gates,
+    }
+    document["pass"] = all(ok for _name, ok in gates)
+    return document
+
+
+def render_serve(document: dict) -> str:
+    """Human-readable summary of a SERVE document."""
+    config = document["config"]
+    sock = document["socket"]
+    shim = sock["shim"]
+    lines = [
+        f"deployment lane: {config['primitive']} x {config['reports']} "
+        f"reports -> {config['collectors']} collector daemon(s) "
+        f"over UDP (seed {config['seed']})",
+        f"  shim: dropped {shim['dropped']}, reordered "
+        f"{shim['reordered']}, passed {shim['passed']} "
+        f"(drop {config['loss']['drop_rate']:.1%}, reorder "
+        f"{config['loss']['reorder_rate']:.1%})",
+        f"  socket lane: {sock['reports_sent']} reports in "
+        f"{sock['elapsed_s']:.3f}s = {sock['reports_per_sec']:,.0f} "
+        f"reports/s, {sock['translator']['rdma_messages']} RDMA msgs, "
+        f"{sock['translator']['batches']} batches",
+    ]
+    for shard, digest in enumerate(sock["store_digests"]):
+        lines.append(f"  shard {shard}: {digest}")
+    for name, ok in document["gates"]:
+        lines.append(f"  [{'PASS' if ok else 'FAIL'}] {name}")
+    lines.append(f"serve: {'PASS' if document['pass'] else 'FAIL'}")
+    return "\n".join(lines)

@@ -161,3 +161,48 @@ class TestEncodeDispatch:
         op = Append(list_id=list_id, data=data)
         _, decoded = decode_report(make_report(op))
         assert decoded == op
+
+
+class TestWireBytesHotPath:
+    """``report_wire_bytes`` hoists its import and header sum to module
+    scope — the translator calls it per report, so re-importing
+    ``repro.calibration`` on every call was measurable overhead."""
+
+    def test_header_sum_hoisted_to_module_level(self):
+        from repro import calibration
+
+        assert packets._WIRE_HEADER_BYTES == (
+            calibration.ETH_HDR_BYTES + calibration.IPV4_HDR_BYTES
+            + calibration.UDP_HDR_BYTES + packets.BASE_HEADER_BYTES)
+
+    def test_hoisted_path_not_slower_than_reimporting(self):
+        import time
+
+        def reimporting(operation):
+            # The shape of the old hot path: import + sum per call.
+            from repro import calibration
+
+            return (calibration.ETH_HDR_BYTES
+                    + calibration.IPV4_HDR_BYTES
+                    + calibration.UDP_HDR_BYTES
+                    + packets.BASE_HEADER_BYTES
+                    + len(operation.pack()))
+
+        op = KeyWrite(key=b"key!", data=b"\x00" * 16)
+        assert packets.report_wire_bytes(op) == reimporting(op)
+        calls = 2000
+        best = {"hoisted": float("inf"), "reimport": float("inf")}
+        for _ in range(5):            # best-of-5 to shrug off CI jitter
+            start = time.perf_counter()
+            for _ in range(calls):
+                packets.report_wire_bytes(op)
+            best["hoisted"] = min(best["hoisted"],
+                                  time.perf_counter() - start)
+            start = time.perf_counter()
+            for _ in range(calls):
+                reimporting(op)
+            best["reimport"] = min(best["reimport"],
+                                   time.perf_counter() - start)
+        # Generous bound: the hoisted path must at minimum not regress
+        # back to per-call import cost.
+        assert best["hoisted"] <= best["reimport"] * 1.5

@@ -285,3 +285,135 @@ def test_pool_shutdown_is_idempotent():
     pool.shutdown()
     for process in pool.processes:
         assert not process.is_alive()
+
+
+# ----------------------------------------------------------------------
+# Resource-tracker hygiene and blocked-wait teardown
+# ----------------------------------------------------------------------
+
+
+class _FakeSegment:
+    def __init__(self, name):
+        self.name = name
+
+
+class TestUntrack:
+    """``_untrack`` must speak the tracker's name dialect (bpo-39959)."""
+
+    def test_unregisters_platform_name_under_spawn(self, monkeypatch):
+        from multiprocessing import resource_tracker
+
+        from repro.runtime import shm as shm_mod
+
+        calls = []
+        monkeypatch.setattr(shm_mod.multiprocessing, "get_start_method",
+                            lambda allow_none=True: "spawn")
+        monkeypatch.setattr(resource_tracker, "unregister",
+                            lambda name, rtype: calls.append((name, rtype)))
+        shm_mod._untrack(_FakeSegment("psm_fake"))
+        # The public ``name`` property strips the shm_open() slash; the
+        # tracker knows the slashed form, so _untrack must restore it.
+        assert calls == [("/psm_fake", "shared_memory")]
+
+    def test_slashed_name_is_not_double_prefixed(self, monkeypatch):
+        from multiprocessing import resource_tracker
+
+        from repro.runtime import shm as shm_mod
+
+        calls = []
+        monkeypatch.setattr(shm_mod.multiprocessing, "get_start_method",
+                            lambda allow_none=True: "spawn")
+        monkeypatch.setattr(resource_tracker, "unregister",
+                            lambda name, rtype: calls.append((name, rtype)))
+        shm_mod._untrack(_FakeSegment("/psm_fake"))
+        assert calls == [("/psm_fake", "shared_memory")]
+
+    def test_fork_child_never_strips_owner_registration(self, monkeypatch):
+        from multiprocessing import resource_tracker
+
+        from repro.runtime import shm as shm_mod
+
+        calls = []
+        monkeypatch.setattr(shm_mod.multiprocessing, "get_start_method",
+                            lambda allow_none=True: "fork")
+        monkeypatch.setattr(resource_tracker, "unregister",
+                            lambda name, rtype: calls.append((name, rtype)))
+        # Under fork the child shares the owner's tracker: unregistering
+        # the duplicate would strip the owner's entry, so it must no-op.
+        shm_mod._untrack(_FakeSegment("psm_fake"))
+        assert calls == []
+
+    def test_unresolved_start_method_resolves_to_platform_default(
+            self, monkeypatch):
+        from multiprocessing import resource_tracker
+
+        from repro.runtime import shm as shm_mod
+
+        calls = []
+
+        def get_start_method(allow_none=False):
+            # A process that never touched multiprocessing contexts has
+            # no resolved method; only resolving (allow_none=False)
+            # reveals the platform default, which on POSIX is fork.
+            return None if allow_none else "fork"
+
+        monkeypatch.setattr(shm_mod.multiprocessing, "get_start_method",
+                            get_start_method)
+        monkeypatch.setattr(resource_tracker, "unregister",
+                            lambda name, rtype: calls.append((name, rtype)))
+        shm_mod._untrack(_FakeSegment("psm_fake"))
+        assert calls == []
+
+
+class TestAcquireTeardown:
+    """close()/abort() landing during a dead-peer wait must win."""
+
+    def test_close_during_dead_peer_wait_raises_closed(self):
+        from repro.runtime.shm import QueueClosed
+
+        q = _queue(capacity=1, name="teardown-close")
+        try:
+            q.put(0, [b"x"])              # consume the only credit
+
+            def liveness():
+                q.close()                 # teardown lands while we spin
+                return False              # ...and the peer looks dead
+
+            with pytest.raises(QueueClosed):
+                q.put(0, [b"y"], liveness=liveness)
+        finally:
+            q.unlink()
+
+    def test_abort_during_dead_peer_wait_raises_aborted(self):
+        q = _queue(capacity=1, name="teardown-abort")
+        try:
+            q.put(0, [b"x"])
+
+            def liveness():
+                q.abort()
+                return False
+
+            with pytest.raises(QueueAborted):
+                q.put(0, [b"y"], liveness=liveness)
+        finally:
+            q.unlink()
+
+    def test_dead_peer_without_teardown_still_raises(self):
+        from repro.runtime.shm import RingPeerDead
+
+        q = _queue(capacity=1, name="teardown-dead")
+        try:
+            q.put(0, [b"x"])
+            with pytest.raises(RingPeerDead):
+                q.put(0, [b"y"], liveness=lambda: False)
+        finally:
+            q.abort()
+            q.unlink()
+
+
+def test_stall_clock_is_shared_across_runtime_modules():
+    """soak elapsed time and queue stall accounting use one clock."""
+    from repro.runtime import queues, shm, soak
+
+    assert soak._clock is queues._clock
+    assert shm._clock is queues._clock

@@ -1,0 +1,42 @@
+"""``repro serve`` / ``repro deploy`` end to end through the real CLI."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+
+def test_serve_smoke_writes_history_and_document(tmp_path, capsys):
+    history = tmp_path / "history.jsonl"
+    out = tmp_path / "serve.json"
+    assert main(["serve", "--smoke", "--reports", "200",
+                 "--drop", "0.02", "--reorder", "0.02",
+                 "--history", str(history), "--out", str(out)]) == 0
+    rendered = capsys.readouterr().out
+    assert "PASS" in rendered
+    document = json.loads(out.read_text())
+    assert document["schema"] == "repro-serve/1"
+    assert document["pass"] is True
+    assert document["config"]["smoke"] is True
+    assert document["config"]["reports"] == 200
+    records = [json.loads(line) for line in
+               history.read_text().splitlines()]
+    assert [r["schema"] for r in records] == ["repro-serve/1"]
+
+
+def test_deploy_skips_reference_pass(tmp_path):
+    out = tmp_path / "deploy.json"
+    assert main(["deploy", "--smoke", "--reports", "200",
+                 "--collectors", "1", "--out", str(out)]) == 0
+    document = json.loads(out.read_text())
+    assert document["reference"] is None
+    assert document["socket"]["reports_per_sec"] > 0
+
+
+def test_smoke_caps_reports():
+    from repro.transport.cli import _SMOKE_REPORTS, _spec
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(["deploy", "--smoke"])
+    assert _spec(args).reports == _SMOKE_REPORTS

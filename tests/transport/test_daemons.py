@@ -1,0 +1,157 @@
+"""Daemon mains driven in-process: command loops, segment hygiene.
+
+The lane tests exercise the daemons as real forked processes; these
+drive the same main functions on threads so their command handling and
+teardown paths are directly observable (and measurable by coverage).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro import obs
+from repro.core import packets
+from repro.transport.daemons import (
+    collector_daemon_main,
+    provision_collector,
+    segment_plan,
+    translator_daemon_main,
+)
+from repro.transport.envelope import (
+    KIND_ACK,
+    unwrap,
+    wrap,
+    wrap_end,
+)
+
+
+@pytest.fixture()
+def fresh_registry():
+    previous = obs.set_registry(obs.Registry())
+    yield
+    obs.set_registry(previous)
+
+
+@pytest.fixture()
+def segments():
+    from multiprocessing import shared_memory
+
+    plan = segment_plan(0)
+    shms = [shared_memory.SharedMemory(create=True, size=max(1, length))
+            for _store, length in plan]
+    yield [shm.name for shm in shms]
+    for shm in shms:
+        shm.close()
+        shm.unlink()
+
+
+class TestSegmentPlan:
+    def test_plan_covers_all_stores(self):
+        assert [store for store, _ in segment_plan(0)] == [
+            "keywrite", "keyincrement", "postcarding", "append"]
+        assert [store for store, _ in segment_plan(64)][-1] == "sketch"
+
+    def test_plan_lengths_match_provisioned_regions(self, fresh_registry):
+        collector = provision_collector("plan-check", sketch_width=64)
+        regions = list(collector.nic.pd)
+        planned = [length for _store, length in segment_plan(64)]
+        assert sorted(r.length for r in regions) == sorted(planned)
+
+    def test_buffer_length_mismatch_rejected(self, fresh_registry):
+        buffers = [bytearray(8)] * len(segment_plan(0))
+        with pytest.raises(ValueError, match="size mismatch"):
+            provision_collector("bad-buffers", buffers=buffers)
+
+
+class TestCollectorDaemonMain:
+    def test_command_loop(self, fresh_registry, segments):
+        parent_conn, child_conn = multiprocessing.Pipe()
+        thread = threading.Thread(
+            target=collector_daemon_main, args=(0, 0, segments, child_conn),
+            daemon=True)
+        thread.start()
+        try:
+            assert parent_conn.recv() == ("ready", 0)
+            parent_conn.send(("digest", None))
+            tag, digest = parent_conn.recv()
+            assert tag == "digest"
+            assert digest.startswith("sha256:")
+            parent_conn.send(("query_value", b"\x00\x00\x00\x01"))
+            tag, result = parent_conn.recv()
+            assert tag == "value"
+            assert result.value is None          # nothing stored yet
+            parent_conn.send(("query_counter", b"\x00\x00\x00\x01"))
+            tag, counter = parent_conn.recv()
+            assert (tag, counter) == ("counter", 0)
+            parent_conn.send(("nonsense", None))
+            tag, message = parent_conn.recv()
+            assert tag == "error"
+            parent_conn.send(("stop", None))
+            assert parent_conn.recv() == ("stopped", 0)
+        finally:
+            thread.join(timeout=10)
+        assert not thread.is_alive()
+
+    def test_eof_terminates_loop(self, fresh_registry, segments):
+        parent_conn, child_conn = multiprocessing.Pipe()
+        thread = threading.Thread(
+            target=collector_daemon_main, args=(0, 0, segments, child_conn),
+            daemon=True)
+        thread.start()
+        assert parent_conn.recv() == ("ready", 0)
+        parent_conn.close()
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+
+
+class TestTranslatorDaemonMain:
+    def test_receive_translate_drain_stop(self, fresh_registry, segments):
+        ctrl_sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        ctrl_sock.bind(("127.0.0.1", 0))
+        ctrl_sock.settimeout(5.0)
+        parent_conn, child_conn = multiprocessing.Pipe()
+        thread = threading.Thread(
+            target=translator_daemon_main,
+            args=([segments], 0, False, 16,
+                  ctrl_sock.getsockname(), child_conn),
+            daemon=True)
+        thread.start()
+        try:
+            tag, port = parent_conn.recv()
+            assert tag == "ready"
+            data_sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+            n = 40
+            for i in range(n):
+                raw = packets.make_report(
+                    packets.KeyWrite(key=struct.pack(">I", i),
+                                     data=struct.pack(">QQ", i, i)),
+                    reporter_id=1)
+                data_sock.sendto(wrap(i, raw), ("127.0.0.1", port))
+            data_sock.sendto(b"xx", ("127.0.0.1", port))   # malformed
+            data_sock.sendto(wrap_end(n, n), ("127.0.0.1", port))
+            tag, stats = parent_conn.recv()
+            assert tag == "drained"
+            assert stats["reports"] == n
+            assert stats["expected_reports"] == n
+            assert stats["malformed"] == 1
+            assert stats["rdma_messages"] > 0
+            # The drain acked cumulative delivery on the control socket.
+            acked = 0
+            while acked <= n:
+                _seq, kind, payload = unwrap(ctrl_sock.recv(65535))
+                if kind == KIND_ACK:
+                    acked = struct.unpack(">Q", payload)[0]
+            parent_conn.send(("stop", None))
+            tag, final_stats = parent_conn.recv()
+            assert tag == "stopped"
+            assert final_stats["delivered"] == n + 1   # reports + END
+        finally:
+            thread.join(timeout=10)
+            ctrl_sock.close()
+            data_sock.close()
+        assert not thread.is_alive()

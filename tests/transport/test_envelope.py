@@ -1,0 +1,110 @@
+"""Lane envelope codec and the in-order reassembler."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.transport.envelope import (
+    KIND_ACK,
+    KIND_CTRL,
+    KIND_END,
+    KIND_REPORT,
+    Reassembler,
+    ack_delivered,
+    end_total,
+    unwrap,
+    wrap,
+    wrap_ack,
+    wrap_end,
+)
+
+
+class TestEnvelopeCodec:
+    def test_report_roundtrip(self):
+        seq, kind, payload = unwrap(wrap(42, b"payload"))
+        assert (seq, kind, payload) == (42, KIND_REPORT, b"payload")
+
+    def test_explicit_kind_roundtrip(self):
+        _, kind, payload = unwrap(wrap(0, b"ctrl", KIND_CTRL))
+        assert kind == KIND_CTRL
+        assert payload == b"ctrl"
+
+    def test_end_carries_total(self):
+        seq, kind, payload = unwrap(wrap_end(7, 1234))
+        assert (seq, kind) == (7, KIND_END)
+        assert end_total(payload) == 1234
+
+    def test_ack_carries_delivered(self):
+        _, kind, payload = unwrap(wrap_ack(3, 999))
+        assert kind == KIND_ACK
+        assert ack_delivered(payload) == 999
+
+    def test_short_datagram_rejected(self):
+        with pytest.raises(ValueError):
+            unwrap(b"\x00" * 8)
+
+    def test_truncated_end_payload_rejected(self):
+        with pytest.raises(ValueError):
+            end_total(b"\x00\x01")
+        with pytest.raises(ValueError):
+            ack_delivered(b"")
+
+
+class TestReassembler:
+    def test_in_order_passthrough(self):
+        r = Reassembler()
+        out = []
+        for i in range(10):
+            out.extend(r.push(wrap(i, b"p%d" % i)))
+        assert [p for _k, p in out] == [b"p%d" % i for i in range(10)]
+        assert r.delivered == 10
+        assert r.waiting == 0
+
+    def test_restores_order_under_permutation(self):
+        n = 200
+        datagrams = [wrap(i, b"p%03d" % i) for i in range(n)]
+        rng = random.Random(13)
+        # Local shuffles, as a kernel might produce.
+        for i in range(0, n - 4, 4):
+            window = datagrams[i:i + 4]
+            rng.shuffle(window)
+            datagrams[i:i + 4] = window
+        r = Reassembler()
+        out = []
+        for d in datagrams:
+            out.extend(r.push(d))
+        assert [p for _k, p in out] == [b"p%03d" % i for i in range(n)]
+        assert r.waiting == 0
+
+    def test_duplicates_counted_and_discarded(self):
+        r = Reassembler()
+        r.push(wrap(0, b"a"))
+        r.push(wrap(0, b"a"))              # already delivered
+        r.push(wrap(2, b"c"))
+        r.push(wrap(2, b"c"))              # already pending
+        assert r.duplicates == 2
+        assert r.delivered == 1
+
+    def test_malformed_counted_and_discarded(self):
+        r = Reassembler()
+        assert r.push(b"short") == []
+        assert r.malformed == 1
+        assert r.push(wrap(0, b"fine"))    # stream unaffected
+
+    def test_waiting_reflects_gap(self):
+        r = Reassembler()
+        r.push(wrap(1, b"b"))
+        r.push(wrap(2, b"c"))
+        assert r.waiting == 2
+        out = r.push(wrap(0, b"a"))
+        assert [p for _k, p in out] == [b"a", b"b", b"c"]
+        assert r.waiting == 0
+        assert r.delivered == 3
+
+    def test_kinds_survive_reassembly(self):
+        r = Reassembler()
+        r.push(wrap(0, b"r"))
+        out = r.push(wrap_end(1, 1))
+        assert out[-1][0] == KIND_END

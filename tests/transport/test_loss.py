@@ -1,0 +1,89 @@
+"""The seeded loss shim: deterministic, single-use, netem-flavoured."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.transport.loss import LossShim, LossSpec
+
+
+def _datagrams(n):
+    return [b"d%04d" % i for i in range(n)]
+
+
+class TestLossSpec:
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            LossSpec(drop_rate=1.0)
+        with pytest.raises(ValueError):
+            LossSpec(reorder_rate=-0.1)
+        with pytest.raises(ValueError):
+            LossSpec(reorder_span=0)
+
+    def test_shim_builds_fresh_instances(self):
+        spec = LossSpec(seed=3, drop_rate=0.1)
+        assert spec.shim() is not spec.shim()
+
+
+class TestLossShim:
+    def test_zero_rates_are_identity(self):
+        shim = LossSpec().shim()
+        data = _datagrams(50)
+        assert shim.apply(data) == data
+        assert shim.dropped == 0
+        assert shim.reordered == 0
+        assert shim.passed == 50
+
+    def test_same_spec_same_schedule(self):
+        spec = LossSpec(seed=9, drop_rate=0.2, reorder_rate=0.2)
+        data = _datagrams(500)
+        assert spec.shim().apply(data) == spec.shim().apply(data)
+
+    def test_different_seed_different_schedule(self):
+        data = _datagrams(500)
+        a = LossSpec(seed=1, drop_rate=0.2).shim().apply(data)
+        b = LossSpec(seed=2, drop_rate=0.2).shim().apply(data)
+        assert a != b
+
+    def test_drop_only_preserves_order(self):
+        spec = LossSpec(seed=4, drop_rate=0.3)
+        shim = spec.shim()
+        out = shim.apply(_datagrams(300))
+        assert out == sorted(out)          # zero-padded names sort
+        assert shim.dropped + shim.passed == 300
+        assert shim.dropped > 0
+
+    def test_reorder_emits_every_survivor(self):
+        spec = LossSpec(seed=5, reorder_rate=0.3, reorder_span=4)
+        shim = spec.shim()
+        data = _datagrams(300)
+        out = shim.apply(data)
+        assert sorted(out) == data         # nothing lost, order shuffled
+        assert out != data
+        assert shim.reordered > 0
+
+    def test_reorder_span_bounds_displacement(self):
+        spec = LossSpec(seed=6, reorder_rate=0.5, reorder_span=3)
+        out = spec.shim().apply(_datagrams(200))
+        for pos, datagram in enumerate(out):
+            original = int(datagram[1:])
+            assert abs(pos - original) <= 3
+
+    def test_flush_drains_held_datagrams(self):
+        spec = LossSpec(seed=7, reorder_rate=0.9, reorder_span=10)
+        shim = spec.shim()
+        emitted = []
+        for d in _datagrams(20):
+            emitted.extend(shim.step(d))
+        emitted.extend(shim.flush())
+        assert sorted(emitted) == _datagrams(20)
+
+    def test_counters_partition_the_stream(self):
+        spec = LossSpec(seed=8, drop_rate=0.15, reorder_rate=0.25)
+        shim = spec.shim()
+        out = shim.apply(_datagrams(1000))
+        assert shim.dropped + shim.reordered + shim.passed == 1000
+        assert len(out) == 1000 - shim.dropped
+
+    def test_shim_type(self):
+        assert isinstance(LossSpec().shim(), LossShim)

@@ -1,0 +1,228 @@
+"""The deployment lane over real UDP and real processes.
+
+The heart of the suite is the differential gate: socket-lane store
+digests must equal the in-process lane's under the same workload seed
+and the same loss plan.  Around it: daemon-crash containment (clean
+error, no leaked ``/dev/shm`` segments), codec fuzz (garbage datagrams
+must not kill the translator daemon), and a NACK settle round proving
+the control channel drives real retransmissions end to end.
+"""
+
+from __future__ import annotations
+
+import multiprocessing.shared_memory as shared_memory
+import struct
+
+import pytest
+
+from repro.core.cluster import ClusterMap
+from repro.transport.envelope import wrap
+from repro.transport.loss import LossSpec
+from repro.transport.serve import (
+    ServeError,
+    ServeSpec,
+    SocketLane,
+    encode_workload,
+    run_reference,
+    run_serve,
+)
+
+REPORTS = 600
+BATCH = 32
+
+
+def _spec(primitive="key_write", collectors=2, loss=None, reports=REPORTS):
+    return ServeSpec(primitive=primitive, reports=reports,
+                     collectors=collectors, batch_size=BATCH,
+                     loss=loss or LossSpec())
+
+
+# ----------------------------------------------------------------------
+# Differential gate
+# ----------------------------------------------------------------------
+
+
+class TestDifferentialGate:
+    @pytest.mark.parametrize("primitive", ["key_write", "postcarding",
+                                           "sketch_merge"])
+    def test_lossless_digests_match(self, primitive):
+        doc = run_serve(_spec(primitive=primitive), date="test")
+        assert doc["pass"], doc["gates"]
+        assert (doc["socket"]["store_digests"]
+                == doc["reference"]["store_digests"])
+
+    def test_seeded_loss_and_reorder_digests_match(self):
+        loss = LossSpec(seed=21, drop_rate=0.08, reorder_rate=0.08,
+                        reorder_span=5)
+        doc = run_serve(_spec(loss=loss), date="test")
+        assert doc["pass"], doc["gates"]
+        assert doc["socket"]["shim"]["dropped"] > 0
+        assert doc["socket"]["shim"]["reordered"] > 0
+
+    def test_single_collector_with_loss(self):
+        loss = LossSpec(seed=3, drop_rate=0.05)
+        doc = run_serve(_spec(primitive="append", collectors=1,
+                              loss=loss), date="test")
+        assert doc["pass"], doc["gates"]
+
+    def test_delivery_conservation_recorded(self):
+        doc = run_serve(_spec(), date="test")
+        socket_stats = doc["socket"]["translator"]
+        assert socket_stats["reports"] == doc["socket"]["reports_sent"]
+        assert socket_stats["malformed"] == 0
+        assert socket_stats["waiting"] == 0
+
+    def test_document_shape(self):
+        doc = run_serve(_spec(reports=200), date="test")
+        assert doc["schema"] == "repro-serve/1"
+        assert doc["config"]["primitive"] == "key_write"
+        assert doc["socket"]["reports_per_sec"] > 0
+        assert len(doc["socket"]["store_digests"]) == 2
+
+
+# ----------------------------------------------------------------------
+# Crash containment
+# ----------------------------------------------------------------------
+
+
+class TestCrashContainment:
+    def test_dead_collector_daemon_is_a_clean_error(self):
+        spec = _spec(reports=200)
+        raws = encode_workload(spec)
+        with SocketLane(spec) as lane:
+            names = [shm.name for shm in lane._segments]
+            lane.send(raws[:50])
+            victim = lane._collector_procs[0]
+            victim.terminate()
+            victim.join(timeout=5)
+            with pytest.raises(ServeError, match="died"):
+                lane.drain()
+        # __exit__ must still unlink every segment the lane created.
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_dead_translator_daemon_is_a_clean_error(self):
+        spec = _spec(reports=200)
+        with SocketLane(spec) as lane:
+            names = [shm.name for shm in lane._segments]
+            lane._translator_proc.terminate()
+            lane._translator_proc.join(timeout=5)
+            with pytest.raises(ServeError, match="died"):
+                lane.drain()
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+    def test_clean_run_leaves_no_segments(self):
+        spec = _spec(reports=100)
+        raws = encode_workload(spec)
+        with SocketLane(spec) as lane:
+            names = [shm.name for shm in lane._segments]
+            lane.send(raws)
+            lane.reporter.end_stream()
+            lane.drain()
+        for name in names:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+
+
+# ----------------------------------------------------------------------
+# Codec fuzz at the socket boundary
+# ----------------------------------------------------------------------
+
+
+class TestDatagramFuzz:
+    def test_garbage_datagrams_do_not_kill_the_daemon(self):
+        spec = _spec(reports=300)
+        raws = encode_workload(spec)
+        garbage = 0
+        with SocketLane(spec) as lane:
+            for i, raw in enumerate(raws):
+                lane.reporter.transmit(raw)
+                if i % 23 == 0:
+                    # Truncated: shorter than the lane envelope.
+                    lane.reporter.send_raw_datagram(b"\x00\x01")
+                    garbage += 1
+                if i % 31 == 0:
+                    # Valid envelope, stale seq: counted as duplicate.
+                    lane.reporter.send_raw_datagram(wrap(0, b"\xff" * 12))
+                    garbage += 1
+            # Garbage *payloads* on live lane seqs: the envelope
+            # delivers them, the DTA decoder must reject them.
+            for junk in (b"", b"\xff", b"\x01\x63\x00\x00", b"\x00" * 64):
+                lane.reporter._send(junk)
+                garbage += 1
+            lane.reporter.end_stream()
+            stats = lane.drain()
+            digests = lane.digests()
+        assert stats["reports"] == len(raws)
+        assert stats["malformed"] >= 4        # the four junk payloads
+        assert stats["duplicates"] >= 1
+        # Garbage must not have perturbed a single store byte.
+        assert digests == run_reference(spec, raws)
+
+    def test_truncated_dta_reports_counted_not_fatal(self):
+        spec = _spec(reports=200)
+        raws = encode_workload(spec)
+        with SocketLane(spec) as lane:
+            for i, raw in enumerate(raws):
+                lane.reporter.transmit(raw)
+                if i % 17 == 0:
+                    lane.reporter._send(raw[:5])  # truncated DTA report
+            lane.reporter.end_stream()
+            stats = lane.drain()
+            digests = lane.digests()
+        assert stats["malformed"] > 0
+        assert digests == run_reference(spec, raws)
+
+
+# ----------------------------------------------------------------------
+# Control channel: NACK -> retransmit -> store repair
+# ----------------------------------------------------------------------
+
+
+class TestNackSettle:
+    def test_dropped_essentials_are_repaired_by_nacks(self):
+        loss = LossSpec(seed=5, drop_rate=0.12)
+        spec = _spec(loss=loss, reports=300)
+        n = 300
+        keys = [struct.pack(">I", i) for i in range(n)]
+        datas = [struct.pack(">QQ", i, i ^ 0xABCD) for i in range(n)]
+
+        # Twin shim: predict exactly which transmissions will drop.
+        twin = loss.shim()
+        survived = set()
+        for i in range(n):
+            for marker in twin.step(struct.pack(">I", i)):
+                survived.add(struct.unpack(">I", marker)[0])
+        for marker in twin.flush():
+            survived.add(struct.unpack(">I", marker)[0])
+        dropped = [i for i in range(n) if i not in survived]
+        assert dropped, "seed must actually drop something"
+        # Gap detection is per shard seq stream: a drop is repairable
+        # once a later report on the same shard arrives and exposes it.
+        cluster = ClusterMap(collectors=spec.collectors)
+        shard_of = {i: cluster.for_key(keys[i]) for i in range(n)}
+        repairable = [i for i in dropped
+                      if any(j > i and shard_of[j] == shard_of[i]
+                             for j in survived)]
+        assert repairable
+
+        with SocketLane(spec) as lane:
+            rep = lane.reporter.cluster
+            for key, data in zip(keys, datas):
+                rep.key_write(key, data, essential=True)
+            lane.reporter.end_stream()
+            lane.drain()
+            retransmitted = lane.reporter.settle(rounds=5)
+            lane.reporter.end_stream()
+            lane.drain()
+
+            assert retransmitted > 0
+            assert lane.reporter.stats.nacks_received > 0
+
+            for i in repairable:
+                result = lane.query(shard_of[i], "query_value", keys[i])
+                assert result.value == datas[i], \
+                    f"essential report {i} not repaired"
