@@ -1,0 +1,264 @@
+"""Vectorized envelope-frame and DTA-report codecs.
+
+The deployment lane's translator daemon receives coalesced
+``KIND_FRAME`` datagrams (see :mod:`repro.transport.envelope`): one
+lane sequence number covering a ``u16`` count, a ``u16`` length table,
+and the concatenated DTA reports.  The scalar path would pay a
+``struct.unpack`` + frozen-dataclass construction per report —
+measured at PR 8's 22.9k reports/s, that per-report Python work *is*
+the socket lane's bottleneck.  This module decodes a whole frame as
+numpy arrays instead:
+
+* :func:`split_frame` — the frame layout (count, length table,
+  offsets) in two ``frombuffer`` calls and a ``cumsum``;
+* :func:`parse_headers` — every report's DTA base header fields as
+  parallel arrays, with a validity mask that reproduces exactly the
+  scalar decoder's accept/reject set;
+* per-primitive ``decode_*`` functions — subheader fields and body
+  slices as columns, each with its own validity mask matching the
+  ``unpack`` + ``__post_init__`` checks of
+  :mod:`repro.core.packets` byte for byte;
+* :func:`shards_for_keys` — the :class:`~repro.core.cluster.ClusterMap`
+  key hash (``crc32(b"CL" + key)``) as a resumed table-driven CRC over
+  the packed key matrix, bit-exact with ``zlib.crc32``.
+
+Bit-exactness contract: for any frame payload — including truncated
+tables, junk bodies, and out-of-range field values — the columnar
+assembler built on these kernels must route, batch, and count
+(malformed / per-report / batched) identically to feeding each
+sub-frame through the scalar ``packets.decode_report`` path.
+``tests/kernels/test_wire.py`` enforces this differentially under the
+datagram fuzz corpus.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from repro.core import packets
+from repro.kernels.crc import _CRC32_TABLE
+
+BASE = packets.BASE_HEADER_BYTES          # 8: version/prim, flags, rid, seq
+
+#: Primitive codes with a batched decode lane (plain telemetry).
+_BATCHED_PRIMS = frozenset(int(p) for p in (
+    packets.DtaPrimitive.KEY_WRITE,
+    packets.DtaPrimitive.KEY_INCREMENT,
+    packets.DtaPrimitive.POSTCARDING,
+    packets.DtaPrimitive.APPEND,
+    packets.DtaPrimitive.SKETCH_MERGE,
+))
+
+#: Flags that force a report onto the scalar per-report lane.
+PER_REPORT_MASK = int(packets.DtaFlags.ESSENTIAL
+                      | packets.DtaFlags.IMMEDIATE
+                      | packets.DtaFlags.RETRANSMIT)
+
+#: CRC-32 register state after the ClusterMap routing prefix b"CL",
+#: so per-key routing resumes mid-stream instead of re-walking the
+#: prefix (standard CRC continuation identity; see kernels.crc).
+_ROUTE_STATE = np.uint32(zlib.crc32(b"\x43\x4C") ^ 0xFFFFFFFF)
+
+
+def split_frame(payload: bytes):
+    """Decode a frame payload's report boundaries.
+
+    Returns ``(buf, offsets, lengths)`` — ``buf`` a uint8 view of the
+    whole payload, ``offsets``/``lengths`` int64 arrays locating each
+    report — or None when the frame structure itself is truncated
+    (count or length table incomplete, body shorter than the table
+    claims), which the caller counts as one malformed unit exactly
+    like the scalar :func:`repro.transport.envelope.unwrap_frame`.
+    """
+    total = len(payload)
+    if total < 2:
+        return None
+    count = (payload[0] << 8) | payload[1]
+    table_end = 2 + 2 * count
+    if total < table_end:
+        return None
+    lengths = np.frombuffer(payload, dtype=">u2", count=count,
+                            offset=2).astype(np.int64)
+    offsets = np.empty(count + 1, dtype=np.int64)
+    offsets[0] = table_end
+    np.cumsum(lengths, out=offsets[1:])
+    offsets[1:] += table_end
+    if count and int(offsets[-1]) > total:
+        return None
+    buf = np.frombuffer(payload, dtype=np.uint8)
+    return buf, offsets[:count], lengths
+
+
+def _gather(buf: np.ndarray, idx: np.ndarray) -> np.ndarray:
+    """Masked byte gather: out-of-range rows read byte 0 (callers mask
+    those rows out via validity, this just keeps the gather in bounds)."""
+    return buf[np.minimum(idx, len(buf) - 1)]
+
+
+def _be(buf: np.ndarray, off: np.ndarray, width: int) -> np.ndarray:
+    """Big-endian unsigned gather of ``width`` bytes at each offset."""
+    out = _gather(buf, off).astype(np.uint64)
+    for k in range(1, width):
+        out = (out << np.uint64(8)) | _gather(buf, off + k)
+    return out
+
+
+def parse_headers(buf: np.ndarray, offsets: np.ndarray,
+                  lengths: np.ndarray):
+    """Every report's DTA base header as parallel arrays.
+
+    Returns ``(prims, flags, rids, valid)``: primitive codes (int64),
+    flag bytes, reporter ids, and a mask that is True exactly when the
+    scalar ``DtaHeader.unpack`` would succeed *and* the primitive is a
+    telemetry primitive (NACK/CONGESTION and unknown codes are
+    invalid here — the report socket treats them as malformed).
+    """
+    ok = lengths >= BASE
+    off = np.where(ok, offsets, 0)
+    ver_prim = _gather(buf, off).astype(np.int64)
+    flags = _gather(buf, off + 1).astype(np.int64)
+    rids = _be(buf, off + 2, 2).astype(np.int64)
+    prims = ver_prim & 0xF
+    valid = (ok & (ver_prim >> 4 == packets.DTA_VERSION)
+             & np.isin(prims, tuple(_BATCHED_PRIMS)))
+    return prims, flags, rids, valid
+
+
+# ---------------------------------------------------------------------------
+# Per-primitive subheader decodes.  Each returns a dict of columns plus
+# a validity mask reproducing the scalar decoder's accept set; offsets
+# in the returned dict are absolute positions in ``buf``.
+# ---------------------------------------------------------------------------
+
+
+def decode_keywrite(buf, offsets, lengths):
+    """Key-Write columns: redundancy, key/data offsets + lengths."""
+    sub = offsets + BASE
+    red = _gather(buf, sub).astype(np.int64)
+    key_len = _gather(buf, sub + 1).astype(np.int64)
+    data_len = _be(buf, sub + 2, 2).astype(np.int64)
+    valid = ((lengths >= BASE + 4 + key_len + data_len)
+             & (key_len >= 1) & (key_len <= packets.MAX_KEY_BYTES)
+             & (data_len <= packets.MAX_DATA_BYTES)
+             & (red >= 1) & (red <= 16))
+    key_off = sub + 4
+    return {"redundancy": red, "key_off": key_off, "key_len": key_len,
+            "data_off": key_off + key_len, "data_len": data_len,
+            "valid": valid}
+
+
+def decode_keyincrement(buf, offsets, lengths):
+    """Key-Increment columns: redundancy, key span, int64 value."""
+    sub = offsets + BASE
+    red = _gather(buf, sub).astype(np.int64)
+    key_len = _gather(buf, sub + 1).astype(np.int64)
+    value = _be(buf, sub + 2, 8).astype(np.int64)     # two's complement
+    valid = ((lengths >= BASE + 10 + key_len)
+             & (key_len >= 1) & (key_len <= packets.MAX_KEY_BYTES)
+             & (red >= 1) & (red <= 16))
+    return {"redundancy": red, "key_off": sub + 10, "key_len": key_len,
+            "value": value, "valid": valid}
+
+
+def decode_postcard(buf, offsets, lengths):
+    """Postcarding columns: redundancy, key span, hop, path_len, value."""
+    sub = offsets + BASE
+    red = _gather(buf, sub).astype(np.int64)
+    key_len = _gather(buf, sub + 1).astype(np.int64)
+    hop = _gather(buf, sub + 2).astype(np.int64)
+    path_len = _gather(buf, sub + 3).astype(np.int64)
+    value = _be(buf, sub + 4, 4).astype(np.int64)
+    # Postcard.__post_init__ checks key and hop only; redundancy is
+    # accepted unchecked, and the mask must match that exactly.
+    valid = ((lengths >= BASE + 8 + key_len)
+             & (key_len >= 1) & (key_len <= packets.MAX_KEY_BYTES)
+             & (hop < 32))
+    return {"redundancy": red, "key_off": sub + 8, "key_len": key_len,
+            "hop": hop, "path_length": path_len, "value": value,
+            "valid": valid}
+
+
+def decode_append(buf, offsets, lengths):
+    """Append columns: list id, data span."""
+    sub = offsets + BASE
+    list_id = _be(buf, sub, 2).astype(np.int64)
+    data_len = _be(buf, sub + 2, 2).astype(np.int64)
+    valid = ((lengths >= BASE + 4 + data_len)
+             & (data_len >= 1) & (data_len <= packets.MAX_DATA_BYTES))
+    return {"list_id": list_id, "data_off": sub + 4, "data_len": data_len,
+            "valid": valid}
+
+
+def decode_sketch(buf, offsets, lengths):
+    """Sketch-Merge columns: sketch id, column index, counter span."""
+    sub = offsets + BASE
+    sketch_id = _be(buf, sub, 2).astype(np.int64)
+    column = _be(buf, sub + 2, 2).astype(np.int64)
+    depth = _gather(buf, sub + 4).astype(np.int64)
+    valid = (lengths >= BASE + 5 + 4 * depth) & (depth >= 1)
+    return {"sketch_id": sketch_id, "column": column, "depth": depth,
+            "counters_off": sub + 5, "valid": valid}
+
+
+def gather_counters(buf, counters_off, depth: int) -> np.ndarray:
+    """``(n, depth)`` uint32 counter matrix for a uniform-depth run."""
+    idx = counters_off[:, None] + 4 * np.arange(depth, dtype=np.int64)
+    out = _gather(buf, idx).astype(np.uint32) << np.uint32(24)
+    for k in range(1, 4):
+        out |= (_gather(buf, idx + k).astype(np.uint32)
+                << np.uint32(8 * (3 - k)))
+    return out
+
+
+def slice_column(payload: bytes, offsets, lengths) -> list:
+    """Materialise per-report byte strings from a span column.
+
+    One C-level slice per report — the only remaining per-report work
+    on the frame fast path (ReportBatch columns carry Python ``bytes``).
+    """
+    return [payload[a:b] for a, b in
+            zip(offsets.tolist(), (offsets + lengths).tolist())]
+
+
+def pack_column(buf, offsets, lengths):
+    """Zero-padded ``(n, maxlen)`` byte matrix of a span column.
+
+    The vectorized twin of :func:`repro.kernels.crc.pack_keys` applied
+    to in-frame spans: one fancy-index gather for uniform-length runs
+    (the hot case — fixed flow-key widths), masked for mixed lengths.
+    Returns ``(packed, lengths)`` ready for the hash kernels.
+    """
+    n = len(offsets)
+    maxlen = int(lengths.max()) if n else 0
+    if n == 0 or maxlen == 0:
+        return np.zeros((n, maxlen), dtype=np.uint8), lengths
+    cols = np.arange(maxlen, dtype=np.int64)
+    idx = offsets[:, None] + cols
+    packed = _gather(buf, idx)
+    if int(lengths.min()) != maxlen:
+        packed = np.where(cols < lengths[:, None], packed, 0)
+    return np.ascontiguousarray(packed), lengths
+
+
+def shards_for_keys(packed: np.ndarray, lengths: np.ndarray,
+                    collectors: int) -> np.ndarray:
+    """Vectorized :meth:`ClusterMap.for_key` over a packed key batch.
+
+    Resumes CRC-32 from the post-prefix register and table-steps the
+    key bytes, which is bit-exact with ``zlib.crc32(b"CL" + key)`` —
+    same polynomial, same table (see :mod:`repro.kernels.crc`).
+    """
+    n, maxlen = packed.shape
+    if collectors == 1 or n == 0:
+        return np.zeros(n, dtype=np.int64)
+    reg = np.full(n, _ROUTE_STATE, dtype=np.uint32)
+    uniform = int(lengths.min()) == maxlen
+    for j in range(maxlen):
+        byte = packed[:, j].astype(np.uint32)
+        step = (reg >> np.uint32(8)) ^ _CRC32_TABLE[(reg ^ byte)
+                                                    & np.uint32(0xFF)]
+        reg = step if uniform else np.where(j < lengths, step, reg)
+    crc = reg ^ np.uint32(0xFFFFFFFF)
+    return (crc % np.uint32(collectors)).astype(np.int64)

@@ -17,6 +17,21 @@ The translator daemon feeds it datagram payloads off the socket; the
 reference lane feeds it the same payload sequence in process.  Same
 bytes + same assembler + single-writer translators = same stores, by
 construction rather than by hoping two implementations agree.
+
+Two ingest paths share one pending-run state:
+
+* :meth:`feed` — the scalar reference: one ``KIND_REPORT`` payload
+  through ``packets.decode_report``.
+* :meth:`feed_frame` — the coalesced hot path: one ``KIND_FRAME``
+  payload decoded wholesale by :mod:`repro.kernels.wire` into column
+  arrays, with runs extended and flushed in slices instead of one
+  report at a time.  Feeding a frame is *defined* to behave exactly
+  like feeding its sub-frames through :meth:`feed` one by one — same
+  batches, same per-report diversions, same ``reports`` / ``malformed``
+  counts — except that a frame whose own structure (count, length
+  table, body) is truncated counts as a single malformed unit.  The
+  pending state is columnar (parallel lists per run) so both paths
+  produce literally the same :class:`ReportBatch` objects.
 """
 
 from __future__ import annotations
@@ -33,12 +48,32 @@ from repro.core.packets import (
     Postcard,
     SketchColumn,
 )
+from repro.kernels import HAVE_NUMPY, MIN_VECTOR_BATCH
+from repro.transport.envelope import unwrap_frame
+
+if HAVE_NUMPY:
+    import numpy as np
+
+    from repro.kernels import wire
 
 #: Flags that force a report through the per-report lane: essential
 #: reports feed the loss detector, immediates must convert their write,
 #: and retransmits must bypass loss detection.
 _PER_REPORT_FLAGS = (DtaFlags.ESSENTIAL | DtaFlags.IMMEDIATE
                      | DtaFlags.RETRANSMIT)
+
+#: Pending-run column order per primitive (the ReportBatch fields the
+#: run carries, in the order the scalar path appends them).
+_COLUMNS = {
+    DtaPrimitive.KEY_WRITE: ("keys", "datas"),
+    DtaPrimitive.KEY_INCREMENT: ("keys", "values"),
+    DtaPrimitive.POSTCARDING: ("keys", "hops", "values", "path_lengths"),
+    DtaPrimitive.APPEND: ("list_ids", "datas"),
+    DtaPrimitive.SKETCH_MERGE: ("columns", "counter_rows"),
+}
+
+_KEYED_PRIMS = (int(DtaPrimitive.KEY_WRITE), int(DtaPrimitive.KEY_INCREMENT),
+                int(DtaPrimitive.POSTCARDING))
 
 
 class ReportAssembler:
@@ -65,9 +100,11 @@ class ReportAssembler:
         self.malformed = 0
         self.batches = 0
         self.per_report = 0
-        # shard -> (run_key, [ops]) of not-yet-flushed plain reports
+        # shard -> (run_key, [column lists]) of not-yet-flushed reports
         self._pending: dict[int, tuple] = {}
 
+    # ------------------------------------------------------------------
+    # Scalar ingest (the reference semantics)
     # ------------------------------------------------------------------
 
     def feed(self, raw: bytes) -> None:
@@ -99,16 +136,85 @@ class ReportAssembler:
             return
 
         run_key = self._run_key(header, op)
-        pending = self._pending.get(shard)
-        if pending is not None and pending[0] != run_key:
-            self._flush_shard(shard)
-            pending = None
-        if pending is None:
-            pending = (run_key, [])
-            self._pending[shard] = pending
-        pending[1].append(op)
-        if len(pending[1]) >= self.batch_size:
-            self._flush_shard(shard)
+        if isinstance(op, (KeyWrite, KeyIncrement, Postcard)):
+            row = ((op.key, op.data) if isinstance(op, KeyWrite)
+                   else (op.key, op.value) if isinstance(op, KeyIncrement)
+                   else (op.key, op.hop, op.value, op.path_length))
+        elif isinstance(op, Append):
+            row = (op.list_id, op.data)
+        else:
+            row = (op.column, op.counters)
+        self._extend_run(shard, run_key, [[value] for value in row])
+
+    def feed_frame(self, payload: bytes) -> None:
+        """Consume one ``KIND_FRAME`` payload (many coalesced reports).
+
+        Decodes the whole frame through the vectorized wire kernels
+        when numpy is available and the frame is big enough to pay for
+        the array setup; otherwise falls back to the scalar splitter
+        plus :meth:`feed` per sub-frame.  A structurally truncated
+        frame counts as one malformed unit either way.
+        """
+        if HAVE_NUMPY:
+            parts = wire.split_frame(payload)
+            if parts is None:
+                self.malformed += 1
+                return
+            if len(parts[1]) >= MIN_VECTOR_BATCH:
+                self._feed_frame_vector(payload, *parts)
+                return
+            for off, length in zip(parts[1].tolist(), parts[2].tolist()):
+                self.feed(payload[off:off + length])
+            return
+        try:
+            raws = unwrap_frame(payload)
+        except ValueError:
+            self.malformed += 1
+            return
+        for raw in raws:
+            self.feed(raw)
+
+    def feed_frames(self, payloads) -> None:
+        """Consume many ``KIND_FRAME`` payloads in one vectorized pass.
+
+        Defined to behave exactly like :meth:`feed_frame` on each
+        payload in order — same counts, same batches, same per-report
+        diversions — but the sub-frames of *all* structurally valid
+        frames are concatenated into a single column decode, so the
+        fixed array-setup cost is paid once per receive burst instead
+        of once per datagram.  Sub-report arrival order is preserved:
+        frames are spliced in delivered order and row indices stay
+        ascending across the join.
+        """
+        if not HAVE_NUMPY:
+            for payload in payloads:
+                self.feed_frame(payload)
+            return
+        chunks = []
+        offs = []
+        lens = []
+        base = 0
+        for payload in payloads:
+            parts = wire.split_frame(payload)
+            if parts is None:
+                self.malformed += 1
+                continue
+            _buf, offsets, lengths = parts
+            chunks.append(payload)
+            offs.append(offsets + base)
+            lens.append(lengths)
+            base += len(payload)
+        if not chunks:
+            return
+        joined = chunks[0] if len(chunks) == 1 else b"".join(chunks)
+        offsets = offs[0] if len(offs) == 1 else np.concatenate(offs)
+        lengths = lens[0] if len(lens) == 1 else np.concatenate(lens)
+        if len(offsets) >= MIN_VECTOR_BATCH:
+            buf = np.frombuffer(joined, dtype=np.uint8)
+            self._feed_frame_vector(joined, buf, offsets, lengths)
+            return
+        for off, length in zip(offsets.tolist(), lengths.tolist()):
+            self.feed(joined[off:off + length])
 
     def finish(self) -> None:
         """End of stream: flush every pending run and append batch."""
@@ -117,6 +223,124 @@ class ReportAssembler:
         for translator in self.translators:
             translator.flush_appends()
 
+    # ------------------------------------------------------------------
+    # Columnar ingest internals
+    # ------------------------------------------------------------------
+
+    def _feed_frame_vector(self, payload, buf, offsets, lengths) -> None:
+        n = len(offsets)
+        prims, flags, rids, valid = wire.parse_headers(buf, offsets,
+                                                       lengths)
+        sub = {}
+        for prim in np.unique(prims[valid]).tolist():
+            decoder = _DECODERS[prim]
+            cols = decoder(buf, offsets, lengths)
+            sub[prim] = cols
+            mask = prims == prim
+            valid &= ~mask | cols["valid"]
+
+        self.malformed += int(n - int(valid.sum()))
+        self.reports += int(valid.sum())
+        if not valid.any():
+            return
+
+        # Routing and run identity, one column each.
+        collectors = self.cluster_map.collectors
+        shards = np.zeros(n, dtype=np.int64)
+        extras = np.zeros(n, dtype=np.int64)
+        key_off = np.zeros(n, dtype=np.int64)
+        key_len = np.zeros(n, dtype=np.int64)
+        keyed = np.zeros(n, dtype=bool)
+        for prim, cols in sub.items():
+            mask = (prims == prim) & valid
+            if prim in _KEYED_PRIMS:
+                keyed |= mask
+                key_off[mask] = cols["key_off"][mask]
+                key_len[mask] = cols["key_len"][mask]
+                extras[mask] = cols["redundancy"][mask]
+            elif prim == int(DtaPrimitive.APPEND):
+                shards[mask] = cols["list_id"][mask] % collectors
+            else:
+                shards[mask] = self.cluster_map.sketch_home
+                extras[mask] = cols["sketch_id"][mask]
+        if keyed.any():
+            rows = np.flatnonzero(keyed)
+            packed, lens = wire.pack_column(buf, key_off[rows],
+                                            key_len[rows])
+            shards[rows] = wire.shards_for_keys(packed, lens, collectors)
+
+        per_report = valid & ((flags & int(_PER_REPORT_FLAGS)) != 0)
+        rows = np.flatnonzero(valid)
+        for shard in np.unique(shards[rows]).tolist():
+            self._ingest_shard_rows(
+                shard, rows[shards[rows] == shard], payload,
+                buf, prims, rids, extras, per_report, offsets, lengths,
+                sub)
+
+    def _ingest_shard_rows(self, shard, rows, payload, buf, prims, rids,
+                           extras, per_report, offsets, lengths,
+                           sub) -> None:
+        """Replay one shard's valid rows: per-report diversions flush
+        and divert individually; plain runs extend in column slices.
+
+        Only rows routed to ``shard`` touch ``self._pending[shard]``,
+        so replaying shard by shard is observably identical to the
+        scalar interleaved order (per-shard arrival order preserved)."""
+        ident = np.stack((prims[rows], rids[rows], extras[rows],
+                          per_report[rows]), axis=1)
+        bounds = np.flatnonzero(np.any(ident[1:] != ident[:-1],
+                                       axis=1)) + 1
+        for seg in np.split(rows, bounds):
+            first = int(seg[0])
+            prim = int(prims[first])
+            if per_report[first]:
+                for row in seg.tolist():
+                    self._flush_shard(shard)
+                    self.per_report += 1
+                    off = int(offsets[row])
+                    raw = payload[off:off + int(lengths[row])]
+                    self.translators[shard].handle_report(raw)
+                continue
+            primitive = DtaPrimitive(prim)
+            rid = int(rids[first])
+            cols = sub[prim]
+            if prim in _KEYED_PRIMS:
+                run_key = (primitive, rid, int(extras[first]))
+                keys = wire.slice_column(payload, cols["key_off"][seg],
+                                         cols["key_len"][seg])
+                if primitive is DtaPrimitive.KEY_WRITE:
+                    new = [keys,
+                           wire.slice_column(payload, cols["data_off"][seg],
+                                             cols["data_len"][seg])]
+                elif primitive is DtaPrimitive.KEY_INCREMENT:
+                    new = [keys, cols["value"][seg].tolist()]
+                else:
+                    new = [keys, cols["hop"][seg].tolist(),
+                           cols["value"][seg].tolist(),
+                           cols["path_length"][seg].tolist()]
+            elif primitive is DtaPrimitive.APPEND:
+                run_key = (primitive, rid)
+                new = [cols["list_id"][seg].tolist(),
+                       wire.slice_column(payload, cols["data_off"][seg],
+                                         cols["data_len"][seg])]
+            else:
+                run_key = (primitive, rid, int(extras[first]))
+                depth = cols["depth"][seg]
+                if int(depth.min()) == int(depth.max()):
+                    matrix = wire.gather_counters(
+                        buf, cols["counters_off"][seg], int(depth[0]))
+                    counter_rows = [tuple(r) for r in matrix.tolist()]
+                else:   # mixed depths in one run: rare, decode per row
+                    counter_rows = [
+                        tuple(int(c) for c in wire.gather_counters(
+                            buf, cols["counters_off"][r:r + 1],
+                            int(cols["depth"][r]))[0].tolist())
+                        for r in seg.tolist()]
+                new = [cols["column"][seg].tolist(), counter_rows]
+            self._extend_run(shard, run_key, new)
+
+    # ------------------------------------------------------------------
+    # Shared pending-run state
     # ------------------------------------------------------------------
 
     @staticmethod
@@ -134,32 +358,67 @@ class ReportAssembler:
             return (header.primitive, header.reporter_id, op.sketch_id)
         return (header.primitive, header.reporter_id)
 
+    def _extend_run(self, shard: int, run_key: tuple, new_cols) -> None:
+        """Append column slices to a shard's run, flushing in exact
+        ``batch_size`` chunks as the scalar per-report path would."""
+        pending = self._pending.get(shard)
+        if pending is not None and pending[0] != run_key:
+            self._flush_shard(shard)
+            pending = None
+        if pending is None:
+            pending = (run_key, [[] for _ in new_cols])
+            self._pending[shard] = pending
+        cols = pending[1]
+        for col, new in zip(cols, new_cols):
+            col.extend(new)
+        size = self.batch_size
+        while len(cols[0]) >= size:
+            chunk = [col[:size] for col in cols]
+            for col in cols:
+                del col[:size]
+            self._emit(shard, run_key, chunk)
+        if not cols[0]:
+            self._pending.pop(shard, None)
+
     def _flush_shard(self, shard: int) -> None:
         pending = self._pending.pop(shard, None)
         if pending is None:
             return
-        (primitive, reporter_id, *rest), ops = pending
+        self._emit(shard, pending[0], pending[1])
+
+    def _emit(self, shard: int, run_key: tuple, cols) -> None:
+        """Build a :class:`ReportBatch` straight from run columns.
+
+        Every value already passed the wire validity checks (which
+        mirror the batch constructors'), so columns are assigned
+        directly instead of re-validated one report at a time.
+        """
+        (primitive, reporter_id, *rest) = run_key
+        batch = ReportBatch(primitive)
         if primitive is DtaPrimitive.KEY_WRITE:
-            batch = ReportBatch.key_writes(
-                [op.key for op in ops], [op.data for op in ops],
-                redundancy=rest[0])
+            batch.redundancy = rest[0]
+            batch.keys, batch.datas = cols
         elif primitive is DtaPrimitive.KEY_INCREMENT:
-            batch = ReportBatch.key_increments(
-                [op.key for op in ops], [op.value for op in ops],
-                redundancy=rest[0])
+            batch.redundancy = rest[0]
+            batch.keys, batch.values = cols
         elif primitive is DtaPrimitive.POSTCARDING:
-            batch = ReportBatch.postcards(
-                [op.key for op in ops], [op.hop for op in ops],
-                [op.value for op in ops],
-                path_lengths=[op.path_length for op in ops],
-                redundancy=rest[0])
+            batch.redundancy = rest[0]
+            batch.keys, batch.hops, batch.values, batch.path_lengths = cols
         elif primitive is DtaPrimitive.APPEND:
-            batch = ReportBatch.appends(
-                [op.list_id for op in ops], [op.data for op in ops])
+            batch.list_ids, batch.datas = cols
         else:
-            batch = ReportBatch.sketch_columns(
-                rest[0], [op.column for op in ops],
-                [op.counters for op in ops])
+            batch.sketch_id = rest[0]
+            batch.columns, batch.counter_rows = cols
         batch.reporter_id = reporter_id
         self.batches += 1
         self.translators[shard].process_batch(batch)
+
+
+if HAVE_NUMPY:
+    _DECODERS = {
+        int(DtaPrimitive.KEY_WRITE): wire.decode_keywrite,
+        int(DtaPrimitive.KEY_INCREMENT): wire.decode_keyincrement,
+        int(DtaPrimitive.POSTCARDING): wire.decode_postcard,
+        int(DtaPrimitive.APPEND): wire.decode_append,
+        int(DtaPrimitive.SKETCH_MERGE): wire.decode_sketch,
+    }

@@ -31,8 +31,8 @@ def _add_common(parser, default_reports: int) -> None:
                         help="reports to stream")
     parser.add_argument("--collectors", type=int, default=2,
                         help="collector daemons (default 2)")
-    parser.add_argument("--batch-size", type=int, default=64,
-                        help="assembler coalescing limit (default 64)")
+    parser.add_argument("--batch-size", type=int, default=256,
+                        help="assembler coalescing limit (default 256)")
     parser.add_argument("--seed", type=int, default=1,
                         help="workload seed (default 1)")
     parser.add_argument("--drop", type=float, default=0.0,
@@ -43,8 +43,21 @@ def _add_common(parser, default_reports: int) -> None:
                         help="max positions a datagram slips (default 3)")
     parser.add_argument("--loss-seed", type=int, default=7,
                         help="shim RNG seed (default 7)")
-    parser.add_argument("--vectorized", action="store_true",
-                        help="use the vectorized translator plan halves")
+    parser.add_argument("--translators", type=int, default=1,
+                        help="translator daemons; collector shard s "
+                             "rides lane s %% N (default 1)")
+    parser.add_argument("--frame-bytes", type=int, default=1400,
+                        help="datagram budget frames are packed "
+                             "against (default 1400)")
+    parser.add_argument("--ack-every", type=int, default=64,
+                        help="cumulative-ACK cadence in delivered "
+                             "envelopes (default 64)")
+    parser.add_argument("--scalar-translate", action="store_true",
+                        help="disable the vectorized translator plan "
+                             "halves (vectorized is the default)")
+    parser.add_argument("--no-mmsg", action="store_true",
+                        help="force the sendmmsg/recvmmsg fallback "
+                             "paths (plain send loop, recvmsg_into)")
     parser.add_argument("--smoke", action="store_true",
                         help=f"cap reports at {_SMOKE_REPORTS} for CI")
     parser.add_argument("--history", default=None, metavar="PATH",
@@ -66,7 +79,11 @@ def _spec(args) -> ServeSpec:
         loss=LossSpec(seed=args.loss_seed, drop_rate=args.drop,
                       reorder_rate=args.reorder,
                       reorder_span=args.reorder_span),
-        vectorized=args.vectorized,
+        vectorized=not args.scalar_translate,
+        translators=args.translators,
+        frame_bytes=args.frame_bytes,
+        ack_every=args.ack_every,
+        use_mmsg=False if args.no_mmsg else None,
     )
 
 

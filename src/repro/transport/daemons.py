@@ -25,7 +25,6 @@ are comparable with the in-process benchmark history.
 
 from __future__ import annotations
 
-import gc
 import socket
 
 from repro import calibration, obs
@@ -39,10 +38,12 @@ from repro.core.stores.sketchstore import SketchLayout
 from repro.core.translator import Translator
 from repro.runtime.engine import store_digest
 from repro.runtime.shm import _untrack
+from repro.transport import mmsg
 from repro.transport.assembler import ReportAssembler
 from repro.transport.envelope import (
     KIND_CTRL,
     KIND_END,
+    KIND_FRAME,
     KIND_REPORT,
     Reassembler,
     end_total,
@@ -71,6 +72,18 @@ SM_BATCH_COLUMNS = 16
 _SOCK_TIMEOUT_S = 0.05
 
 _MAX_DGRAM = 65535
+
+#: Datagrams drained per receive burst.  Wider than the sender's
+#: sendmmsg batch on purpose: every frame in a burst lands in a single
+#: vectorized :meth:`ReportAssembler.feed_frames` pass, so burst width
+#: is the decode batch width.
+_RECV_BURST = 4 * mmsg.BATCH_MSGS
+
+#: Default cumulative-ACK cadence: one ACK per this many in-order
+#: envelopes (plus the idle re-ack above).  ``translator_daemon_main``
+#: takes it as a parameter so deployments can trade control-channel
+#: bytes against window stalls.
+ACK_EVERY = 64
 
 
 def segment_plan(sketch_width: int = 0) -> list:
@@ -155,16 +168,21 @@ def _attach_segments(names, plan):
 
 
 def _release_segments(shms, buffers) -> None:
-    """Drop buffer views and close mappings (never unlink — not owner)."""
+    """Drop buffer views and close mappings (never unlink — not owner).
+
+    The memoryviews handed out by :func:`_attach_segments` are the
+    *same objects* the stores hold through ``MemoryRegion.buf`` (the
+    ``buffer_factory`` seam passes them through unsliced), and every
+    store access is a transient slice of that one view.  Releasing each
+    view explicitly therefore drops the segment's only export, and
+    ``shm.close()`` unmaps without needing a ``gc.collect()`` sweep to
+    chase reference cycles — and without a swallowed ``BufferError``
+    masking a real leaked view."""
+    for buf in buffers:
+        buf.release()
     buffers.clear()
-    # Stores and NIC links sit in reference cycles that keep exported
-    # memoryviews alive past ``del``; collect before unmapping.
-    gc.collect()
     for shm in shms:
-        try:
-            shm.close()
-        except BufferError:
-            pass   # a store still pins the view; process exit unmaps
+        shm.close()
 
 
 # ---------------------------------------------------------------------------
@@ -218,16 +236,29 @@ def collector_daemon_main(shard: int, sketch_width: int, segment_names,
 
 def translator_daemon_main(shard_segment_names, sketch_width: int,
                            vectorized: bool, batch_size: int,
-                           ctrl_addr, conn) -> None:
+                           ctrl_addr, conn, *, lane: int = 0,
+                           ack_every: int = ACK_EVERY,
+                           use_mmsg=None) -> None:
     """Receive DTA datagrams and translate them into RDMA writes.
 
     Owns the data socket (bound to an ephemeral loopback port reported
     back over ``conn``) and the control send socket toward
-    ``ctrl_addr``.  Reports are re-ordered by lane sequence
+    ``ctrl_addr``.  Datagrams arrive in ``recvmmsg`` bursts through a
+    preallocated-buffer :class:`~repro.transport.mmsg.DatagramReceiver`
+    (``recvmsg_into`` fallback), are re-ordered by lane sequence
     (:class:`Reassembler`), then routed/batched/translated by the
-    shared :class:`ReportAssembler`.  A ``KIND_END`` datagram flushes
-    everything and reports ``("drained", stats)``; the parent may send
-    further traffic and ENDs afterwards (NACK settle rounds).
+    shared :class:`ReportAssembler` — coalesced ``KIND_FRAME``
+    payloads through the vectorized columnar path, single
+    ``KIND_REPORT`` payloads through the scalar reference path.  A
+    ``KIND_END`` datagram flushes everything and reports
+    ``("drained", stats)``; the parent may send further traffic and
+    ENDs afterwards (NACK settle rounds).
+
+    With ``--translators N`` scale-out every daemon maps *all* shard
+    segments and provisions the full translator set, but the reporter
+    only routes shard ``s`` traffic to daemon ``s % N`` — so each
+    shard still has exactly one writer and ``lane`` merely stamps this
+    daemon's ACK envelopes.
     """
     obs.set_registry(obs.Registry())
     shards = len(shard_segment_names)
@@ -239,7 +270,7 @@ def translator_daemon_main(shard_segment_names, sketch_width: int,
         plan = segment_plan(sketch_width)
         shms, buffers = _attach_segments(names, plan)
         all_shms.extend(shms)
-        all_buffers.append(buffers)
+        all_buffers.extend(buffers)
         collector = provision_collector(f"collector-{shard}",
                                         sketch_width=sketch_width,
                                         buffers=buffers)
@@ -252,6 +283,13 @@ def translator_daemon_main(shard_segment_names, sketch_width: int,
 
     ctrl_sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
     ctrl_seq = [0]
+    ctrl_sent = [0, 0]            # datagrams, bytes
+
+    def ctrl_send(envelope: bytes) -> None:
+        ctrl_sock.sendto(envelope, ctrl_addr)
+        ctrl_seq[0] += 1
+        ctrl_sent[0] += 1
+        ctrl_sent[1] += len(envelope)
 
     def make_control_sink(shard: int):
         # The shard byte routes the frame back to the matching per-shard
@@ -259,9 +297,7 @@ def translator_daemon_main(shard_segment_names, sketch_width: int,
         prefix = bytes([shard])
 
         def control_sink(_src, raw):
-            ctrl_sock.sendto(wrap(ctrl_seq[0], prefix + raw, KIND_CTRL),
-                             ctrl_addr)
-            ctrl_seq[0] += 1
+            ctrl_send(wrap(ctrl_seq[0], prefix + raw, KIND_CTRL))
 
         return control_sink
 
@@ -277,58 +313,85 @@ def translator_daemon_main(shard_segment_names, sketch_width: int,
     data_sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
     data_sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 1 << 22)
     data_sock.bind(("127.0.0.1", 0))
-    data_sock.settimeout(_SOCK_TIMEOUT_S)
+    receiver = mmsg.DatagramReceiver(data_sock, max_msgs=_RECV_BURST,
+                                     buf_bytes=_MAX_DGRAM,
+                                     use_mmsg=use_mmsg)
     conn.send(("ready", data_sock.getsockname()[1]))
 
     last_ack = [0]
+    # After END the drained stats snapshot the ctrl counters; going
+    # quiet until new traffic arrives keeps that snapshot an upper
+    # bound on what the reporter can observe (the serve conservation
+    # gate), and an idle finished stream has no window to unwedge.
+    stream_done = False
 
     def send_ack():
-        ctrl_sock.sendto(wrap_ack(ctrl_seq[0], reassembler.next_seq),
-                         ctrl_addr)
-        ctrl_seq[0] += 1
+        ctrl_send(wrap_ack(ctrl_seq[0], reassembler.next_seq, lane))
         last_ack[0] = reassembler.next_seq
+
+    def stats_now() -> dict:
+        stats = _drain_stats(assembler, reassembler, translators)
+        stats["lane"] = lane
+        stats["ctrl_datagrams_sent"] = ctrl_sent[0]
+        stats["ctrl_bytes_sent"] = ctrl_sent[1]
+        return stats
 
     try:
         while True:
             if conn.poll():
                 command, _arg = conn.recv()
                 if command == "stop":
-                    conn.send(("stopped", _drain_stats(assembler,
-                                                       reassembler,
-                                                       translators)))
+                    conn.send(("stopped", stats_now()))
                     break
-            try:
-                datagram = data_sock.recv(_MAX_DGRAM)
-            except socket.timeout:
+            datagrams = receiver.recv_burst(_SOCK_TIMEOUT_S)
+            if not datagrams:
                 # Idle re-ack: a lost ACK must not wedge the window.
-                if reassembler.next_seq:
+                if reassembler.next_seq and not stream_done:
                     send_ack()
                 continue
-            for kind, payload in reassembler.push(datagram):
-                if kind == KIND_REPORT:
-                    assembler.feed(payload)
-                elif kind == KIND_END:
-                    try:
-                        expected = end_total(payload)
-                    except ValueError:
-                        reassembler.malformed += 1
-                        continue
-                    assembler.finish()
-                    send_ack()
-                    stats = _drain_stats(assembler, reassembler,
-                                         translators)
-                    stats["expected_reports"] = expected
-                    conn.send(("drained", stats))
-                # Unknown kinds (fuzz) are simply ignored.
-            if reassembler.next_seq - last_ack[0] >= 64:
+            # Frames delivered by this burst coalesce into one
+            # vectorized decode; anything else (singles, END) flushes
+            # them first so arrival order is preserved.
+            frame_run = []
+            for datagram in datagrams:
+                advanced = reassembler.push(datagram)
+                if advanced:
+                    # New in-order traffic (not a duplicate straggler)
+                    # reopens the stream and its idle re-acks.
+                    stream_done = False
+                for kind, payload in advanced:
+                    if kind == KIND_FRAME:
+                        frame_run.append(payload)
+                    elif kind == KIND_REPORT:
+                        if frame_run:
+                            assembler.feed_frames(frame_run)
+                            frame_run = []
+                        assembler.feed(payload)
+                    elif kind == KIND_END:
+                        try:
+                            expected = end_total(payload)
+                        except ValueError:
+                            reassembler.malformed += 1
+                            continue
+                        if frame_run:
+                            assembler.feed_frames(frame_run)
+                            frame_run = []
+                        assembler.finish()
+                        send_ack()
+                        stats = stats_now()
+                        stats["expected_reports"] = expected
+                        conn.send(("drained", stats))
+                        stream_done = True
+                    # Unknown kinds (fuzz) are simply ignored.
+            if frame_run:
+                assembler.feed_frames(frame_run)
+            if reassembler.next_seq - last_ack[0] >= ack_every:
                 send_ack()
     finally:
         data_sock.close()
         ctrl_sock.close()
         del assembler, translators, collectors
-        for pinned in all_buffers:
-            pinned.clear()
-        _release_segments(all_shms, [])
+        _release_segments(all_shms, all_buffers)
 
 
 def _drain_stats(assembler, reassembler, translators) -> dict:

@@ -18,8 +18,19 @@ already applied drop and reorder *before* numbering, reassembly hides
 kernel-level reordering without undoing the impairment under test.
 
 ``KIND_END`` marks end-of-stream; its payload is the total number of
-``KIND_REPORT`` datagrams emitted, letting the receiver prove delivery
-conservation before reporting itself drained.
+reports emitted, letting the receiver prove delivery conservation
+before reporting itself drained.
+
+``KIND_FRAME`` is the coalesced hot path: one lane seq covers a whole
+*frame* of DTA reports — a big-endian ``u16`` report count, a table of
+``u16`` per-report lengths, then the concatenated report bytes.  The
+length table sits up front (rather than interleaving each length with
+its report) so the vectorized decoder (:mod:`repro.kernels.wire`) can
+read every sub-frame boundary in one ``frombuffer`` + ``cumsum``
+instead of walking the payload byte by byte.  The shim, the
+:class:`Reassembler`, and the reporter's send window all keep seeing
+exactly one sequence number per datagram; only the datagram's payload
+got denser.
 
 The control socket (translator daemon -> reporter) carries the same
 envelope: ``KIND_CTRL`` wraps a DTA control message (NACK/congestion,
@@ -42,8 +53,14 @@ KIND_REPORT = 0
 KIND_END = 1
 KIND_ACK = 2
 KIND_CTRL = 3
+KIND_FRAME = 4
 
 _END_PAYLOAD = struct.Struct(">Q")
+_FRAME_COUNT = struct.Struct(">H")
+_ACK_LANE = struct.Struct(">QB")
+
+#: Most reports a single frame may carry (the count field is u16).
+MAX_FRAME_REPORTS = 0xFFFF
 
 
 def wrap(seq: int, payload: bytes, kind: int = KIND_REPORT) -> bytes:
@@ -75,9 +92,14 @@ def end_total(payload: bytes) -> int:
     return _END_PAYLOAD.unpack_from(payload)[0]
 
 
-def wrap_ack(seq: int, delivered: int) -> bytes:
-    """A cumulative delivery acknowledgement (control socket)."""
-    return wrap(seq, _END_PAYLOAD.pack(delivered), KIND_ACK)
+def wrap_ack(seq: int, delivered: int, lane: int = 0) -> bytes:
+    """A cumulative delivery acknowledgement (control socket).
+
+    ``lane`` identifies the sending translator daemon when several
+    share one reporter (``--translators N``); the reporter advances
+    that lane's send window.
+    """
+    return wrap(seq, _ACK_LANE.pack(delivered, lane), KIND_ACK)
 
 
 def ack_delivered(payload: bytes) -> int:
@@ -85,6 +107,52 @@ def ack_delivered(payload: bytes) -> int:
     if len(payload) < _END_PAYLOAD.size:
         raise ValueError("ACK payload truncated")
     return _END_PAYLOAD.unpack_from(payload)[0]
+
+
+def ack_lane(payload: bytes) -> int:
+    """The translator lane an ACK came from (0 for legacy payloads)."""
+    if len(payload) >= _ACK_LANE.size:
+        return payload[_END_PAYLOAD.size]
+    return 0
+
+
+def wrap_frame(seq: int, reports) -> bytes:
+    """Coalesce ``reports`` (a list of DTA wire payloads) into one
+    ``KIND_FRAME`` datagram under a single lane sequence number."""
+    count = len(reports)
+    if count > MAX_FRAME_REPORTS:
+        raise ValueError("too many reports for one frame")
+    lengths = struct.pack(f">{count}H", *map(len, reports))
+    return (ENVELOPE.pack(seq, KIND_FRAME) + _FRAME_COUNT.pack(count)
+            + lengths + b"".join(reports))
+
+
+def unwrap_frame(payload: bytes) -> list:
+    """Split a ``KIND_FRAME`` payload into its report byte strings.
+
+    The scalar reference decoder for the frame layout (the vectorized
+    twin is :func:`repro.kernels.wire.split_frame`).  Raises
+    :class:`ValueError` for payloads whose count, length table, or body
+    are truncated — the caller counts the whole frame as one malformed
+    unit.  Trailing bytes past the last report are ignored, mirroring
+    the DTA subheader decoders' tolerance of oversize bodies.
+    """
+    if len(payload) < _FRAME_COUNT.size:
+        raise ValueError("frame payload shorter than its count")
+    (count,) = _FRAME_COUNT.unpack_from(payload)
+    table_end = _FRAME_COUNT.size + 2 * count
+    if len(payload) < table_end:
+        raise ValueError("frame length table truncated")
+    lengths = struct.unpack_from(f">{count}H", payload, _FRAME_COUNT.size)
+    offset = table_end
+    out = []
+    for length in lengths:
+        end = offset + length
+        if end > len(payload):
+            raise ValueError("frame body truncated")
+        out.append(payload[offset:end])
+        offset = end
+    return out
 
 
 class Reassembler:

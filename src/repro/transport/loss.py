@@ -89,6 +89,51 @@ class LossShim:
             out.append(heapq.heappop(self._held)[2])
         return out
 
+    def step_many(self, datagrams) -> list:
+        """Bulk :meth:`step`: one hoisted loop over ``datagrams``.
+
+        Decision ``n`` is bit-identical to ``n`` calls of :meth:`step`
+        — same RNG draws in the same order — and the returned list is
+        the concatenation of what those calls would have returned.
+        When the spec configures no impairment at all the stream passes
+        through untouched (no RNG is consumed; with both rates zero no
+        decision can depend on it).
+        """
+        spec = self.spec
+        if not spec.drop_rate and not spec.reorder_rate:
+            self._index += len(datagrams)
+            self.passed += len(datagrams)
+            return list(datagrams)
+        rand = self._rng.random
+        randint = self._rng.randint
+        drop = spec.drop_rate
+        reorder = spec.reorder_rate
+        span = spec.reorder_span
+        held = self._held
+        push = heapq.heappush
+        pop = heapq.heappop
+        index = self._index
+        dropped = reordered = passed = 0
+        out = []
+        for datagram in datagrams:
+            if rand() < drop:
+                dropped += 1
+            elif reorder and rand() < reorder:
+                reordered += 1
+                push(held, (index + randint(1, span), self._tie, datagram))
+                self._tie += 1
+            else:
+                passed += 1
+                out.append(datagram)
+            while held and held[0][0] <= index:
+                out.append(pop(held)[2])
+            index += 1
+        self._index = index
+        self.dropped += dropped
+        self.reordered += reordered
+        self.passed += passed
+        return out
+
     def flush(self) -> list:
         """Release every datagram still held for reordering."""
         out = []

@@ -3,16 +3,33 @@
 Wraps the existing :class:`~repro.core.reporter.Reporter` — sequence
 counters, backup buffer, NACK/congestion handling all unchanged — and
 gives it a real UDP transmit path: every report runs through the
-seeded loss shim (the lane's "wire"), survivors get a lane envelope
-sequence number and leave on the data socket.  Retransmits bypass the
-shim: a NACK-triggered re-send models the reporter's second attempt,
-not a datagram the netem schedule already ruled on.
+seeded loss shim (the lane's "wire"), survivors are *coalesced* into
+``KIND_FRAME`` envelopes (many reports per datagram, MTU-budgeted)
+and leave on a connected data socket in ``sendmmsg`` bursts.
+Retransmits bypass the shim: a NACK-triggered re-send models the
+reporter's second attempt, not a datagram the netem schedule already
+ruled on; they flush the pending frame first so shard-local order is
+preserved, then travel as plain ``KIND_REPORT`` singles.
 
-The send window (``window`` datagrams beyond the translator's last
-cumulative ACK) keeps kernel socket buffers from overflowing — lane
-loss must come from the seeded shim, never from a full loopback queue.
-Waiting on the window doubles as control polling, so NACKs arriving
-mid-stream are served promptly.
+The shim stays strictly per *report* — impairment decision ``n`` still
+rules on report ``n``, so the in-process reference lane (which has no
+frames) sees the identical post-impairment report stream and digest
+equality survives coalescing by construction.  Only survivors are
+packed, and the lane sequence number is assigned per *envelope* after
+packing: the shim, the :class:`Reassembler`, and the ACK window all
+keep seeing one seq per datagram.
+
+Scale-out: with ``--translators N`` the reporter holds one *lane* per
+translator daemon (socket, seq stream, frame packer, send window) and
+maps collector shard ``s`` to lane ``s % N``, so each shard's reports
+still arrive at exactly one daemon in order.  ACK envelopes carry the
+lane index; control frames carry the shard index, exactly as before.
+
+The send window (``window`` envelopes beyond the translator's last
+cumulative ACK, per lane) keeps kernel socket buffers from
+overflowing — lane loss must come from the seeded shim, never from a
+full loopback queue.  Waiting on the window doubles as control
+polling, so NACKs arriving mid-stream are served promptly.
 """
 
 from __future__ import annotations
@@ -22,21 +39,56 @@ import time
 
 from repro.core import packets
 from repro.core.cluster import ClusterMap, ClusterReporter
+from repro.kernels import HAVE_NUMPY
 from repro.core.packets import DtaFlags
 from repro.core.transport import CtrlFrame
+from repro.transport import mmsg
 from repro.transport.envelope import (
+    ENVELOPE,
     KIND_ACK,
     KIND_CTRL,
+    MAX_FRAME_REPORTS,
     ack_delivered,
+    ack_lane,
     unwrap,
     wrap,
     wrap_end,
+    wrap_frame,
 )
 from repro.transport.loss import LossSpec
 
+if HAVE_NUMPY:
+    import numpy as np
+
+#: Finalized envelopes buffered per lane before a send burst; matches
+#: the receiver's recvmmsg ring (4 sendmmsg batches) so one flush can
+#: fill one receive burst — and the receive burst is the translator's
+#: vectorized decode width.
+_OUTBOX_FRAMES = 4 * mmsg.BATCH_MSGS
+
+
+class _Lane:
+    """Per-translator transmit state: socket, packer, seq window."""
+
+    __slots__ = ("sock", "addr", "seq", "sent", "acked", "pending",
+                 "pending_bytes", "outbox", "reports_sent", "frames_sent")
+
+    def __init__(self) -> None:
+        self.sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self.sock.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, 1 << 22)
+        self.addr = None
+        self.seq = 0            # lane seq: assigned per envelope, post-shim
+        self.sent = 0           # envelopes actually written to the socket
+        self.acked = 0          # translator's cumulative in-order delivery
+        self.pending: list = []         # reports of the frame being packed
+        self.pending_bytes = 0
+        self.outbox: list = []          # finalized envelopes awaiting send
+        self.reports_sent = 0
+        self.frames_sent = 0
+
 
 class SocketReporter:
-    """A reporter whose transmit path is a UDP socket plus loss shim.
+    """A reporter whose transmit path is UDP frames plus a loss shim.
 
     Essential reports go through an embedded
     :class:`~repro.core.cluster.ClusterReporter`: one per-shard
@@ -48,35 +100,70 @@ class SocketReporter:
     Args:
         name: Reporter node name.
         reporter_id: 16-bit DTA identity.
-        data_addr: ``(host, port)`` of the translator daemon's socket.
+        data_addr: ``(host, port)`` of the single translator daemon
+            (legacy single-lane form; use ``set_data_addrs`` for more).
         shards: Collector count (sizes the per-shard seq streams).
+        translators: Lane count; shard ``s`` transmits on ``s % N``.
         loss: The seeded impairment applied to first-transmissions.
-        window: Max datagrams in flight beyond the last cumulative ACK.
+        window: Max envelopes in flight beyond the last cumulative ACK.
+        frame_bytes: Datagram budget a frame is packed against.
     """
 
-    def __init__(self, name: str, reporter_id: int, *, data_addr,
-                 shards: int = 1, loss: LossSpec | None = None,
-                 window: int = 512) -> None:
-        self.data_addr = data_addr
+    def __init__(self, name: str, reporter_id: int, *, data_addr=None,
+                 shards: int = 1, translators: int = 1,
+                 loss: LossSpec | None = None, window: int = 512,
+                 frame_bytes: int = 1400, use_mmsg=None) -> None:
+        if translators < 1:
+            raise ValueError("need at least one translator lane")
         self.window = window
+        self.frame_bytes = frame_bytes
+        self.use_mmsg = use_mmsg
+        self._frame_budget = max(1, frame_bytes - ENVELOPE.size - 2)
         self.shim = (loss or LossSpec()).shim()
+        self._lanes = [_Lane() for _ in range(translators)]
+        if data_addr is not None:
+            self.set_data_addrs([data_addr])
         self.cluster = ClusterReporter(
             name, reporter_id,
             cluster_map=ClusterMap(collectors=shards),
-            transmits=[self.transmit] * shards)
-        self._seq = 0                  # lane seq: assigned post-shim
-        self._acked = 0                # translator's cumulative delivery
+            transmits=[self._shard_transmit(shard)
+                       for shard in range(shards)])
         self.datagrams_sent = 0
         self.acks_received = 0
-        self.sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
-        self.sock.setsockopt(socket.SOL_SOCKET, socket.SO_SNDBUF, 1 << 22)
+        self.ctrl_datagrams_received = 0
+        self.ctrl_bytes_received = 0
         self.ctrl_sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
         self.ctrl_sock.bind(("127.0.0.1", 0))
         self.ctrl_sock.setblocking(False)
 
+    def _shard_transmit(self, shard: int):
+        def transmit(raw: bytes) -> None:
+            self._transmit_shard(shard, raw)
+        return transmit
+
+    # -- wiring --------------------------------------------------------
+
+    def set_data_addrs(self, addrs) -> None:
+        """Connect each lane socket to its translator daemon."""
+        if len(addrs) != len(self._lanes):
+            raise ValueError("one data address per translator lane")
+        for lane, addr in zip(self._lanes, addrs):
+            lane.addr = addr
+            lane.sock.connect(addr)
+
+    @property
+    def data_addr(self):
+        """Single-lane convenience view of the first lane's address."""
+        return self._lanes[0].addr
+
+    @data_addr.setter
+    def data_addr(self, addr) -> None:
+        if addr is not None:
+            self.set_data_addrs([addr])
+
     @property
     def ctrl_addr(self):
-        """Where the translator daemon should send control frames."""
+        """Where the translator daemons should send control frames."""
         return self.ctrl_sock.getsockname()
 
     @property
@@ -84,44 +171,205 @@ class SocketReporter:
         """Aggregated reporter statistics across shard seq streams."""
         return self.cluster.stats
 
+    @property
+    def reports_sent(self) -> int:
+        """Post-shim reports handed to the wire across all lanes."""
+        return sum(lane.reports_sent for lane in self._lanes)
+
+    @property
+    def frames_sent(self) -> int:
+        return sum(lane.frames_sent for lane in self._lanes)
+
+    @property
+    def lane_seqs(self) -> list:
+        """Envelopes emitted per lane (the Reassembler must deliver
+        exactly this many, in order, on each translator)."""
+        return [lane.seq for lane in self._lanes]
+
     # ------------------------------------------------------------------
-    # Transmit path (the embedded Reporter's ``transmit`` callable)
+    # Transmit path (the embedded Reporter's ``transmit`` callables)
     # ------------------------------------------------------------------
 
     def transmit(self, raw: bytes) -> None:
-        """Shim, envelope, and send one DTA report."""
-        if raw[1] & int(DtaFlags.RETRANSMIT):
-            self._send(raw)
+        """Shim, pack, and send one DTA report (shard-0 legacy form)."""
+        self._transmit_shard(0, raw)
+
+    def transmit_to(self, shard: int, raw: bytes) -> None:
+        """Shim, pack, and send one pre-routed DTA report.
+
+        ``shard`` must be the collector the assembler will route the
+        report to (``ClusterMap`` on its key/list/sketch identity) —
+        it picks the lane, and with ``--translators N`` the lane
+        decides which daemon writes, so a mismatch would break the
+        one-writer-per-segment contract.
+        """
+        self._transmit_shard(shard, raw)
+
+    def transmit_many(self, shards, raws) -> None:
+        """Bulk transmit of a first-transmission stream.
+
+        Semantically identical to :meth:`transmit_to` over
+        ``zip(shards, raws)`` — same shim decisions, same frame
+        boundaries — but the shim runs one hoisted pass and the frame
+        packer finds boundaries by cumulative-size search instead of a
+        per-report budget check.  Callers must not pass
+        ``RETRANSMIT``-flagged reports (retransmissions originate
+        inside the control machinery and take :meth:`_transmit_shard`'s
+        flush-first path); workload streams are first transmissions by
+        construction.
+        """
+        lanes = self._lanes
+        # The shim stream stays (shard, raw) tuples throughout so bulk
+        # and per-report transmits interleave on one shim (reordered
+        # holds and ``end_stream``'s flush see one shape).
+        survivors = self.shim.step_many(list(zip(shards, raws)))
+        if len(lanes) == 1:
+            self._pack_lane(lanes[0], [raw for _shard, raw in survivors])
             return
-        for survivor in self.shim.step(raw):
-            self._send(survivor)
+        n_lanes = len(lanes)
+        per_lane: list = [[] for _ in lanes]
+        for shard, survivor in survivors:
+            per_lane[shard % n_lanes].append(survivor)
+        for lane, survivors in zip(lanes, per_lane):
+            self._pack_lane(lane, survivors)
+
+    def _pack_lane(self, lane: _Lane, reports) -> None:
+        """Greedy-pack ``reports`` into ``lane``'s frames in order.
+
+        Produces exactly the frames repeated :meth:`_enqueue` calls
+        would: maximal prefixes within the byte budget (an oversize
+        report rides a frame of its own), capped at
+        ``MAX_FRAME_REPORTS``, continuing whatever frame was already
+        pending and leaving the final partial frame pending.
+        """
+        if not reports:
+            return
+        if not HAVE_NUMPY:
+            for raw in reports:
+                self._enqueue_lane(lane, raw)
+            return
+        budget = self._frame_budget
+        n = len(reports)
+        sizes = np.fromiter((len(raw) for raw in reports),
+                            dtype=np.int64, count=n)
+        cum = np.cumsum(sizes + 2)
+        start = 0
+        while start < n:
+            prev = int(cum[start - 1]) if start else 0
+            end = int(np.searchsorted(
+                cum, prev + budget - lane.pending_bytes, side="right"))
+            cap = start + MAX_FRAME_REPORTS - len(lane.pending)
+            if end > cap:
+                end = cap
+            if end <= start:
+                if lane.pending:
+                    # The open frame has no room — seal it, retry.
+                    self._finalize_frame(lane)
+                    continue
+                end = start + 1         # oversize single rides alone
+            lane.pending.extend(reports[start:end])
+            lane.pending_bytes += int(cum[end - 1]) - prev
+            start = end
+            if start < n:
+                # More survivors follow, so this frame is full.
+                self._finalize_frame(lane)
+
+    def _transmit_shard(self, shard: int, raw: bytes) -> None:
+        if raw[1] & int(DtaFlags.RETRANSMIT):
+            # Bypass the shim, but keep shard-local order: everything
+            # packed so far must reach the translator first.
+            lane = self._lanes[shard % len(self._lanes)]
+            self._finalize_frame(lane)
+            self._append_single(lane, raw)
+            self._flush_outbox(lane)
+            return
+        # The shim rules on (shard, report) tuples opaquely — decision
+        # n still concerns report n, exactly as in the reference lane.
+        for held_shard, survivor in self.shim.step((shard, raw)):
+            self._enqueue(held_shard, survivor)
+
+    def _enqueue(self, shard: int, raw: bytes) -> None:
+        self._enqueue_lane(self._lanes[shard % len(self._lanes)], raw)
+
+    def _enqueue_lane(self, lane: _Lane, raw: bytes) -> None:
+        added = 2 + len(raw)
+        if lane.pending and (lane.pending_bytes + added > self._frame_budget
+                             or len(lane.pending) >= MAX_FRAME_REPORTS):
+            self._finalize_frame(lane)
+        lane.pending.append(raw)
+        lane.pending_bytes += added
+
+    def _finalize_frame(self, lane: _Lane) -> None:
+        if not lane.pending:
+            return
+        lane.outbox.append(wrap_frame(lane.seq, lane.pending))
+        lane.seq += 1
+        lane.frames_sent += 1
+        lane.reports_sent += len(lane.pending)
+        lane.pending = []
+        lane.pending_bytes = 0
+        if len(lane.outbox) >= _OUTBOX_FRAMES:
+            self._flush_outbox(lane)
+
+    def _append_single(self, lane: _Lane, payload: bytes) -> None:
+        lane.outbox.append(wrap(lane.seq, payload))
+        lane.seq += 1
+        lane.reports_sent += 1
+
+    def _flush_outbox(self, lane: _Lane) -> None:
+        outbox = lane.outbox
+        sent = 0
+        while sent < len(outbox):
+            while lane.sent - lane.acked >= self.window:
+                self.poll_control(timeout=0.5)
+            room = min(self.window - (lane.sent - lane.acked),
+                       len(outbox) - sent)
+            mmsg.send_many(lane.sock, outbox[sent:sent + room],
+                           use_mmsg=self.use_mmsg)
+            lane.sent += room
+            self.datagrams_sent += room
+            sent += room
+        outbox.clear()
+
+    def flush(self) -> None:
+        """Force every pending frame and buffered envelope onto the
+        wire (does not touch reports the shim still holds)."""
+        for lane in self._lanes:
+            self._finalize_frame(lane)
+            self._flush_outbox(lane)
 
     def _send(self, payload: bytes) -> None:
-        while self._seq - self._acked >= self.window:
-            self.poll_control(timeout=0.5)
-        self.sock.sendto(wrap(self._seq, payload), self.data_addr)
-        self._seq += 1
-        self.datagrams_sent += 1
+        """Fuzz hook: envelope arbitrary payload as a ``KIND_REPORT``
+        single on lane 0, after flushing the pending frame so lane
+        order still matches emission order."""
+        lane = self._lanes[0]
+        self._finalize_frame(lane)
+        self._append_single(lane, payload)
+        self._flush_outbox(lane)
 
     def end_stream(self) -> int:
-        """Flush the shim and mark end-of-stream.
+        """Flush the shim and mark end-of-stream on every lane.
 
-        Returns the total number of report datagrams emitted so far —
-        also carried in the END datagram for delivery conservation.
-        May be called again after NACK settle rounds; each call emits a
-        fresh END covering everything sent to date.
+        Returns the total number of reports emitted so far — each
+        lane's END envelope carries its own share for delivery
+        conservation.  May be called again after NACK settle rounds;
+        each call emits fresh ENDs covering everything sent to date.
         """
-        for survivor in self.shim.flush():
-            self._send(survivor)
-        total = self.datagrams_sent
-        self.sock.sendto(wrap_end(self._seq, total), self.data_addr)
-        self._seq += 1
+        for shard, survivor in self.shim.flush():
+            self._enqueue(shard, survivor)
+        total = 0
+        for lane in self._lanes:
+            self._finalize_frame(lane)
+            lane.outbox.append(wrap_end(lane.seq, lane.reports_sent))
+            lane.seq += 1
+            self._flush_outbox(lane)
+            total += lane.reports_sent
         return total
 
     def send_raw_datagram(self, datagram: bytes) -> None:
         """Fuzz hook: put arbitrary bytes on the wire, bypassing shim,
         envelope, and window accounting alike."""
-        self.sock.sendto(datagram, self.data_addr)
+        self._lanes[0].sock.send(datagram)
 
     # ------------------------------------------------------------------
     # Control path
@@ -130,11 +378,11 @@ class SocketReporter:
     def poll_control(self, timeout: float = 0.0) -> int:
         """Drain the control socket; returns frames processed.
 
-        ACK frames advance the send window; CTRL frames carry DTA
-        control messages into the embedded reporter's existing
+        ACK frames advance their lane's send window; CTRL frames carry
+        DTA control messages into the embedded reporter's existing
         NACK/congestion machinery (which may retransmit through
-        :meth:`transmit`).  With a ``timeout`` the call blocks up to
-        that long for the *first* frame — the window-wait path.
+        :meth:`_transmit_shard`).  With a ``timeout`` the call blocks
+        up to that long for the *first* frame — the window-wait path.
         """
         processed = 0
         deadline = time.monotonic() + timeout if timeout else None
@@ -148,6 +396,8 @@ class SocketReporter:
                     return processed
                 time.sleep(0.001)
                 continue
+            self.ctrl_datagrams_received += 1
+            self.ctrl_bytes_received += len(datagram)
             try:
                 _seq, kind, payload = unwrap(datagram)
             except ValueError:
@@ -157,8 +407,11 @@ class SocketReporter:
                     delivered = ack_delivered(payload)
                 except ValueError:
                     continue
-                if delivered > self._acked:
-                    self._acked = delivered
+                lane_index = ack_lane(payload)
+                if lane_index < len(self._lanes):
+                    lane = self._lanes[lane_index]
+                    if delivered > lane.acked:
+                        lane.acked = delivered
                 self.acks_received += 1
                 processed += 1
             elif kind == KIND_CTRL:
@@ -186,6 +439,7 @@ class SocketReporter:
         with no retransmissions ends the settle early.
         """
         total = 0
+        self.flush()
         for _ in range(rounds):
             before = self.stats.retransmitted
             self.poll_control(timeout=timeout)
@@ -196,5 +450,6 @@ class SocketReporter:
         return total
 
     def close(self) -> None:
-        self.sock.close()
+        for lane in self._lanes:
+            lane.sock.close()
         self.ctrl_sock.close()

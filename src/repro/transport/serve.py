@@ -4,20 +4,32 @@
 bit-identical collector stores:
 
 * **socket lane** — a :class:`SocketLane`: N collector daemons over
-  shared-memory store segments, one translator daemon on a UDP socket,
-  and a :class:`~repro.transport.reporter.SocketReporter` whose
-  transmit path applies the seeded loss shim before the wire.
+  shared-memory store segments, ``--translators T`` translator daemons
+  on UDP sockets, and a
+  :class:`~repro.transport.reporter.SocketReporter` whose transmit
+  path applies the seeded loss shim, then coalesces survivors into
+  ``KIND_FRAME`` envelopes and sends them in ``sendmmsg`` bursts.
+  Each collector shard's traffic rides lane ``shard % T``, so every
+  store segment keeps exactly one writing daemon.
 * **reference lane** — the same pre-encoded report bytes through the
   same :class:`~repro.transport.assembler.ReportAssembler` and a shim
   built from the same :class:`~repro.transport.loss.LossSpec`, all in
-  this process.
+  this process, deliberately on the *scalar* paths: per-report
+  ``feed`` (no frames, no numpy codecs) into scalar-translate
+  translators.  Digest equality is therefore a differential over the
+  whole vectorized stack, not two copies of one implementation.
 
 Because both lanes share the byte stream, the impairment schedule, and
-the assembly code, digest equality is a property of the transport —
+the routing map, digest equality is a property of the transport —
 kernel reordering hidden by the lane envelope, no kernel loss thanks
 to the ACK window — rather than of two implementations happening to
 agree.  This is the ``workers=0`` determinism contract of
 docs/CONCURRENCY.md extended across process and socket boundaries.
+
+Beyond digests, the document gates *conservation*: every emitted
+envelope delivered in order, every delivered report decoded, and the
+control channel (ACKs + NACKs) accounted on both ends — bytes received
+by the reporter never exceed bytes the daemons sent.
 """
 
 from __future__ import annotations
@@ -32,6 +44,7 @@ from repro.runtime.engine import store_digest
 from repro.runtime.queues import _clock
 from repro.transport.assembler import ReportAssembler
 from repro.transport.daemons import (
+    ACK_EVERY,
     PC_HOPS,
     collector_daemon_main,
     provision_collector,
@@ -42,7 +55,7 @@ from repro.transport.loss import LossSpec
 from repro.transport.reporter import SocketReporter
 from repro.core.translator import Translator
 
-SERVE_SCHEMA = "repro-serve/1"
+SERVE_SCHEMA = "repro-serve/2"
 
 _READY_TIMEOUT_S = 30.0
 _DRAIN_TIMEOUT_S = 60.0
@@ -60,11 +73,15 @@ class ServeSpec:
     primitive: str = "key_write"
     reports: int = 20000
     collectors: int = 2
-    batch_size: int = 64
+    batch_size: int = 256
     seed: int = 1
     loss: LossSpec = field(default_factory=LossSpec)
-    vectorized: bool = False
-    window: int = 512
+    vectorized: bool = True
+    window: int = 2048
+    translators: int = 1
+    frame_bytes: int = 1400
+    ack_every: int = ACK_EVERY
+    use_mmsg: bool | None = None
 
     def __post_init__(self) -> None:
         if self.primitive not in bench.PRIMITIVES:
@@ -75,6 +92,12 @@ class ServeSpec:
             raise ValueError("need at least one collector")
         if self.batch_size <= 0:
             raise ValueError("batch_size must be positive")
+        if self.translators <= 0:
+            raise ValueError("need at least one translator")
+        if self.frame_bytes < 64:
+            raise ValueError("frame_bytes must be at least 64")
+        if self.ack_every <= 0:
+            raise ValueError("ack_every must be positive")
 
     @property
     def sketch_width(self) -> int:
@@ -124,6 +147,34 @@ def encode_workload(spec: ServeSpec, *, reporter_id: int = 1) -> list:
     return raws
 
 
+#: Absolute key offset per keyed primitive: base header (8) plus the
+#: fixed subheader (KW ">BBH"=4, KI ">BBq"=10, PC ">BBBBI"=8); the key
+#: length sits at byte 9 (second subheader byte) in all three layouts.
+_KEY_AT = {
+    int(packets.DtaPrimitive.KEY_WRITE): 12,
+    int(packets.DtaPrimitive.KEY_INCREMENT): 18,
+    int(packets.DtaPrimitive.POSTCARDING): 16,
+}
+
+
+def route_report(cmap: ClusterMap, raw: bytes) -> int:
+    """Shard a pre-encoded report exactly as the assembler will.
+
+    Light byte slicing instead of a full ``decode_report`` — this runs
+    per report on the transmit path and only needs the routing
+    identity, not validation.  Must agree with
+    :meth:`ReportAssembler.feed`'s routing so that lane selection
+    (shard → translator daemon) matches the daemon-side store writes.
+    """
+    prim = raw[0] & 0xF
+    key_at = _KEY_AT.get(prim)
+    if key_at is not None:
+        return cmap.for_key(raw[key_at:key_at + raw[9]])
+    if prim == int(packets.DtaPrimitive.APPEND):
+        return cmap.for_list((raw[8] << 8) | raw[9])
+    return cmap.for_sketch(0)
+
+
 # ---------------------------------------------------------------------------
 # The socket lane
 # ---------------------------------------------------------------------------
@@ -143,8 +194,8 @@ class SocketLane:
         self._segments: list = []          # flat list of SharedMemory
         self._collector_procs: list = []
         self._collector_conns: list = []
-        self._translator_proc = None
-        self._translator_conn = None
+        self._translator_procs: list = []
+        self._translator_conns: list = []
 
     # -- lifecycle -----------------------------------------------------
 
@@ -181,22 +232,30 @@ class SocketLane:
                             expect="ready")
 
             self.reporter = SocketReporter(
-                "serve-reporter", 1, data_addr=None,
-                shards=spec.collectors, loss=spec.loss,
-                window=spec.window)
-            parent_conn, child_conn = ctx.Pipe()
-            proc = ctx.Process(
-                target=translator_daemon_main,
-                args=(names_per_shard, spec.sketch_width,
-                      spec.vectorized, spec.batch_size,
-                      self.reporter.ctrl_addr, child_conn),
-                daemon=True, name="dta-translator")
-            proc.start()
-            child_conn.close()
-            self._translator_proc = proc
-            self._translator_conn = parent_conn
-            _tag, port = self._await(parent_conn, proc, expect="ready")
-            self.reporter.data_addr = ("127.0.0.1", port)
+                "serve-reporter", 1,
+                shards=spec.collectors, translators=spec.translators,
+                loss=spec.loss, window=spec.window,
+                frame_bytes=spec.frame_bytes, use_mmsg=spec.use_mmsg)
+            for lane in range(spec.translators):
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=translator_daemon_main,
+                    args=(names_per_shard, spec.sketch_width,
+                          spec.vectorized, spec.batch_size,
+                          self.reporter.ctrl_addr, child_conn),
+                    kwargs={"lane": lane, "ack_every": spec.ack_every,
+                            "use_mmsg": spec.use_mmsg},
+                    daemon=True, name=f"dta-translator-{lane}")
+                proc.start()
+                child_conn.close()
+                self._translator_procs.append(proc)
+                self._translator_conns.append(parent_conn)
+            addrs = []
+            for lane, conn in enumerate(self._translator_conns):
+                _tag, port = self._await(
+                    conn, self._translator_procs[lane], expect="ready")
+                addrs.append(("127.0.0.1", port))
+            self.reporter.set_data_addrs(addrs)
         except BaseException:
             self.__exit__(None, None, None)
             raise
@@ -220,32 +279,48 @@ class SocketLane:
 
     # -- the run -------------------------------------------------------
 
-    def send(self, raws) -> None:
-        """Transmit pre-encoded reports through shim + envelope."""
-        transmit = self.reporter.transmit
-        for raw in raws:
-            transmit(raw)
+    def send(self, raws, shards=None) -> None:
+        """Transmit pre-encoded reports through shim + frame packer.
+
+        ``shards`` (from :func:`route_report`) steers each report to
+        the lane owning its collector; without it everything rides the
+        legacy shard-0 lane (fine for single-translator runs).
+        """
+        if shards is None:
+            transmit = self.reporter.transmit
+            for raw in raws:
+                transmit(raw)
+        else:
+            self.reporter.transmit_many(shards, raws)
 
     def drain(self, timeout: float = _DRAIN_TIMEOUT_S) -> dict:
-        """End-of-stream handshake: wait for the translator's flush.
+        """End-of-stream handshake: one ``drained`` per translator.
 
-        Raises :class:`ServeError` if any daemon dies or the drain does
-        not complete in ``timeout`` seconds.
+        Aggregates the per-daemon stats (summed counters, with the raw
+        per-lane list under ``"per_lane"``).  Raises
+        :class:`ServeError` if any daemon dies or the drain does not
+        complete in ``timeout`` seconds.
         """
         deadline = _clock() + timeout
-        conn = self._translator_conn
-        while True:
+        pending = dict(enumerate(self._translator_conns))
+        drained: dict = {}
+        while pending:
             self._check_alive()
-            if conn.poll(0.05):
-                tag, payload = conn.recv()
-                if tag == "drained":
-                    return payload
-                raise ServeError(f"unexpected translator reply {tag!r}")
+            for index, conn in list(pending.items()):
+                if conn.poll(0.02):
+                    tag, payload = conn.recv()
+                    if tag != "drained":
+                        raise ServeError(
+                            f"unexpected translator reply {tag!r}")
+                    drained[index] = payload
+                    del pending[index]
             # Keep the window/control machinery moving while we wait.
             self.reporter.poll_control()
-            if _clock() >= deadline:
+            if pending and _clock() >= deadline:
                 raise ServeError(
-                    f"translator did not drain within {timeout:.0f}s")
+                    f"translators {sorted(pending)} did not drain "
+                    f"within {timeout:.0f}s")
+        return _merge_stats([drained[i] for i in range(len(drained))])
 
     def digests(self) -> list:
         """Store digests from every collector daemon, in shard order."""
@@ -285,9 +360,7 @@ class SocketLane:
         return reply
 
     def _check_alive(self) -> None:
-        procs = list(self._collector_procs)
-        if self._translator_proc is not None:
-            procs.append(self._translator_proc)
+        procs = list(self._collector_procs) + list(self._translator_procs)
         for proc in procs:
             if not proc.is_alive():
                 raise ServeError(
@@ -295,9 +368,9 @@ class SocketLane:
                     f"(exitcode {proc.exitcode})")
 
     def _stop_daemons(self) -> None:
-        pairs = list(zip(self._collector_conns, self._collector_procs))
-        if self._translator_proc is not None:
-            pairs.append((self._translator_conn, self._translator_proc))
+        pairs = (list(zip(self._collector_conns, self._collector_procs))
+                 + list(zip(self._translator_conns,
+                            self._translator_procs)))
         for conn, proc in pairs:
             if proc.is_alive():
                 try:
@@ -312,8 +385,19 @@ class SocketLane:
             conn.close()
         self._collector_conns.clear()
         self._collector_procs.clear()
-        self._translator_conn = None
-        self._translator_proc = None
+        self._translator_conns.clear()
+        self._translator_procs.clear()
+
+
+def _merge_stats(per_lane: list) -> dict:
+    """Sum per-daemon drain stats; keep the raw list for forensics."""
+    total = {key: 0 for key in per_lane[0] if key != "lane"}
+    for stats in per_lane:
+        for key, value in stats.items():
+            if key != "lane":
+                total[key] = total.get(key, 0) + value
+    total["per_lane"] = per_lane
+    return total
 
 
 # ---------------------------------------------------------------------------
@@ -322,8 +406,12 @@ class SocketLane:
 
 
 def run_reference(spec: ServeSpec, raws) -> list:
-    """The in-process twin: same bytes, same shim, same assembler.
+    """The in-process twin: same bytes, same shim, scalar everything.
 
+    Feeds each survivor through the scalar per-report ``feed`` path
+    into scalar-translate translators regardless of the socket lane's
+    settings, so digest equality is a differential across the frame
+    codec, the columnar assembler, *and* the vectorized RDMA lanes.
     Returns the per-shard store digests the socket lane must match.
     """
     registry = obs.Registry()
@@ -335,7 +423,7 @@ def run_reference(spec: ServeSpec, raws) -> list:
             collector = provision_collector(
                 f"collector-{shard}", sketch_width=spec.sketch_width)
             translator = Translator(f"translator-{shard}",
-                                    vectorized=spec.vectorized)
+                                    vectorized=False)
             collector.connect_translator(translator)
             collectors.append(collector)
             translators.append(translator)
@@ -361,25 +449,38 @@ def run_serve(spec: ServeSpec, *, date: str,
     previous = obs.set_registry(registry)
     try:
         raws = encode_workload(spec)
+        cmap = ClusterMap(collectors=spec.collectors)
+        shards = [route_report(cmap, raw) for raw in raws]
         with SocketLane(spec) as lane:
             start = _clock()
-            lane.send(raws)
+            lane.send(raws, shards)
             sent = lane.reporter.end_stream()
             stats = lane.drain()
             elapsed = _clock() - start
             lane_digests = lane.digests()
-            shim = lane.reporter.shim
-            datagrams = lane.reporter.datagrams_sent
-            lane_seqs = lane.reporter._seq
+            reporter = lane.reporter
+            shim = reporter.shim
+            datagrams = reporter.datagrams_sent
+            frames = reporter.frames_sent
+            lane_seqs = reporter.lane_seqs
+            acks = reporter.acks_received
+            ctrl_dgrams_recv = reporter.ctrl_datagrams_received
+            ctrl_bytes_recv = reporter.ctrl_bytes_received
         ref_digests = run_reference(spec, raws) if reference else None
     finally:
         obs.set_registry(previous)
 
     gates = [
         ["every surviving datagram delivered in order",
-         stats["delivered"] == lane_seqs and stats["waiting"] == 0],
+         stats["delivered"] == sum(lane_seqs) and stats["waiting"] == 0],
         ["every delivered report decoded",
          stats["reports"] == sent and stats["malformed"] == 0],
+        # Received ≤ sent, not ==: the daemons keep idle re-ACKing
+        # after the reporter stops polling, and UDP may shed control
+        # datagrams under pressure — neither may *create* bytes.
+        ["control channel conserved (ACK/NACK bytes accounted)",
+         ctrl_dgrams_recv <= stats["ctrl_datagrams_sent"]
+         and ctrl_bytes_recv <= stats["ctrl_bytes_sent"]],
     ]
     if reference:
         gates.append(["socket-lane store digests match in-process lane",
@@ -395,12 +496,21 @@ def run_serve(spec: ServeSpec, *, date: str,
             "seed": spec.seed,
             "vectorized": spec.vectorized,
             "window": spec.window,
+            "translators": spec.translators,
+            "frame_bytes": spec.frame_bytes,
+            "ack_every": spec.ack_every,
+            "use_mmsg": spec.use_mmsg,
             "loss": asdict(spec.loss),
             "smoke": smoke,
         },
         "socket": {
             "reports_sent": sent,
             "datagrams_sent": datagrams,
+            "frames_sent": frames,
+            "lane_seqs": lane_seqs,
+            "acks_received": acks,
+            "ctrl_datagrams_received": ctrl_dgrams_recv,
+            "ctrl_bytes_received": ctrl_bytes_recv,
             "shim": {"dropped": shim.dropped,
                      "reordered": shim.reordered,
                      "passed": shim.passed},
@@ -425,16 +535,22 @@ def render_serve(document: dict) -> str:
     shim = sock["shim"]
     lines = [
         f"deployment lane: {config['primitive']} x {config['reports']} "
-        f"reports -> {config['collectors']} collector daemon(s) "
+        f"reports -> {config['collectors']} collector daemon(s) / "
+        f"{config['translators']} translator daemon(s) "
         f"over UDP (seed {config['seed']})",
         f"  shim: dropped {shim['dropped']}, reordered "
         f"{shim['reordered']}, passed {shim['passed']} "
         f"(drop {config['loss']['drop_rate']:.1%}, reorder "
         f"{config['loss']['reorder_rate']:.1%})",
         f"  socket lane: {sock['reports_sent']} reports in "
-        f"{sock['elapsed_s']:.3f}s = {sock['reports_per_sec']:,.0f} "
-        f"reports/s, {sock['translator']['rdma_messages']} RDMA msgs, "
+        f"{sock['frames_sent']} frames / {sock['datagrams_sent']} "
+        f"datagrams, {sock['elapsed_s']:.3f}s = "
+        f"{sock['reports_per_sec']:,.0f} reports/s, "
+        f"{sock['translator']['rdma_messages']} RDMA msgs, "
         f"{sock['translator']['batches']} batches",
+        f"  control: {sock['acks_received']} ACKs, "
+        f"{sock['ctrl_bytes_received']}B received / "
+        f"{sock['translator']['ctrl_bytes_sent']}B sent",
     ]
     for shard, digest in enumerate(sock["store_digests"]):
         lines.append(f"  shard {shard}: {digest}")

@@ -1,0 +1,299 @@
+"""Vectorized wire codecs vs the scalar decode path, differentially.
+
+The contract under test (see ``kernels/wire.py``): feeding a
+``KIND_FRAME`` payload through :meth:`ReportAssembler.feed_frame` must
+be observably identical — per-shard batch stream, per-report
+diversions, ``reports``/``malformed``/``per_report``/``batches``
+counters — to feeding each sub-frame through the scalar
+:meth:`ReportAssembler.feed`, for *any* frame bytes: valid reports,
+truncated headers and bodies, out-of-range fields, junk, and
+control-plane flags, in arbitrary interleavings.
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.core import packets
+from repro.core.cluster import ClusterMap
+from repro.kernels import MIN_VECTOR_BATCH, wire
+from repro.transport import assembler as assembler_mod
+from repro.transport.assembler import ReportAssembler
+from repro.transport.envelope import unwrap, unwrap_frame, wrap_frame
+
+
+class Sink:
+    """Translator stand-in recording exactly what the assembler emits."""
+
+    def __init__(self):
+        self.events = []
+
+    def process_batch(self, batch):
+        self.events.append((
+            "batch", batch.primitive, batch.reporter_id, batch.redundancy,
+            batch.sketch_id, list(batch.keys), list(batch.datas),
+            list(batch.values), list(batch.hops), list(batch.path_lengths),
+            list(batch.list_ids), list(batch.columns),
+            list(batch.counter_rows)))
+
+    def handle_report(self, raw):
+        self.events.append(("report", bytes(raw)))
+
+    def flush_appends(self):
+        self.events.append(("flush",))
+
+
+def _assembler(collectors, batch_size):
+    sinks = [Sink() for _ in range(collectors)]
+    return sinks, ReportAssembler(sinks, ClusterMap(collectors=collectors),
+                                  batch_size=batch_size)
+
+
+def _frame_payload(reports):
+    _seq, _kind, payload = unwrap(wrap_frame(0, reports))
+    return payload
+
+
+def _counters(asm):
+    return (asm.reports, asm.malformed, asm.per_report, asm.batches)
+
+
+def run_both(frames, collectors=3, batch_size=5):
+    """Feed frames through both paths; assert identical observables."""
+    scalar_sinks, scalar_asm = _assembler(collectors, batch_size)
+    vector_sinks, vector_asm = _assembler(collectors, batch_size)
+    for reports in frames:
+        payload = _frame_payload(reports)
+        for raw in reports:
+            scalar_asm.feed(raw)
+        vector_asm.feed_frame(payload)
+    scalar_asm.finish()
+    vector_asm.finish()
+    assert _counters(vector_asm) == _counters(scalar_asm)
+    for shard, (s, v) in enumerate(zip(scalar_sinks, vector_sinks)):
+        assert v.events == s.events, f"shard {shard} diverged"
+    return scalar_asm
+
+
+# ----------------------------------------------------------------------
+# Corpus generation: valid reports via the real codec, malformed ones
+# hand-packed so every reject branch of the scalar decoder is hit.
+# ----------------------------------------------------------------------
+
+
+def _base(prim, flags=0, rid=1, seq=0, version=packets.DTA_VERSION):
+    return struct.pack(">BBHI", (version << 4) | prim, flags, rid, seq)
+
+
+def _valid_report(rng):
+    rid = rng.randrange(1, 4)
+    flags = rng.choice([packets.DtaFlags.NONE] * 6 + [
+        packets.DtaFlags.ESSENTIAL, packets.DtaFlags.IMMEDIATE,
+        packets.DtaFlags.RETRANSMIT])
+    key = bytes(rng.randrange(256) for _ in range(rng.randrange(1, 9)))
+    kind = rng.randrange(5)
+    if kind == 0:
+        op = packets.KeyWrite(
+            key=key,
+            data=bytes(rng.randrange(256)
+                       for _ in range(rng.randrange(0, 17))),
+            redundancy=rng.choice([1, 2, 2, 3]))
+    elif kind == 1:
+        op = packets.KeyIncrement(
+            key=key, value=rng.randrange(-2**40, 2**40),
+            redundancy=rng.choice([1, 2, 2]))
+    elif kind == 2:
+        op = packets.Postcard(
+            key=key, hop=rng.randrange(32), value=rng.randrange(2**32),
+            path_length=rng.randrange(8), redundancy=rng.choice([1, 1, 2]))
+    elif kind == 3:
+        op = packets.Append(
+            list_id=rng.randrange(8),
+            data=bytes(rng.randrange(256)
+                       for _ in range(rng.randrange(1, 17))))
+    else:
+        op = packets.SketchColumn(
+            sketch_id=rng.randrange(2), column=rng.randrange(16),
+            counters=tuple(rng.randrange(2**32)
+                           for _ in range(rng.randrange(1, 5))))
+    raw = packets.make_report(op, reporter_id=rid,
+                              seq=rng.randrange(1000), flags=flags)
+    if rng.random() < 0.1:
+        raw += bytes(rng.randrange(256)
+                     for _ in range(rng.randrange(1, 5)))   # trailing junk
+    return raw
+
+
+_MALFORMED_MAKERS = [
+    # Version nibble 0 / 2.
+    lambda rng: _base(1, version=0) + struct.pack(">BBH", 2, 2, 0) + b"ab",
+    lambda rng: _base(1, version=2) + struct.pack(">BBH", 2, 2, 0) + b"ab",
+    # Unknown primitive code, NACK and CONGESTION on the report socket.
+    lambda rng: _base(7) + b"\x00" * 8,
+    lambda rng: _base(int(packets.DtaPrimitive.NACK)) + b"\x00" * 12,
+    lambda rng: _base(int(packets.DtaPrimitive.CONGESTION)) + b"\x07",
+    # Truncated base header / empty.
+    lambda rng: b"",
+    lambda rng: _base(1)[: rng.randrange(1, 8)],
+    # Key-Write: zero key, oversize key claim, redundancy 0 and 17,
+    # truncated body.
+    lambda rng: _base(1) + struct.pack(">BBH", 2, 0, 2) + b"xy",
+    lambda rng: _base(1) + struct.pack(">BBH", 2, 65, 0) + b"k" * 65,
+    lambda rng: _base(1) + struct.pack(">BBH", 0, 2, 0) + b"ab",
+    lambda rng: _base(1) + struct.pack(">BBH", 17, 2, 0) + b"ab",
+    lambda rng: _base(1) + struct.pack(">BBH", 2, 8, 8) + b"short",
+    # Key-Increment: truncated key, redundancy 0.
+    lambda rng: _base(5) + struct.pack(">BBq", 2, 9, 1) + b"12345",
+    lambda rng: _base(5) + struct.pack(">BBq", 0, 2, 1) + b"ab",
+    # Postcarding: hop out of range, truncated key.
+    lambda rng: _base(3) + struct.pack(">BBBBI", 1, 2, 32, 0, 1) + b"ab",
+    lambda rng: _base(3) + struct.pack(">BBBBI", 1, 6, 1, 0, 1) + b"ab",
+    # Append: empty data, truncated data.
+    lambda rng: _base(2) + struct.pack(">HH", 1, 0),
+    lambda rng: _base(2) + struct.pack(">HH", 1, 9) + b"abc",
+    # Sketch-Merge: zero depth, truncated counters.
+    lambda rng: _base(4) + struct.pack(">HHB", 0, 0, 0),
+    lambda rng: _base(4) + struct.pack(">HHB", 0, 0, 3) + b"\x00" * 7,
+    # Pure noise.
+    lambda rng: bytes(rng.randrange(256)
+                      for _ in range(rng.randrange(1, 40))),
+]
+
+
+def _corpus(rng, n):
+    out = []
+    for _ in range(n):
+        if rng.random() < 0.25:
+            out.append(rng.choice(_MALFORMED_MAKERS)(rng))
+        else:
+            out.append(_valid_report(rng))
+    return out
+
+
+def _frames(rng, reports):
+    frames = []
+    i = 0
+    while i < len(reports):
+        width = rng.randrange(MIN_VECTOR_BATCH, 40)
+        frames.append(reports[i:i + width])
+        i += width
+    return frames
+
+
+# ----------------------------------------------------------------------
+# The differential itself
+# ----------------------------------------------------------------------
+
+
+class TestFrameDifferential:
+    @pytest.mark.parametrize("seed", [1, 7, 23, 99])
+    def test_fuzz_corpus_bit_exact(self, seed):
+        rng = random.Random(seed)
+        frames = _frames(rng, _corpus(rng, 600))
+        asm = run_both(frames)
+        assert asm.reports > 100          # corpus actually exercised
+        assert asm.malformed > 20
+        assert asm.per_report > 0
+
+    def test_homogeneous_runs_chunk_like_scalar(self):
+        reports = [packets.make_report(
+            packets.KeyWrite(key=b"same-key", data=struct.pack(">I", i)),
+            reporter_id=1) for i in range(64)]
+        asm = run_both([reports], collectors=1, batch_size=16)
+        assert asm.batches == 4           # exact batch_size chunks
+
+    @pytest.mark.parametrize("seed", [5, 17])
+    def test_small_frames_take_scalar_fallback(self, seed):
+        rng = random.Random(seed)
+        reports = _corpus(rng, 30)
+        frames = [reports[i:i + MIN_VECTOR_BATCH - 1]
+                  for i in range(0, len(reports), MIN_VECTOR_BATCH - 1)]
+        run_both(frames)
+
+    def test_empty_frame_is_a_noop(self):
+        run_both([[]])
+
+    def test_postcard_redundancy_zero_is_accepted(self):
+        # Postcard.__post_init__ validates key/hop/value but NOT
+        # redundancy, so the scalar decoder accepts red=0 — the
+        # vectorized mask must agree rather than reject it.
+        raw = (_base(int(packets.DtaPrimitive.POSTCARDING))
+               + struct.pack(">BBBBI", 0, 2, 1, 0, 5) + b"ab")
+        frames = [[raw] * MIN_VECTOR_BATCH]
+        asm = run_both(frames, collectors=1, batch_size=2)
+        assert asm.reports == MIN_VECTOR_BATCH
+        assert asm.malformed == 0
+
+    def test_no_numpy_fallback_matches_scalar(self, monkeypatch):
+        monkeypatch.setattr(assembler_mod, "HAVE_NUMPY", False)
+        rng = random.Random(3)
+        run_both(_frames(rng, _corpus(rng, 200)))
+
+
+class TestFrameStructure:
+    def test_truncated_frames_count_one_malformed_unit(self):
+        reports = [_valid_report(random.Random(1)) for _ in range(6)]
+        payload = _frame_payload(reports)
+        for broken in (b"", b"\x00",                 # truncated count
+                       b"\x00\x04\x00\x08",          # truncated table
+                       payload[:-1]):                # truncated body
+            with pytest.raises(ValueError):
+                unwrap_frame(broken)
+            assert wire.split_frame(broken) is None
+            _sinks, asm = _assembler(2, 8)
+            asm.feed_frame(broken)
+            assert (asm.reports, asm.malformed) == (0, 1)
+
+    def test_split_frame_boundaries_match_scalar_unwrap(self):
+        rng = random.Random(11)
+        reports = _corpus(rng, 12)
+        payload = _frame_payload(reports)
+        buf, offsets, lengths = wire.split_frame(payload)
+        rebuilt = [payload[o:o + n] for o, n in
+                   zip(offsets.tolist(), lengths.tolist())]
+        assert rebuilt == unwrap_frame(payload)
+        assert rebuilt == reports
+
+    def test_trailing_bytes_after_body_tolerated(self):
+        reports = [_valid_report(random.Random(2)) for _ in range(5)]
+        payload = _frame_payload(reports) + b"\xee" * 7
+        assert unwrap_frame(payload) == reports
+        _buf, offsets, lengths = wire.split_frame(payload)
+        assert len(offsets) == len(reports)
+
+
+class TestRoutingKernel:
+    @pytest.mark.parametrize("collectors", [1, 2, 3, 7])
+    def test_shards_match_cluster_map(self, collectors):
+        rng = random.Random(31)
+        keys = [bytes(rng.randrange(256)
+                      for _ in range(rng.randrange(1, 17)))
+                for _ in range(200)]
+        cmap = ClusterMap(collectors=collectors)
+        blob = b"".join(keys)
+        offsets, lengths, pos = [], [], 0
+        for key in keys:
+            offsets.append(pos)
+            lengths.append(len(key))
+            pos += len(key)
+        buf = np.frombuffer(blob, dtype=np.uint8)
+        packed, lens = wire.pack_column(
+            buf, np.array(offsets, dtype=np.int64),
+            np.array(lengths, dtype=np.int64))
+        got = wire.shards_for_keys(packed, lens, collectors).tolist()
+        assert got == [cmap.for_key(key) for key in keys]
+
+    def test_uniform_length_fast_path(self):
+        keys = [struct.pack(">Q", i * 2654435761) for i in range(64)]
+        cmap = ClusterMap(collectors=5)
+        buf = np.frombuffer(b"".join(keys), dtype=np.uint8)
+        offsets = np.arange(0, 8 * 64, 8, dtype=np.int64)
+        lengths = np.full(64, 8, dtype=np.int64)
+        packed, lens = wire.pack_column(buf, offsets, lengths)
+        got = wire.shards_for_keys(packed, lens, 5).tolist()
+        assert got == [cmap.for_key(key) for key in keys]

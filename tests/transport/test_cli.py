@@ -16,13 +16,30 @@ def test_serve_smoke_writes_history_and_document(tmp_path, capsys):
     rendered = capsys.readouterr().out
     assert "PASS" in rendered
     document = json.loads(out.read_text())
-    assert document["schema"] == "repro-serve/1"
+    assert document["schema"] == "repro-serve/2"
     assert document["pass"] is True
     assert document["config"]["smoke"] is True
     assert document["config"]["reports"] == 200
+    assert document["config"]["vectorized"] is True
+    assert document["socket"]["frames_sent"] >= 1
     records = [json.loads(line) for line in
                history.read_text().splitlines()]
-    assert [r["schema"] for r in records] == ["repro-serve/1"]
+    assert [r["schema"] for r in records] == ["repro-serve/2"]
+
+
+def test_serve_smoke_multi_translator_scalar_fallbacks(tmp_path):
+    out = tmp_path / "serve-mt.json"
+    assert main(["serve", "--smoke", "--reports", "300",
+                 "--collectors", "3", "--translators", "2",
+                 "--scalar-translate", "--no-mmsg",
+                 "--drop", "0.02", "--reorder", "0.02",
+                 "--out", str(out)]) == 0
+    document = json.loads(out.read_text())
+    assert document["pass"] is True
+    assert document["config"]["translators"] == 2
+    assert document["config"]["use_mmsg"] is False
+    assert len(document["socket"]["lane_seqs"]) == 2
+    assert len(document["socket"]["translator"]["per_lane"]) == 2
 
 
 def test_deploy_skips_reference_pass(tmp_path):

@@ -16,7 +16,12 @@ import pytest
 
 from repro import obs
 from repro.core import packets
+from repro.core.cluster import ClusterMap
+from repro.core.translator import Translator
+from repro.transport.assembler import ReportAssembler
 from repro.transport.daemons import (
+    _attach_segments,
+    _release_segments,
     collector_daemon_main,
     provision_collector,
     segment_plan,
@@ -24,9 +29,12 @@ from repro.transport.daemons import (
 )
 from repro.transport.envelope import (
     KIND_ACK,
+    ack_delivered,
+    ack_lane,
     unwrap,
     wrap,
     wrap_end,
+    wrap_frame,
 )
 
 
@@ -66,6 +74,35 @@ class TestSegmentPlan:
         buffers = [bytearray(8)] * len(segment_plan(0))
         with pytest.raises(ValueError, match="size mismatch"):
             provision_collector("bad-buffers", buffers=buffers)
+
+
+class TestReleaseSegments:
+    def test_explicit_release_after_real_store_traffic(
+            self, fresh_registry, segments):
+        """The daemon teardown path: attach, translate real reports
+        into the mapped stores, then release — no ``gc.collect()``
+        crutch and no ``BufferError`` from a still-exported view."""
+        plan = segment_plan(0)
+        shms, buffers = _attach_segments(segments, plan)
+        collector = provision_collector("release-check", buffers=buffers)
+        translator = Translator("release-check-t", vectorized=False)
+        collector.connect_translator(translator)
+        assembler = ReportAssembler([translator],
+                                    ClusterMap(collectors=1),
+                                    batch_size=4)
+        for i in range(12):
+            assembler.feed(packets.make_report(
+                packets.KeyWrite(key=struct.pack(">I", i),
+                                 data=struct.pack(">Q", i)),
+                reporter_id=1))
+        assembler.finish()
+        del assembler, translator, collector
+        _release_segments(shms, buffers)       # must not raise
+        assert buffers == []
+        # A second close is the owner's job; attaching again proves the
+        # mapping really was released, not leaked.
+        shms2, buffers2 = _attach_segments(segments, plan)
+        _release_segments(shms2, buffers2)
 
 
 class TestCollectorDaemonMain:
@@ -145,11 +182,86 @@ class TestTranslatorDaemonMain:
             while acked <= n:
                 _seq, kind, payload = unwrap(ctrl_sock.recv(65535))
                 if kind == KIND_ACK:
-                    acked = struct.unpack(">Q", payload)[0]
+                    acked = ack_delivered(payload)
+                    assert ack_lane(payload) == 0
             parent_conn.send(("stop", None))
             tag, final_stats = parent_conn.recv()
             assert tag == "stopped"
             assert final_stats["delivered"] == n + 1   # reports + END
+            assert final_stats["ctrl_datagrams_sent"] >= 1
+            assert final_stats["ctrl_bytes_sent"] > 0
+        finally:
+            thread.join(timeout=10)
+            ctrl_sock.close()
+            data_sock.close()
+        assert not thread.is_alive()
+
+    @pytest.mark.parametrize("use_mmsg", [None, False])
+    def test_frames_ack_cadence_and_lane_stamp(self, fresh_registry,
+                                               segments, use_mmsg):
+        """Coalesced frames drain like singles; ack_every and the lane
+        byte are honoured; the fallback receive path decodes the same
+        traffic (use_mmsg=False forces recvmsg_into)."""
+        ctrl_sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        ctrl_sock.bind(("127.0.0.1", 0))
+        ctrl_sock.settimeout(5.0)
+        parent_conn, child_conn = multiprocessing.Pipe()
+        thread = threading.Thread(
+            target=translator_daemon_main,
+            args=([segments], 0, False, 16,
+                  ctrl_sock.getsockname(), child_conn),
+            kwargs={"lane": 3, "ack_every": 4, "use_mmsg": use_mmsg},
+            daemon=True)
+        thread.start()
+        try:
+            tag, port = parent_conn.recv()
+            assert tag == "ready"
+            data_sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+            n_frames, per_frame = 8, 5
+
+            def frame(seq, count):
+                reports = []
+                for _ in range(per_frame):
+                    reports.append(packets.make_report(
+                        packets.KeyWrite(key=struct.pack(">I", count),
+                                         data=struct.pack(">Q", count)),
+                        reporter_id=1))
+                    count += 1
+                return wrap_frame(seq, reports), count
+
+            count = 0
+            for seq in range(4):
+                datagram, count = frame(seq, count)
+                data_sock.sendto(datagram, ("127.0.0.1", port))
+            # ack_every=4: an ACK for the first four envelopes must
+            # arrive before any END exists, stamped with our lane.
+            acked = 0
+            while acked < 4:
+                _seq, kind, payload = unwrap(ctrl_sock.recv(65535))
+                if kind == KIND_ACK:
+                    assert ack_lane(payload) == 3
+                    acked = ack_delivered(payload)
+            assert acked == 4
+            for seq in range(4, n_frames):
+                datagram, count = frame(seq, count)
+                data_sock.sendto(datagram, ("127.0.0.1", port))
+            data_sock.sendto(wrap_end(n_frames, count),
+                             ("127.0.0.1", port))
+            tag, stats = parent_conn.recv()
+            assert tag == "drained"
+            assert stats["reports"] == count
+            assert stats["expected_reports"] == count
+            assert stats["malformed"] == 0
+            assert stats["lane"] == 3
+            while acked <= n_frames:
+                _seq, kind, payload = unwrap(ctrl_sock.recv(65535))
+                if kind == KIND_ACK:
+                    assert ack_lane(payload) == 3
+                    acked = ack_delivered(payload)
+            parent_conn.send(("stop", None))
+            tag, final_stats = parent_conn.recv()
+            assert tag == "stopped"
+            assert final_stats["delivered"] == n_frames + 1
         finally:
             thread.join(timeout=10)
             ctrl_sock.close()

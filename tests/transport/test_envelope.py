@@ -10,14 +10,19 @@ from repro.transport.envelope import (
     KIND_ACK,
     KIND_CTRL,
     KIND_END,
+    KIND_FRAME,
     KIND_REPORT,
+    MAX_FRAME_REPORTS,
     Reassembler,
     ack_delivered,
+    ack_lane,
     end_total,
     unwrap,
+    unwrap_frame,
     wrap,
     wrap_ack,
     wrap_end,
+    wrap_frame,
 )
 
 
@@ -41,6 +46,13 @@ class TestEnvelopeCodec:
         assert kind == KIND_ACK
         assert ack_delivered(payload) == 999
 
+    def test_ack_carries_lane(self):
+        _, _, payload = unwrap(wrap_ack(3, 999, lane=5))
+        assert ack_delivered(payload) == 999
+        assert ack_lane(payload) == 5
+        # Legacy 8-byte payloads (pre-lane) decode as lane 0.
+        assert ack_lane(payload[:8]) == 0
+
     def test_short_datagram_rejected(self):
         with pytest.raises(ValueError):
             unwrap(b"\x00" * 8)
@@ -50,6 +62,36 @@ class TestEnvelopeCodec:
             end_total(b"\x00\x01")
         with pytest.raises(ValueError):
             ack_delivered(b"")
+
+
+class TestFrameCodec:
+    def test_roundtrip_preserves_boundaries(self):
+        reports = [b"alpha", b"", b"b", b"gamma-gamma"]
+        seq, kind, payload = unwrap(wrap_frame(9, reports))
+        assert (seq, kind) == (9, KIND_FRAME)
+        assert unwrap_frame(payload) == reports
+
+    def test_empty_frame(self):
+        _, kind, payload = unwrap(wrap_frame(0, []))
+        assert kind == KIND_FRAME
+        assert unwrap_frame(payload) == []
+
+    def test_report_cap_enforced(self):
+        with pytest.raises(ValueError):
+            wrap_frame(0, [b"x"] * (MAX_FRAME_REPORTS + 1))
+
+    def test_truncations_rejected(self):
+        _, _, payload = unwrap(wrap_frame(0, [b"abc", b"defg"]))
+        with pytest.raises(ValueError):
+            unwrap_frame(b"")                       # no count
+        with pytest.raises(ValueError):
+            unwrap_frame(b"\x00\x03\x00\x01")       # table truncated
+        with pytest.raises(ValueError):
+            unwrap_frame(payload[:-1])              # body truncated
+
+    def test_trailing_bytes_ignored(self):
+        _, _, payload = unwrap(wrap_frame(0, [b"abc"]))
+        assert unwrap_frame(payload + b"\xff\xff") == [b"abc"]
 
 
 class TestReassembler:

@@ -87,3 +87,36 @@ class TestLossShim:
 
     def test_shim_type(self):
         assert isinstance(LossSpec().shim(), LossShim)
+
+
+class TestStepMany:
+    @pytest.mark.parametrize("spec", [
+        LossSpec(),
+        LossSpec(seed=11, drop_rate=0.2),
+        LossSpec(seed=12, reorder_rate=0.3, reorder_span=5),
+        LossSpec(seed=13, drop_rate=0.1, reorder_rate=0.1),
+    ])
+    def test_matches_repeated_step(self, spec):
+        data = _datagrams(400)
+        scalar = spec.shim()
+        out_scalar = []
+        for d in data:
+            out_scalar.extend(scalar.step(d))
+        bulk = spec.shim()
+        out_bulk = bulk.step_many(data)
+        assert out_bulk == out_scalar
+        assert (bulk.dropped, bulk.reordered, bulk.passed) == (
+            scalar.dropped, scalar.reordered, scalar.passed)
+        # Tail state matches too: same held datagrams flush next.
+        assert bulk.flush() == scalar.flush()
+
+    def test_interleaves_with_step(self):
+        spec = LossSpec(seed=14, drop_rate=0.1, reorder_rate=0.2)
+        data = _datagrams(300)
+        mixed = spec.shim()
+        out_mixed = list(mixed.step_many(data[:100]))
+        for d in data[100:200]:
+            out_mixed.extend(mixed.step(d))
+        out_mixed.extend(mixed.step_many(data[200:]))
+        out_mixed.extend(mixed.flush())
+        assert out_mixed == spec.shim().apply(data)

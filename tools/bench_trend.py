@@ -6,10 +6,15 @@ per-lane results); this tool renders the trajectory per lane so a perf
 regression shows up as a dip against history rather than a single
 number with no context.
 
+``repro serve``/``repro deploy`` documents (schema ``repro-serve/*``)
+land in the same history file; their socket-lane throughput shows up
+as the synthetic ``repro-serve`` lane in every mode.
+
 Usage::
 
     python tools/bench_trend.py                      # all lanes
     python tools/bench_trend.py --lane key_increment
+    python tools/bench_trend.py --lane repro-serve   # deployment lane
     python tools/bench_trend.py --mode vectorized --last 10
 """
 
@@ -18,6 +23,9 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+
+#: Synthetic lane name for deployment-lane (``repro serve``) records.
+SERVE_LANE = "repro-serve"
 
 
 def load_history(path: str) -> list[dict]:
@@ -39,7 +47,15 @@ def load_history(path: str) -> list[dict]:
     return records
 
 
+def _is_serve(record: dict) -> bool:
+    return str(record.get("schema", "")).startswith("repro-serve")
+
+
 def _cell_rps(record: dict, lane: str, mode: str):
+    if lane == SERVE_LANE:
+        if _is_serve(record):
+            return record.get("socket", {}).get("reports_per_sec")
+        return None
     cell = record.get("results", {}).get(lane, {}).get(mode)
     return cell.get("reports_per_sec") if cell else None
 
@@ -50,6 +66,8 @@ def render_trend(records: list[dict], *, lane: str | None = None,
         records = records[-last:]
     lanes = sorted({name for record in records
                     for name in record.get("results", {})})
+    if any(_is_serve(record) for record in records):
+        lanes.append(SERVE_LANE)
     if lane:
         if lane not in lanes:
             return (f"lane '{lane}' not in history "
