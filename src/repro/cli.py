@@ -444,6 +444,10 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.transport.cli import add_transport_parsers
 
     add_transport_parsers(sub)
+
+    from repro.retention.cli import add_retain_parser
+
+    add_retain_parser(sub)
     return parser
 
 

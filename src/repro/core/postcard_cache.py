@@ -151,6 +151,20 @@ class PostcardCache:
                 out.append(self._emit(i, "collision"))
         return out
 
+    def resident(self) -> list:
+        """``(row index, key)`` of every occupied row (for aging)."""
+        return [(i, row.key) for i, row in enumerate(self._rows)
+                if row is not None]
+
+    def evict(self, index: int, *, reason: str = "collision"
+              ) -> Emission | None:
+        """Force one row out (retention aging); None if already free."""
+        if not 0 <= index < self.slots:
+            raise IndexError(f"row {index} outside [0, {self.slots})")
+        if self._rows[index] is None:
+            return None
+        return self._emit(index, reason)
+
     @property
     def occupancy(self) -> int:
         return sum(1 for row in self._rows if row is not None)

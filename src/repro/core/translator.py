@@ -191,6 +191,11 @@ class Translator(Node):
         self._ap: _AppendBinding | None = None
         self._sm: _SketchBinding | None = None
         self._pending_imm: int | None = None
+        #: Optional per-tenant quota table
+        #: (:class:`repro.retention.tenants.TenantTable`); consulted
+        #: right after the ingress meter, with the same verdict
+        #: mapping.  Installed by the retention tier.
+        self.tenants = None
         self._meter: Meter | None = None
         if rate_limit_mps is not None:
             self._meter = Meter(MeterConfig(
@@ -336,6 +341,14 @@ class Translator(Node):
         if self._meter is not None and not self._admit(header, raw, src):
             return
 
+        # Tenant quotas: the keyspace partition's own trTCM meter,
+        # consulted after the shared ingress meter with the same
+        # verdict mapping (over-quota essential -> CPU backlog,
+        # over-quota low-priority -> shed).
+        if self.tenants is not None \
+                and not self._admit_tenant(header, op, raw, src):
+            return
+
         # Loss detection for essential reports.
         if header.essential:
             nack = self.loss.check(
@@ -408,7 +421,8 @@ class Translator(Node):
         n = len(batch)
         if n == 0:
             return
-        if (self._meter is not None or batch.essential or batch.immediate):
+        if (self._meter is not None or self.tenants is not None
+                or batch.essential or batch.immediate):
             for raw in batch.iter_raw():
                 self.handle_report(raw, src=src)
             return
@@ -764,6 +778,29 @@ class Translator(Node):
             self.stats.rerouted_to_cpu += 1
         else:
             self.stats.low_priority_dropped += 1
+        return False
+
+    def _admit_tenant(self, header, op, raw: bytes,
+                      src: str | None) -> bool:
+        """Per-tenant quota check; mirrors :meth:`_admit`'s mapping."""
+        assert self.tenants is not None
+        key = getattr(op, "key", None)
+        color = self.tenants.admit(key, self.now)
+        if color.name == "GREEN":
+            return True
+        if color.name == "RED":
+            self.stats.congestion_signals += 1
+            obs.emit("translator", "congestion_signal", node=self.name,
+                     reporter=header.reporter_id, level=2)
+            self._send_control(src, header.reporter_id,
+                               CongestionSignal(level=2))
+        if header.essential:
+            self.cpu_backlog.append(raw)
+            self.stats.rerouted_to_cpu += 1
+            self.tenants.stats.deferred += 1
+        else:
+            self.stats.low_priority_dropped += 1
+            self.tenants.stats.rejected += 1
         return False
 
     def reinject_cpu_backlog(self, now: float, max_reports: int = 1024

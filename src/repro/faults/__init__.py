@@ -25,11 +25,13 @@ from repro.faults.recovery import (
     ha_star,
     recover_stream,
 )
+from repro.faults.retention import CrashRestoreResult, run_crash_restore
 from repro.faults.scenarios import ChaosResult, default_plan, run_chaos
 
 __all__ = [
     "KINDS",
     "ChaosResult",
+    "CrashRestoreResult",
     "FailoverManager",
     "FaultEvent",
     "FaultInjector",
@@ -41,4 +43,5 @@ __all__ = [
     "ha_star",
     "recover_stream",
     "run_chaos",
+    "run_crash_restore",
 ]

@@ -1,0 +1,274 @@
+"""Kill–restore–replay: the retention tier's chaos gate.
+
+The scenario the checkpoint format exists for: a collector dies
+mid-stream and a warm standby is provisioned from the last
+``repro-ckpt/1`` directory.  The checkpoint carries the store bytes,
+the epoch-rotation state, *and* the translator's exported
+:class:`~repro.core.flow_control.LossDetector` counters (stashed in
+the manifest's ``extra`` field) — so after restore the translator's
+expected-sequence state is rewound to the checkpoint boundary and the
+standard recovery sweep (:func:`repro.faults.recovery.drain_losses`)
+re-drives every essential report since from the reporters' local
+backups.
+
+Two seeded runs share one schedule:
+
+* the **reference** run is fault-free and records the final store
+  digest plus the full essential set;
+* the **chaos** run checkpoints at ``checkpoint_at``, crashes the
+  translator at ``crash_at`` (reports after that hit the floor —
+  backups still record them), then "kills" the collector by
+  provisioning a *fresh* one with identical geometry, restoring the
+  checkpoint into it, restarting the translator against it, importing
+  the checkpoint's loss state, and draining.
+
+Convergence is judged three ways: every essential report is queryable
+post-restore (zero loss), a second recovery sweep finds no work and
+leaves the digest unchanged (stable fixpoint), and — with a single
+reporter, where replay order equals emission order — the restored
+store digest is *bit-exact* against the fault-free reference.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from dataclasses import dataclass, field
+
+from repro import obs
+from repro.core.collector import Collector
+from repro.core.reporter import Reporter
+from repro.core.translator import Translator
+from repro.faults.recovery import drain_losses
+from repro.retention.epochs import RetentionPolicy
+from repro.retention.manager import RetentionManager
+from repro.runtime.engine import store_digest
+
+
+@dataclass
+class CrashRestoreResult:
+    """Outcome of one :func:`run_crash_restore` scenario."""
+
+    seed: int
+    n_reporters: int
+    total_essential: int
+    queryable: int
+    missing: list = field(default_factory=list)
+    missing_reference: list = field(default_factory=list)
+    replayed: int = 0
+    second_sweep: int = 0
+    digest_reference: str = ""
+    digest_restored: str = ""
+    digest_stable: bool = False
+    epoch_at_checkpoint: int = 0
+    epoch_restored: int = 0
+    checkpoint_path: str = ""
+
+    @property
+    def zero_loss(self) -> bool:
+        """No essential report lost *to the fault*.
+
+        Judged against the fault-free reference: a key the reference
+        run also cannot query back fell to an inherent Key-Write slot
+        collision (both candidate slots stomped by later keys), not to
+        the crash — the store digests match bit-for-bit either way.
+        """
+        return set(self.missing) <= set(self.missing_reference)
+
+    @property
+    def digest_match(self) -> bool:
+        return self.digest_reference == self.digest_restored
+
+    @property
+    def converged(self) -> bool:
+        """Recovery reached a fixpoint: nothing left to replay."""
+        return self.second_sweep == 0 and self.digest_stable
+
+    def summary(self) -> str:
+        return (f"crash-restore seed={self.seed} "
+                f"reporters={self.n_reporters}: "
+                f"{self.queryable}/{self.total_essential} essential "
+                f"queryable, {self.replayed} replayed, "
+                f"digest={'match' if self.digest_match else 'DIVERGED'}, "
+                f"{'converged' if self.converged else 'NOT CONVERGED'}")
+
+
+def _loss_state_from_extra(extra: dict) -> dict:
+    """Undo the JSON round-trip on an exported LossDetector state.
+
+    Reporter ids are ints; a trip through the checkpoint manifest's
+    JSON ``extra`` field stringifies the dict keys.  Coerce them back
+    before :meth:`~repro.core.flow_control.LossDetector.import_state`.
+    """
+    state = extra["loss"]
+    return {
+        "expected": {int(rid): seq
+                     for rid, seq in state["expected"].items()},
+        "awaiting": {int(rid): list(seqs)
+                     for rid, seqs in state["awaiting"].items()},
+    }
+
+
+def _build(*, slots: int, data_bytes: int, n_reporters: int,
+           window: int):
+    """One deployment: collector + translator + direct-mode reporters."""
+    collector = Collector()
+    collector.serve_keywrite(slots=slots, data_bytes=data_bytes)
+    translator = Translator()
+    collector.connect_translator(translator)
+    manager = RetentionManager(collector,
+                               policy=RetentionPolicy(window=window),
+                               translator=translator)
+    reporters = [Reporter(f"cr-r{rid}", rid,
+                          transmit=translator.handle_report)
+                 for rid in range(1, n_reporters + 1)]
+    return collector, translator, manager, reporters
+
+
+def _schedule(seed: int, n_reporters: int, rounds: int,
+              data_bytes: int) -> list:
+    """The shared workload: ``rounds`` interleaved essential rounds.
+
+    Round ``j`` emits one essential Key-Write per reporter (key
+    ``r{rid}-j{j}``); values are seed-derived so the reference and
+    chaos runs drive byte-identical streams.
+    """
+    import random
+
+    rng = random.Random(seed)
+    plan = []
+    for j in range(rounds):
+        emissions = []
+        for rid in range(1, n_reporters + 1):
+            key = f"r{rid}-j{j}".encode()
+            data = bytes(rng.randrange(256) for _ in range(data_bytes))
+            emissions.append((rid, key, data))
+        plan.append(emissions)
+    return plan
+
+
+def run_crash_restore(*, seed: int = 23, n_reporters: int = 2,
+                      rounds: int = 96, checkpoint_at: int = 48,
+                      crash_at: int = 72, rotate_every: int = 24,
+                      slots: int = 1 << 14, data_bytes: int = 8,
+                      redundancy: int = 2, window: int = 64,
+                      ckpt_dir: str | None = None) -> CrashRestoreResult:
+    """Kill a collector mid-stream; restore, replay, compare digests.
+
+    Args:
+        seed: Fixes the value stream; same seed → same schedule.
+        n_reporters: Reporters sharing the translator.  With 1, replay
+            order equals emission order and the restored digest must be
+            bit-exact against the reference.
+        rounds: Essential rounds (one report per reporter each).
+        checkpoint_at: Round after which the checkpoint is written.
+        crash_at: Round after which the translator fail-stops (the
+            collector "kill" — everything after is emitted into the
+            void; ``rounds - checkpoint_at`` must fit the reporters'
+            backup capacity so the sweep can recover it all).
+        rotate_every: Epoch rotation cadence, applied identically to
+            both runs (the window is large enough that nothing
+            expires; expiry correctness is the retention suite's job).
+        window: Retention window in epochs; keep it above
+            ``rounds / rotate_every`` so rotation never scrubs.
+        ckpt_dir: Where to write the checkpoint (temp dir when unset).
+    """
+    if not 0 < checkpoint_at <= crash_at <= rounds:
+        raise ValueError("need 0 < checkpoint_at <= crash_at <= rounds")
+    plan = _schedule(seed, n_reporters, rounds, data_bytes)
+    essential = [(key, data) for emissions in plan
+                 for _rid, key, data in emissions]
+
+    previous = obs.get_registry()
+    obs.set_registry(obs.Registry())
+    try:
+        # -- reference: the fault-free run -----------------------------
+        ref_collector, _tr, ref_manager, ref_reporters = _build(
+            slots=slots, data_bytes=data_bytes,
+            n_reporters=n_reporters, window=window)
+        for j, emissions in enumerate(plan):
+            for rid, key, data in emissions:
+                ref_reporters[rid - 1].key_write(
+                    key, data, redundancy=redundancy, essential=True)
+            if (j + 1) % rotate_every == 0:
+                ref_manager.rotate(age_cache=False)
+        digest_reference = store_digest(ref_collector)
+        missing_reference = [
+            key for key, data in essential
+            if not (result := ref_collector.keywrite.query(
+                key, redundancy=redundancy)).found
+            or result.value != data]
+
+        # -- chaos: checkpoint, crash, kill, restore, replay -----------
+        collector, translator, manager, reporters = _build(
+            slots=slots, data_bytes=data_bytes,
+            n_reporters=n_reporters, window=window)
+        tmp = None
+        if ckpt_dir is None:
+            tmp = tempfile.TemporaryDirectory(prefix="repro-crash-ckpt-")
+            ckpt_dir = tmp.name
+        path = f"{ckpt_dir}/crash-restore-ckpt"
+        try:
+            epoch_at_checkpoint = 0
+            for j, emissions in enumerate(plan):
+                for rid, key, data in emissions:
+                    reporters[rid - 1].key_write(
+                        key, data, redundancy=redundancy, essential=True)
+                if (j + 1) % rotate_every == 0 and j + 1 <= crash_at:
+                    manager.rotate(age_cache=False)
+                if j + 1 == checkpoint_at:
+                    manager.checkpoint(
+                        path, batch_seq=j + 1, overwrite=True,
+                        extra={"loss": translator.loss.export_state(),
+                               "round": j + 1})
+                    epoch_at_checkpoint = manager.current_epoch
+                if j + 1 == crash_at:
+                    # Fail-stop: the collector node dies with the
+                    # translator's path to it.  Reporters keep emitting
+                    # into the void; backups record every essential.
+                    translator.crash()
+
+            # Provision the standby from the checkpoint.
+            standby = Collector()
+            standby.serve_keywrite(slots=slots, data_bytes=data_bytes)
+            standby_manager = RetentionManager(
+                standby, policy=RetentionPolicy(window=window))
+            report = standby_manager.restore(path)
+            standby.connect_translator(translator)
+            translator.restart()
+            translator.loss.import_state(
+                _loss_state_from_extra(report.extra))
+
+            # The recovery sweep replays everything since the
+            # checkpoint from the reporters' backups.
+            replayed = drain_losses([translator], reporters)
+            digest_restored = store_digest(standby)
+
+            # Fixpoint: a second sweep must find nothing to do.
+            second = drain_losses([translator], reporters)
+            digest_stable = store_digest(standby) == digest_restored
+
+            missing = []
+            for key, data in essential:
+                result = standby.keywrite.query(key,
+                                               redundancy=redundancy)
+                if not result.found or result.value != data:
+                    missing.append(key)
+            return CrashRestoreResult(
+                seed=seed, n_reporters=n_reporters,
+                total_essential=len(essential),
+                queryable=len(essential) - len(missing),
+                missing=missing,
+                missing_reference=missing_reference,
+                replayed=replayed,
+                second_sweep=second,
+                digest_reference=digest_reference,
+                digest_restored=digest_restored,
+                digest_stable=digest_stable,
+                epoch_at_checkpoint=epoch_at_checkpoint,
+                epoch_restored=standby_manager.current_epoch,
+                checkpoint_path=path)
+        finally:
+            if tmp is not None:
+                tmp.cleanup()
+    finally:
+        obs.set_registry(previous)

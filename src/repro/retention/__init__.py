@@ -1,0 +1,44 @@
+"""Multi-tenant retention tier: epochs, checkpoints, quotas.
+
+The collector-side answer to "stores grow forever": time-windowed
+epoch rotation over all five DTA primitive stores
+(:mod:`repro.retention.epochs`), crash-consistent ``repro-ckpt/1``
+checkpoint/restore (:mod:`repro.retention.checkpoint`), per-tenant
+keyspace quotas riding the existing meter machinery
+(:mod:`repro.retention.tenants`), and the
+:class:`~repro.retention.manager.RetentionManager` that the streaming
+engine drives at batch boundaries under ``store_lock``.
+"""
+
+from repro.retention.checkpoint import (CHECKPOINT_SCHEMA, CheckpointError,
+                                        RestoreReport, read_manifest,
+                                        restore_checkpoint, write_checkpoint)
+from repro.retention.epochs import (EpochManager, RetentionPolicy,
+                                    RotationReport)
+from repro.retention.manager import RetentionManager, RetentionStats
+from repro.retention.tenants import TenantSpec, TenantStats, TenantTable
+
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "CheckpointError",
+    "EpochManager",
+    "RestoreReport",
+    "RetentionManager",
+    "RetentionPolicy",
+    "RetentionStats",
+    "RotationReport",
+    "TenantSpec",
+    "TenantStats",
+    "TenantTable",
+    "read_manifest",
+    "reset_state",
+    "restore_checkpoint",
+    "write_checkpoint",
+]
+
+
+def reset_state() -> None:
+    """Clear module-global retention state (test-suite hygiene)."""
+    from repro.retention import checkpoint as _checkpoint
+
+    _checkpoint.reset_state()

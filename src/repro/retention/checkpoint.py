@@ -1,0 +1,274 @@
+"""Crash-consistent collector checkpoints (``repro-ckpt/1``).
+
+A checkpoint is a *directory*: one binary file per served store region
+(plus the epoch manager's baseline/delta blobs) and a ``MANIFEST.json``
+naming every file with its length and CRC-32.  Crash consistency comes
+from the classic write-temp/fsync/rename dance:
+
+1. every blob is written and fsynced into ``<path>.tmp.<pid>.<n>``,
+2. the manifest is written and fsynced last,
+3. the temp directory is atomically renamed onto ``<path>``,
+4. the parent directory is fsynced.
+
+A crash at any point leaves either the old checkpoint or the new one —
+never a torn mix — and a temp directory that a later overwrite simply
+ignores.  Restore is validate-then-apply: *every* byte of *every*
+region is read and CRC-checked against the manifest before the first
+store mutation, so a corrupt checkpoint is rejected with
+:class:`CheckpointError` and the collector is left untouched — never a
+partial restore.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import shutil
+import zlib
+from dataclasses import dataclass
+
+from repro.queries.snapshot import STORE_ATTRS
+from repro.runtime.engine import store_digest
+
+#: The one manifest schema this build reads and writes.
+CHECKPOINT_SCHEMA = "repro-ckpt/1"
+MANIFEST_NAME = "MANIFEST.json"
+
+#: Layout fields recorded per store — restore refuses a geometry
+#: mismatch before touching any region.
+_LAYOUT_PARAMS = {
+    "keywrite": ("slots", "data_bytes"),
+    "keyincrement": ("slots_per_row", "rows"),
+    "postcarding": ("chunks", "hops", "slot_bits", "pad_to"),
+    "append": ("lists", "capacity", "data_bytes"),
+    "sketch": ("width", "depth"),
+}
+
+#: Monotonic suffix for temp directories (unique within a process).
+_TMP_SEQ = itertools.count()
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint could not be written or failed validation."""
+
+
+@dataclass(frozen=True)
+class RestoreReport:
+    """What a successful restore brought back."""
+
+    path: str
+    batch_seq: int | None
+    attrs: tuple
+    store_digest: str
+    extra: dict | None
+
+
+def reset_state() -> None:
+    """Reset module-global state (the temp-directory counter).
+
+    The test suite's autouse fixture calls this so checkpoint temp
+    names are deterministic per test regardless of execution order.
+    """
+    global _TMP_SEQ
+    _TMP_SEQ = itertools.count()
+
+
+def _layout_params(store, attr: str) -> dict:
+    return {key: getattr(store.layout, key)
+            for key in _LAYOUT_PARAMS[attr]}
+
+
+def _write_blob(path: str, data: bytes) -> None:
+    with open(path, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def _fsync_dir(path: str) -> None:
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def write_checkpoint(collector, path: str, *, manager=None,
+                     batch_seq: int | None = None, extra: dict | None = None,
+                     overwrite: bool = False) -> str:
+    """Write a ``repro-ckpt/1`` checkpoint directory; returns its manifest.
+
+    Args:
+        collector: The provisioned collector whose regions to persist.
+        path: Checkpoint directory (created atomically).
+        manager: Optional :class:`~repro.retention.epochs.EpochManager`
+            whose epoch state rides along (baselines, generations,
+            deltas, sealed segments).
+        batch_seq: The engine batch boundary this checkpoint reflects.
+        extra: JSON-able sidecar (e.g. exported ``LossDetector`` state)
+            for the restore-and-replay path.
+        overwrite: Replace an existing checkpoint at ``path``; without
+            it an existing path is an error.
+    """
+    path = os.path.abspath(path)
+    if os.path.exists(path) and not overwrite:
+        raise CheckpointError(f"checkpoint exists: {path}")
+    parent = os.path.dirname(path) or "."
+    tmp = f"{path}.tmp.{os.getpid()}.{next(_TMP_SEQ)}"
+    os.makedirs(tmp)
+    try:
+        regions = []
+        for attr in STORE_ATTRS:
+            store = getattr(collector, attr, None)
+            region = getattr(store, "region", None)
+            if region is None:
+                continue
+            data = bytes(region.buf)
+            file_name = f"{attr}.bin"
+            _write_blob(os.path.join(tmp, file_name), data)
+            regions.append({"attr": attr, "file": file_name,
+                            "length": len(data),
+                            "crc32": zlib.crc32(data),
+                            "params": _layout_params(store, attr)})
+        if not regions:
+            raise CheckpointError("collector serves no stores")
+        retention = None
+        if manager is not None:
+            meta, blobs = manager.export_state()
+            blob_entries = []
+            for name in sorted(blobs):
+                blob = blobs[name]
+                file_name = "ret_" + name.replace(".", "_") + ".bin"
+                _write_blob(os.path.join(tmp, file_name), blob)
+                blob_entries.append({"name": name, "file": file_name,
+                                     "length": len(blob),
+                                     "crc32": zlib.crc32(blob)})
+            retention = {"meta": meta, "blobs": blob_entries}
+        manifest = {"schema": CHECKPOINT_SCHEMA,
+                    "batch_seq": batch_seq,
+                    "store_digest": store_digest(collector),
+                    "regions": regions,
+                    "retention": retention,
+                    "extra": extra}
+        _write_blob(os.path.join(tmp, MANIFEST_NAME),
+                    json.dumps(manifest, sort_keys=True,
+                               indent=1).encode("utf-8"))
+        _fsync_dir(tmp)
+    except CheckpointError:
+        shutil.rmtree(tmp, ignore_errors=True)
+        raise
+    except OSError as exc:
+        shutil.rmtree(tmp, ignore_errors=True)
+        raise CheckpointError(f"checkpoint write failed: {exc}") from exc
+    if os.path.exists(path):
+        displaced = f"{tmp}.old"
+        os.rename(path, displaced)
+        os.rename(tmp, path)
+        shutil.rmtree(displaced, ignore_errors=True)
+    else:
+        os.rename(tmp, path)
+    _fsync_dir(parent)
+    return os.path.join(path, MANIFEST_NAME)
+
+
+def read_manifest(path: str) -> dict:
+    """Load and schema-check a checkpoint manifest (no region reads)."""
+    manifest_path = os.path.join(path, MANIFEST_NAME)
+    try:
+        with open(manifest_path, "rb") as handle:
+            manifest = json.loads(handle.read().decode("utf-8"))
+    except FileNotFoundError as exc:
+        raise CheckpointError(f"no manifest at {manifest_path}") from exc
+    except (OSError, ValueError, UnicodeDecodeError) as exc:
+        raise CheckpointError(f"unreadable manifest: {exc}") from exc
+    schema = manifest.get("schema")
+    if schema != CHECKPOINT_SCHEMA:
+        raise CheckpointError(
+            f"unsupported checkpoint schema {schema!r} "
+            f"(this build reads {CHECKPOINT_SCHEMA!r})")
+    if not isinstance(manifest.get("regions"), list):
+        raise CheckpointError("manifest has no region table")
+    return manifest
+
+
+def _read_blob(path: str, entry: dict, what: str) -> bytes:
+    try:
+        with open(path, "rb") as handle:
+            data = handle.read()
+    except OSError as exc:
+        raise CheckpointError(f"{what}: unreadable ({exc})") from exc
+    if len(data) != entry["length"]:
+        raise CheckpointError(
+            f"{what}: truncated ({len(data)}B, manifest says "
+            f"{entry['length']}B)")
+    crc = zlib.crc32(data)
+    if crc != entry["crc32"]:
+        raise CheckpointError(
+            f"{what}: CRC mismatch ({crc:#010x} != "
+            f"{entry['crc32']:#010x})")
+    return data
+
+
+def restore_checkpoint(collector, path: str, *,
+                       manager=None) -> RestoreReport:
+    """Validate-then-apply restore of a ``repro-ckpt/1`` checkpoint.
+
+    The target collector must already be provisioned with the *same*
+    store set and layouts the checkpoint recorded (restore re-populates
+    registered regions; it does not provision).  Every byte is staged
+    and CRC-verified before the first region mutation — on any
+    :class:`CheckpointError` the collector is bit-for-bit unchanged.
+    """
+    path = os.path.abspath(path)
+    manifest = read_manifest(path)
+    served = {attr for attr in STORE_ATTRS
+              if getattr(getattr(collector, attr, None), "region", None)
+              is not None}
+    recorded = {entry["attr"] for entry in manifest["regions"]}
+    if served != recorded:
+        raise CheckpointError(
+            f"store set mismatch: checkpoint has {sorted(recorded)}, "
+            f"collector serves {sorted(served)}")
+    staged = []
+    for entry in manifest["regions"]:
+        attr = entry["attr"]
+        store = getattr(collector, attr)
+        params = _layout_params(store, attr)
+        if params != entry["params"]:
+            raise CheckpointError(
+                f"{attr}: layout mismatch (checkpoint {entry['params']}, "
+                f"collector {params})")
+        data = _read_blob(os.path.join(path, entry["file"]), entry,
+                          f"region '{attr}'")
+        if len(data) != store.region.length:
+            raise CheckpointError(
+                f"{attr}: region is {store.region.length}B, checkpoint "
+                f"holds {len(data)}B")
+        staged.append((store.region, data))
+    retention = manifest.get("retention")
+    staged_blobs: dict = {}
+    if retention is not None and manager is not None:
+        for entry in retention["blobs"]:
+            staged_blobs[entry["name"]] = _read_blob(
+                os.path.join(path, entry["file"]), entry,
+                f"retention blob '{entry['name']}'")
+    # Every byte validated; mutation starts here and cannot fail short
+    # of the process dying (plain memcpy into registered regions).
+    for region, data in staged:
+        region.buf[:] = data
+    if retention is not None and manager is not None:
+        try:
+            manager.import_state(retention["meta"], staged_blobs)
+        except (KeyError, ValueError) as exc:
+            raise CheckpointError(
+                f"retention state rejected: {exc}") from exc
+    digest = store_digest(collector)
+    if digest != manifest["store_digest"]:
+        raise CheckpointError(
+            "post-restore digest mismatch (manifest lied about its own "
+            "regions)")
+    return RestoreReport(path=path, batch_seq=manifest.get("batch_seq"),
+                         attrs=tuple(sorted(recorded)),
+                         store_digest=digest,
+                         extra=manifest.get("extra"))

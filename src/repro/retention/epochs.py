@@ -1,0 +1,506 @@
+"""Time-windowed epoch rotation over the five collector stores.
+
+DTA's collector stores are write-only RDMA regions: reporters stream
+into them at line rate and nothing ever leaves.  That is fine for the
+paper's evaluation windows and fatal for a long-running collector —
+the BTrDB/Confluo baselines both treat windowed retention as table
+stakes.  This module adds it *without* touching the ingest path: an
+:class:`EpochManager` owns an epoch counter and, at each rotation,
+derives what changed since the previous rotation straight from the
+region bytes — the stores themselves stay ignorant of epochs, exactly
+as the DTA translator stays ignorant of what the collector CPU does
+with landed data.
+
+Per-store rotation strategies (one tracker each):
+
+Key-Write / Postcarding (``_SlotTracker``)
+    Fixed-size cells (slots / chunks) get a *generation tag*: at
+    rotation, every cell whose bytes differ from the previous
+    rotation's baseline is stamped with the epoch being sealed.
+    Expiry zeroes cells whose generation fell out of the window —
+    slot recycling.  A recycled slot's generation drops to 0, so a
+    later rewrite is stamped with the *new* epoch; a stale generation
+    can never resurrect.
+
+Key-Increment / Sketch-Merge (``_DeltaTracker``)
+    Counters are cumulative, so zeroing would destroy the live
+    window.  Instead each rotation records the per-epoch *delta*
+    (modular difference against the previous baseline) and expiry
+    *subtracts* the expired epoch's delta from the live counters —
+    decay.  The live region is then exactly the CMS/sketch of the
+    retained window's increments, so the usual error bounds hold over
+    the window.  Expired deltas are *merged down* into one coarse
+    aggregate per store (``merged``), preserving all-time totals for
+    epoch-scoped queries at O(1) memory.
+
+    The Sketch-Merge store runs the tracker in *reset-stream* mode:
+    DTA reporters build a fresh sketch per epoch and re-stream every
+    column (Section 3.2 — ``Translator.reset_sketch_epoch`` clears the
+    merge cursors), and the column transfer *overwrites* region bytes
+    rather than incrementing them.  So the sealed epoch's delta is the
+    region snapshot itself; sealing zeroes the region for the next
+    sweep, and expiry only moves deltas into the merged aggregate —
+    there is nothing to decay.  Pair rotation with the translator-side
+    cursor reset (the explicit :meth:`~repro.retention.manager.
+    RetentionManager.rotate` path does this) and keep engine-driven
+    cadence aligned with sketch epoch boundaries.
+
+Append (``_SegmentTracker``)
+    Each rotation seals a ``(epoch, start_head, end_head)`` segment
+    per ring list; the published head is recovered from the lap tags
+    in the region itself (what has *landed*, not what the translator
+    has emitted — rotation must never seal bytes a deferred burst has
+    yet to apply).  Expiry scrubs an expired segment's entries unless
+    a later lap already overwrote them.
+
+Postcard-cache aging lives in :class:`~repro.retention.manager.
+RetentionManager` (it needs the translator); everything here touches
+only collector memory, which is why the engine can call
+:meth:`EpochManager.rotate` under ``store_lock`` at a batch boundary
+(the PR 6 snapshot rule) with no other coordination.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.stores.append import lap_tag
+from repro.kernels import HAVE_NUMPY
+
+if HAVE_NUMPY:
+    import numpy as np
+
+#: Rotation reports kept for introspection (`repro retain`, tests).
+MAX_REPORTS = 256
+
+
+@dataclass(frozen=True)
+class RetentionPolicy:
+    """How long sealed epochs live and how often the engine rotates.
+
+    Args:
+        window: Sealed epochs retained.  After sealing epoch ``e``,
+            every epoch ``<= e - window`` expires; ``window=1`` keeps
+            the just-sealed epoch plus the currently accumulating one
+            — at most two epochs' worth of store bytes.
+        rotate_every: Engine-driven cadence in submitted batches; the
+            :class:`~repro.runtime.engine.StreamEngine` rotates before
+            applying the first burst of batch ``k * rotate_every``.
+            ``None`` leaves rotation fully manual.
+    """
+
+    window: int = 2
+    rotate_every: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+        if self.rotate_every is not None and self.rotate_every < 1:
+            raise ValueError("rotate_every must be >= 1")
+
+
+@dataclass
+class RotationReport:
+    """What one rotation sealed and what it expired."""
+
+    epoch: int                      # the epoch just sealed
+    cutoff: int                     # epochs <= cutoff expired
+    changed: dict = field(default_factory=dict)   # attr -> cells sealed
+    expired: dict = field(default_factory=dict)   # attr -> cells scrubbed
+    live: dict = field(default_factory=dict)      # attr -> live cells after
+
+
+class _SlotTracker:
+    """Generation tags per fixed-size cell, derived by byte diffing."""
+
+    kind = "slots"
+
+    def __init__(self, region, cells: int, cell_bytes: int) -> None:
+        self.region = region
+        self.cells = cells
+        self.cell_bytes = cell_bytes
+        self.gens = [0] * cells
+        self._prev = bytes(cells * cell_bytes)
+
+    def _current(self) -> bytes:
+        return bytes(self.region.buf[:self.cells * self.cell_bytes])
+
+    def observe(self, epoch: int) -> int:
+        """Stamp every cell that changed since the last rotation."""
+        cur = self._current()
+        changed = self._changed_cells(cur)
+        for index in changed:
+            self.gens[index] = epoch
+        self._prev = cur
+        return len(changed)
+
+    def _changed_cells(self, cur: bytes) -> list:
+        if HAVE_NUMPY:
+            shape = (self.cells, self.cell_bytes)
+            a = np.frombuffer(cur, dtype=np.uint8).reshape(shape)
+            b = np.frombuffer(self._prev, dtype=np.uint8).reshape(shape)
+            return np.nonzero((a != b).any(axis=1))[0].tolist()
+        width = self.cell_bytes
+        prev = self._prev
+        return [i for i in range(self.cells)
+                if cur[i * width:(i + 1) * width]
+                != prev[i * width:(i + 1) * width]]
+
+    def expire(self, cutoff: int) -> int:
+        """Zero every cell whose generation fell out of the window."""
+        recycled = 0
+        width = self.cell_bytes
+        zero = b"\x00" * width
+        for index, gen in enumerate(self.gens):
+            if gen and gen <= cutoff:
+                self.region.local_write(index * width, zero)
+                self.gens[index] = 0
+                recycled += 1
+        if recycled:
+            # Scrubbing must not read back as a fresh write next epoch.
+            self._prev = self._current()
+        return recycled
+
+    @property
+    def live(self) -> int:
+        return sum(1 for gen in self.gens if gen)
+
+    def export_state(self):
+        meta = {"kind": self.kind, "cells": self.cells,
+                "cell_bytes": self.cell_bytes}
+        blobs = {"gens": struct.pack(f"<{self.cells}I", *self.gens),
+                 "prev": self._prev}
+        return meta, blobs
+
+    def import_state(self, meta, blobs) -> None:
+        if (meta.get("cells") != self.cells
+                or meta.get("cell_bytes") != self.cell_bytes):
+            raise ValueError("slot tracker geometry mismatch")
+        self.gens = list(struct.unpack(f"<{self.cells}I", blobs["gens"]))
+        self._prev = bytes(blobs["prev"])
+
+
+class _DeltaTracker:
+    """Per-epoch counter deltas; expiry subtracts, merge-down keeps sums."""
+
+    kind = "deltas"
+
+    def __init__(self, region, count: int, fmt: str, mod: int, *,
+                 reset_stream: bool = False) -> None:
+        self.region = region
+        self.count = count
+        self.fmt = fmt                     # e.g. "<2048Q" / ">128I"
+        self.mod = mod
+        self.reset_stream = reset_stream
+        self.nbytes = struct.calcsize(fmt)
+        self._prev = (0,) * count
+        self.deltas: deque = deque()       # (epoch, tuple of deltas)
+        self.merged = (0,) * count         # expired epochs, merged down
+
+    def _read(self) -> tuple:
+        return struct.unpack(self.fmt, bytes(self.region.buf[:self.nbytes]))
+
+    def observe(self, epoch: int) -> int:
+        cur = self._read()
+        mod = self.mod
+        if self.reset_stream:
+            # The region *is* the sealed epoch's matrix (per-epoch
+            # re-streamed sketch); zero it for the next sweep so stale
+            # columns can never recount.
+            delta = cur
+            nonzero = sum(1 for d in delta if d)
+            if nonzero:
+                self.deltas.append((epoch, delta))
+                self.region.local_write(0, b"\x00" * self.nbytes)
+            self._prev = (0,) * self.count
+            return nonzero
+        delta = tuple((c - p) % mod for c, p in zip(cur, self._prev))
+        nonzero = sum(1 for d in delta if d)
+        if nonzero:
+            self.deltas.append((epoch, delta))
+        self._prev = cur
+        return nonzero
+
+    def expire(self, cutoff: int) -> int:
+        expired = 0
+        mod = self.mod
+        while self.deltas and self.deltas[0][0] <= cutoff:
+            _epoch, delta = self.deltas.popleft()
+            if not self.reset_stream:
+                # Decay: the live region still accumulates, subtract
+                # the expired slice out of it.
+                cur = self._read()
+                decayed = tuple((c - d) % mod
+                                for c, d in zip(cur, delta))
+                self.region.local_write(0,
+                                        struct.pack(self.fmt, *decayed))
+                self._prev = decayed
+            self.merged = tuple((m + d) % mod
+                                for m, d in zip(self.merged, delta))
+            expired += sum(1 for d in delta if d)
+        return expired
+
+    @property
+    def live(self) -> int:
+        return sum(1 for value in self._read() if value)
+
+    def epoch_delta(self, epoch: int) -> tuple | None:
+        for held, delta in self.deltas:
+            if held == epoch:
+                return delta
+        return None
+
+    def export_state(self):
+        meta = {"kind": self.kind, "count": self.count, "fmt": self.fmt,
+                "reset": self.reset_stream,
+                "epochs": [epoch for epoch, _ in self.deltas]}
+        blobs = {"prev": struct.pack(self.fmt, *self._prev),
+                 "merged": struct.pack(self.fmt, *self.merged)}
+        for epoch, delta in self.deltas:
+            blobs[f"delta.{epoch}"] = struct.pack(self.fmt, *delta)
+        return meta, blobs
+
+    def import_state(self, meta, blobs) -> None:
+        if (meta.get("count") != self.count
+                or meta.get("fmt") != self.fmt
+                or bool(meta.get("reset", False)) != self.reset_stream):
+            raise ValueError("delta tracker geometry mismatch")
+        self._prev = struct.unpack(self.fmt, blobs["prev"])
+        self.merged = struct.unpack(self.fmt, blobs["merged"])
+        self.deltas = deque(
+            (epoch, struct.unpack(self.fmt, blobs[f"delta.{epoch}"]))
+            for epoch in meta.get("epochs", ()))
+
+
+class _SegmentTracker:
+    """Sealed ``(epoch, start, end)`` head ranges per Append ring list."""
+
+    kind = "segments"
+
+    def __init__(self, region, layout) -> None:
+        self.region = region
+        self.layout = layout
+        self.heads = [0] * layout.lists
+        self.segments: list[list] = [[] for _ in range(layout.lists)]
+
+    def _published_head(self, list_id: int) -> int:
+        """Advance past entries whose lap tag matches their position.
+
+        Reads the *region* (what has landed), never the translator's
+        emission heads — under the staged engine those run ahead of
+        the execute stage and would seal bytes that have not applied.
+        Bounded to one full lap per rotation; a writer outrunning the
+        rotation cadence by more than ``capacity`` entries per list
+        had those entries overwritten in-ring anyway.
+        """
+        layout = self.layout
+        head = self.heads[list_id]
+        base = layout.list_base(list_id) - layout.base_addr
+        entry_bytes = layout.entry_bytes
+        capacity = layout.capacity
+        buf = self.region.buf
+        limit = head + capacity
+        while head < limit:
+            slot = head % capacity
+            if buf[base + slot * entry_bytes] != lap_tag(head // capacity):
+                break
+            head += 1
+        return head
+
+    def observe(self, epoch: int) -> int:
+        sealed = 0
+        for list_id in range(self.layout.lists):
+            head = self._published_head(list_id)
+            start = self.heads[list_id]
+            if head > start:
+                self.segments[list_id].append([epoch, start, head])
+                sealed += head - start
+                self.heads[list_id] = head
+        return sealed
+
+    def expire(self, cutoff: int) -> int:
+        expired = 0
+        layout = self.layout
+        capacity = layout.capacity
+        entry_bytes = layout.entry_bytes
+        zero = b"\x00" * entry_bytes
+        for list_id in range(layout.lists):
+            base = layout.list_base(list_id) - layout.base_addr
+            keep = []
+            for segment in self.segments[list_id]:
+                epoch, start, end = segment
+                if epoch > cutoff:
+                    keep.append(segment)
+                    continue
+                for position in range(start, end):
+                    slot = position % capacity
+                    offset = base + slot * entry_bytes
+                    # Only scrub if this segment's write is still the
+                    # resident one — a later lap owns the slot now.
+                    if self.region.buf[offset] == lap_tag(
+                            position // capacity):
+                        self.region.local_write(offset, zero)
+                        expired += 1
+            self.segments[list_id] = keep
+        return expired
+
+    @property
+    def live(self) -> int:
+        return sum(end - start
+                   for per_list in self.segments
+                   for _epoch, start, end in per_list)
+
+    def list_segments(self, list_id: int) -> tuple:
+        return tuple((epoch, start, end)
+                     for epoch, start, end in self.segments[list_id])
+
+    def export_state(self):
+        meta = {"kind": self.kind, "heads": list(self.heads),
+                "segments": [[list(seg) for seg in per_list]
+                             for per_list in self.segments]}
+        return meta, {}
+
+    def import_state(self, meta, blobs) -> None:
+        heads = meta.get("heads")
+        segments = meta.get("segments")
+        if heads is None or len(heads) != self.layout.lists:
+            raise ValueError("segment tracker geometry mismatch")
+        self.heads = [int(h) for h in heads]
+        self.segments = [[[int(e), int(s), int(t)] for e, s, t in per_list]
+                         for per_list in segments]
+
+
+class EpochManager:
+    """Epoch numbering plus the per-store rotation trackers.
+
+    Built against an already-provisioned
+    :class:`~repro.core.collector.Collector`; a tracker exists per
+    *served* store, so partial deployments rotate whatever they have.
+    All region access is plain local reads/writes — callers serialize
+    against the store writer (the engine holds ``store_lock``).
+    """
+
+    def __init__(self, collector, *,
+                 policy: RetentionPolicy | None = None) -> None:
+        self.collector = collector
+        self.policy = policy or RetentionPolicy()
+        self.current_epoch = 1
+        self.rotations = 0
+        self.reports: list[RotationReport] = []
+        self.trackers: dict = {}
+        kw = collector.keywrite
+        if kw is not None:
+            self.trackers["keywrite"] = _SlotTracker(
+                kw.region, kw.layout.slots, kw.layout.slot_bytes)
+        pc = collector.postcarding
+        if pc is not None:
+            self.trackers["postcarding"] = _SlotTracker(
+                pc.region, pc.layout.chunks, pc.layout.pad_to)
+        ki = collector.keyincrement
+        if ki is not None:
+            count = ki.layout.rows * ki.layout.slots_per_row
+            self.trackers["keyincrement"] = _DeltaTracker(
+                ki.region, count, f"<{count}Q", 1 << 64)
+        sm = collector.sketch
+        if sm is not None:
+            count = sm.layout.width * sm.layout.depth
+            self.trackers["sketch"] = _DeltaTracker(
+                sm.region, count, f">{count}I", 1 << 32,
+                reset_stream=True)
+        ap = collector.append
+        if ap is not None:
+            self.trackers["append"] = _SegmentTracker(ap.region, ap.layout)
+
+    # ------------------------------------------------------------------
+    # Rotation
+    # ------------------------------------------------------------------
+
+    def rotate(self) -> RotationReport:
+        """Seal the current epoch; expire everything out of the window.
+
+        Observation runs before expiry, so a cell written in the
+        sealing epoch is never scrubbed by the same rotation (the
+        cutoff is strictly below the sealing epoch).
+        """
+        epoch = self.current_epoch
+        cutoff = epoch - self.policy.window
+        report = RotationReport(epoch=epoch, cutoff=cutoff)
+        for attr, tracker in self.trackers.items():
+            report.changed[attr] = tracker.observe(epoch)
+        for attr, tracker in self.trackers.items():
+            report.expired[attr] = tracker.expire(cutoff)
+            report.live[attr] = tracker.live
+        self.current_epoch = epoch + 1
+        self.rotations += 1
+        self.reports.append(report)
+        del self.reports[:-MAX_REPORTS]
+        return report
+
+    def retained_epochs(self) -> tuple:
+        """Epochs that may still hold live data (current one included)."""
+        cutoff = self.current_epoch - 1 - self.policy.window
+        return tuple(epoch
+                     for epoch in range(max(1, cutoff + 1),
+                                        self.current_epoch + 1))
+
+    # ------------------------------------------------------------------
+    # Epoch-scoped introspection (the query tier's raw material)
+    # ------------------------------------------------------------------
+
+    def cell_epoch(self, attr: str, index: int) -> int:
+        """Generation of a Key-Write slot / Postcarding chunk (0 = free)."""
+        tracker = self.trackers[attr]
+        if not isinstance(tracker, _SlotTracker):
+            raise ValueError(f"'{attr}' has no per-cell generations")
+        return tracker.gens[index]
+
+    def segments(self, list_id: int) -> tuple:
+        tracker = self.trackers["append"]
+        return tracker.list_segments(list_id)
+
+    def epoch_delta(self, attr: str, epoch: int) -> tuple | None:
+        tracker = self.trackers[attr]
+        if not isinstance(tracker, _DeltaTracker):
+            raise ValueError(f"'{attr}' has no per-epoch deltas")
+        return tracker.epoch_delta(epoch)
+
+    def merged_counters(self, attr: str) -> tuple:
+        tracker = self.trackers[attr]
+        if not isinstance(tracker, _DeltaTracker):
+            raise ValueError(f"'{attr}' has no merged aggregate")
+        return tracker.merged
+
+    # ------------------------------------------------------------------
+    # Checkpoint state (binary blobs ride in the checkpoint directory)
+    # ------------------------------------------------------------------
+
+    def export_state(self):
+        """``(meta, blobs)``: JSON-able metadata + named binary blobs."""
+        meta = {"epoch": self.current_epoch, "rotations": self.rotations,
+                "window": self.policy.window, "trackers": {}}
+        blobs: dict = {}
+        for attr, tracker in self.trackers.items():
+            tracker_meta, tracker_blobs = tracker.export_state()
+            meta["trackers"][attr] = tracker_meta
+            for name, blob in tracker_blobs.items():
+                blobs[f"{attr}.{name}"] = blob
+        return meta, blobs
+
+    def import_state(self, meta, blobs) -> None:
+        """Adopt a checkpoint's epoch state; geometry must match."""
+        trackers = meta.get("trackers", {})
+        if set(trackers) != set(self.trackers):
+            raise ValueError(
+                f"tracker set mismatch: checkpoint has "
+                f"{sorted(trackers)}, collector serves "
+                f"{sorted(self.trackers)}")
+        for attr, tracker in self.trackers.items():
+            prefix = f"{attr}."
+            scoped = {name[len(prefix):]: blob
+                      for name, blob in blobs.items()
+                      if name.startswith(prefix)}
+            tracker.import_state(trackers[attr], scoped)
+        self.current_epoch = int(meta["epoch"])
+        self.rotations = int(meta["rotations"])

@@ -1,0 +1,106 @@
+"""Per-tenant keyspace partitions with meter-enforced ingest quotas.
+
+A multi-tenant collector divides its keyspace by *prefix* — each
+:class:`TenantSpec` claims every key starting with its prefix and
+carries a trTCM :class:`~repro.switch.meters.MeterConfig` as its
+ingest quota.  The :class:`TenantTable` resolves keys by longest
+prefix match and marks the winning tenant's meter, reusing the exact
+machinery the translator's ingress meter runs (RFC 2698 two-rate
+three-color), so quota enforcement composes with — rather than forks —
+the flow-control path: the translator consults the table right after
+its ingress meter and maps the verdict the same way (``GREEN`` admits;
+over-quota essential reports reroute to the switch-CPU backlog for
+later re-injection, over-quota low-priority reports shed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import obs
+from repro.switch.meters import Meter, MeterColor, MeterConfig
+
+
+class TenantStats(obs.InstrumentedStats):
+    """Per-table admission counters (per-tenant detail on the meters)."""
+
+    component = "tenant"
+
+    admitted = obs.counter_field()
+    deferred = obs.counter_field()      # essential over quota -> backlog
+    rejected = obs.counter_field()      # low-priority over quota -> shed
+    unmatched = obs.counter_field()     # no tenant claims the key
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant: a keyspace prefix and its ingest quota."""
+
+    name: str
+    prefix: bytes
+    quota: MeterConfig
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        if not isinstance(self.prefix, bytes):
+            raise TypeError("tenant prefix must be bytes")
+
+
+class TenantTable:
+    """Longest-prefix-match tenant resolution plus quota metering.
+
+    Args:
+        specs: The tenants; prefixes may nest (longest match wins) but
+            exact duplicates are an error.
+        strict: When set, keys matching *no* tenant are treated as
+            over-quota (rejected/deferred); the default admits them
+            unmetered, which is the right posture for single-tenant
+            deployments gaining quotas incrementally.
+    """
+
+    def __init__(self, specs, *, strict: bool = False,
+                 name: str = "tenants") -> None:
+        specs = tuple(specs)
+        prefixes = [spec.prefix for spec in specs]
+        if len(set(prefixes)) != len(prefixes):
+            raise ValueError("duplicate tenant prefixes")
+        #: Longest prefix first, so the first match is the best match.
+        self.specs = tuple(sorted(specs, key=lambda spec: -len(spec.prefix)))
+        self.strict = strict
+        self.meters = {spec.name: Meter(spec.quota,
+                                        name=f"{name}-{spec.name}")
+                       for spec in self.specs}
+        self.stats = TenantStats(labels={"table": name})
+
+    def tenant_of(self, key) -> str | None:
+        """The owning tenant's name, or None for an unclaimed key."""
+        if not isinstance(key, bytes):
+            return None
+        for spec in self.specs:
+            if key.startswith(spec.prefix):
+                return spec.name
+        return None
+
+    def admit(self, key, now: float, *, size: float = 1.0) -> MeterColor:
+        """Mark the owning tenant's quota meter; GREEN means admitted.
+
+        Keys no tenant claims (or key-less ops like Append entries)
+        mark nothing: GREEN unless the table is ``strict``, in which
+        case they come back RED for the caller to shed.
+        """
+        tenant = self.tenant_of(key)
+        if tenant is None:
+            self.stats.unmatched += 1
+            if self.strict and key is not None:
+                return MeterColor.RED
+            self.stats.admitted += 1
+            return MeterColor.GREEN
+        color = self.meters[tenant].mark(now, size)
+        if color is MeterColor.GREEN:
+            self.stats.admitted += 1
+        return color
+
+    def marked(self, tenant: str) -> dict:
+        """Per-color counts for one tenant's meter."""
+        return self.meters[tenant].marked

@@ -206,6 +206,15 @@ class StreamEngine:
             unchanged) or ``"process"`` (plan workers as processes over
             shared-memory rings — see "Process executor" above).
             Ignored when ``workers=0``.
+        retention: Optional
+            :class:`~repro.retention.manager.RetentionManager`; its
+            ``on_batch`` hook runs in the execute stage under
+            :attr:`store_lock` *before* the first burst of each
+            ``rotate_every``-th batch applies, so epoch rotation lands
+            exactly on a batch boundary and snapshots never see a
+            half-rotated store.  Rotation points are batch sequence
+            numbers, so the retention counters stay digest-identical
+            across worker counts and executors.
         name: Label for the engine's link and metric series.
     """
 
@@ -213,6 +222,7 @@ class StreamEngine:
                  workers: int = 2, queue_depth: int = 64,
                  vectorized: bool | None = None,
                  executor: str = "thread",
+                 retention=None,
                  name: str = "stream") -> None:
         if workers < 0:
             raise ValueError("workers must be >= 0")
@@ -229,6 +239,7 @@ class StreamEngine:
         self.workers = min(workers, 4)
         self.queue_depth = queue_depth
         self.executor = executor
+        self.retention = retention
         self.name = name
         self.link = StreamLink(name=name)
         self._vectorized = bool(vectorized) and HAVE_NUMPY
@@ -492,6 +503,12 @@ class StreamEngine:
         stats = self._stage_stats["execute"]
         stats.carriers += 1
         with self.store_lock:
+            # Retention rotation fires *before* this burst applies:
+            # every batch below burst.seq is fully in the store and
+            # nothing of burst.seq is, so the epoch boundary coincides
+            # with a batch boundary (the PR 6 snapshot rule).
+            if self.retention is not None and burst.seq != FLUSH_SEQ:
+                self.retention.on_batch(burst.seq)
             for op in burst.ops:
                 kind = op[0]
                 if kind == "post":
@@ -521,7 +538,8 @@ class StreamEngine:
         """
         self._kw_plan = None
         self._ki_plan = None
-        if not self._vectorized or self.translator._meter is not None:
+        if (not self._vectorized or self.translator._meter is not None
+                or getattr(self.translator, "tenants", None) is not None):
             return
         from repro.kernels import burst as kburst
 
@@ -970,6 +988,23 @@ class StreamEngine:
         with self.store_lock:
             return snapshot_of(self.collector,
                                batch_seq=self._executed_seq)
+
+    def checkpoint(self, path: str, *, extra: dict | None = None,
+                   overwrite: bool = False) -> str:
+        """Write a crash-consistent checkpoint at a batch boundary.
+
+        Takes :attr:`store_lock` like :meth:`snapshot`, so the
+        ``repro-ckpt/1`` directory reflects every applied batch up to
+        ``executed_seq`` and nothing of any in-flight one.  Requires a
+        ``retention`` manager (it owns the epoch state that rides in
+        the manifest).
+        """
+        if self.retention is None:
+            raise RuntimeError("engine has no retention manager")
+        with self.store_lock:
+            return self.retention.checkpoint(
+                path, batch_seq=self._executed_seq, extra=extra,
+                overwrite=overwrite)
 
 
 # ----------------------------------------------------------------------

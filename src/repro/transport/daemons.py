@@ -198,7 +198,10 @@ def collector_daemon_main(shard: int, sketch_width: int, segment_names,
     provisioning: ``("digest", None)`` hashes the stores,
     ``("query_value", key)`` / ``("query_counter", key)`` answer
     collector queries (used by the NACK settle test to prove
-    retransmitted data landed), ``("stop", None)`` exits.
+    retransmitted data landed), ``("checkpoint", path)`` writes a
+    crash-consistent ``repro-ckpt/1`` directory (translators must be
+    quiesced first — the daemon sees only its own shard's stores),
+    ``("stop", None)`` exits.
     """
     obs.set_registry(obs.Registry())
     plan = segment_plan(sketch_width)
@@ -219,6 +222,16 @@ def collector_daemon_main(shard: int, sketch_width: int, segment_names,
                 conn.send(("value", collector.query_value(arg)))
             elif command == "query_counter":
                 conn.send(("counter", collector.query_counter(arg)))
+            elif command == "checkpoint":
+                from repro.retention.checkpoint import (CheckpointError,
+                                                        write_checkpoint)
+
+                try:
+                    manifest_path = write_checkpoint(collector, arg,
+                                                     overwrite=True)
+                    conn.send(("checkpoint", manifest_path))
+                except (CheckpointError, OSError) as exc:
+                    conn.send(("error", f"checkpoint failed: {exc}"))
             elif command == "stop":
                 conn.send(("stopped", shard))
                 break

@@ -37,11 +37,15 @@ def _fresh_globals():
     input-deterministic but whose *presence* could mask cold-path bugs
     depending on which test ran first.
     """
+    import repro.retention
     from repro.switch import crc as switch_crc
 
     previous = obs.set_registry(obs.Registry())
     switch_crc._TABLE_CACHE.clear()
     switch_crc._hash_lane.cache_clear()
+    # Retention/epoch module state (checkpoint temp-name sequence):
+    # reset so checkpoint directory names are order-independent.
+    repro.retention.reset_state()
     try:
         from repro.kernels import crc as kernel_crc
     except ImportError:        # numpy-less environment: nothing cached

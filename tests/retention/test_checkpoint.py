@@ -1,0 +1,224 @@
+"""Checkpoint durability: bit-exact round-trips, clean rejections.
+
+``restore(checkpoint(S))`` must reproduce ``store_digest(S)`` exactly
+for all five stores, epoch state included — and a damaged checkpoint
+(truncated, bit-flipped, version-bumped, missing files) must be
+rejected *before the first mutation*: a failed restore leaves the
+target collector byte-identical to how it found it, never partially
+overwritten.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.core.batch import ReportBatch
+from repro.core.collector import Collector
+from repro.core.reporter import Reporter
+from repro.core.translator import Translator
+from repro.retention.checkpoint import (CHECKPOINT_SCHEMA, MANIFEST_NAME,
+                                        CheckpointError, read_manifest,
+                                        restore_checkpoint,
+                                        write_checkpoint)
+from repro.retention.epochs import EpochManager, RetentionPolicy
+from repro.runtime.engine import store_digest
+
+
+def _twin() -> Collector:
+    """Same geometry as the shared ``collector`` fixture."""
+    col = Collector()
+    col.serve_keywrite(slots=4096, data_bytes=4)
+    col.serve_postcarding(chunks=1024, value_set=range(256),
+                          cache_slots=256)
+    col.serve_append(lists=8, capacity=128, data_bytes=4, batch_size=4)
+    col.serve_keyincrement(slots_per_row=512, rows=4)
+    col.serve_sketch(width=32, depth=4, expected_reporters=2,
+                     batch_columns=8)
+    return col
+
+
+def _drive_all_five(collector: Collector) -> Translator:
+    """Land nonzero bytes in every one of the five stores."""
+    tr = Translator()
+    collector.connect_translator(tr)
+    r1 = Reporter("ck1", 1, transmit=tr.handle_report)
+    r2 = Reporter("ck2", 2, transmit=tr.handle_report)
+
+    keys = [f"flow{i}".encode() for i in range(32)]
+    r1.send_batch(ReportBatch.key_writes(
+        keys, [bytes([i, i, i, i]) for i in range(32)], redundancy=2))
+    r1.send_batch(ReportBatch.key_increments(
+        keys, [i + 1 for i in range(32)], redundancy=2))
+    r1.send_batch(ReportBatch.appends(
+        [i % 8 for i in range(24)],
+        [bytes([i, 0, 0, i]) for i in range(24)]))
+    tr.flush_appends()
+    r1.send_batch(ReportBatch.postcards(
+        keys[:8], [0] * 8, list(range(8)), path_lengths=[1] * 8))
+    width, depth = 32, 4
+    columns = list(range(width))
+    rows = [tuple((c + r) % 97 for r in range(depth)) for c in columns]
+    for rep in (r1, r2):                    # expected_reporters=2
+        rep.send_batch(ReportBatch.sketch_columns(0, columns, rows))
+    return tr
+
+
+def test_roundtrip_is_bit_exact_for_all_five_stores(collector, tmp_path):
+    _drive_all_five(collector)
+    digest = store_digest(collector)
+    path = str(tmp_path / "ckpt")
+    write_checkpoint(collector, path)
+
+    manifest = read_manifest(path)
+    assert manifest["schema"] == CHECKPOINT_SCHEMA
+    assert sorted(region["attr"] for region in manifest["regions"]) == \
+        ["append", "keyincrement", "keywrite", "postcarding", "sketch"]
+    assert manifest["store_digest"] == digest
+
+    twin = _twin()
+    report = restore_checkpoint(twin, path)
+    assert report.store_digest == digest
+    assert store_digest(twin) == digest
+    # Restored stores answer queries, not just hash right.
+    assert twin.keywrite.query(b"flow3", redundancy=2).value == \
+        bytes([3, 3, 3, 3])
+    assert twin.keyincrement.query(b"flow3", redundancy=2) >= 4
+
+
+def test_roundtrip_carries_epoch_state(collector, tmp_path):
+    tr = _drive_all_five(collector)
+    em = EpochManager(collector, policy=RetentionPolicy(window=4))
+    em.rotate()
+    tr.flush_appends()
+    em.rotate()
+    path = str(tmp_path / "ckpt")
+    write_checkpoint(collector, path, manager=em, batch_seq=17)
+
+    twin = _twin()
+    em2 = EpochManager(twin, policy=RetentionPolicy(window=4))
+    report = restore_checkpoint(twin, path, manager=em2)
+    assert report.batch_seq == 17
+    assert em2.current_epoch == em.current_epoch
+    assert em2.retained_epochs() == em.retained_epochs()
+    kw = em.trackers["keywrite"]
+    assert em2.trackers["keywrite"].gens == kw.gens
+    assert em2.trackers["append"].segments == \
+        em.trackers["append"].segments
+    assert em2.trackers["sketch"].deltas == em.trackers["sketch"].deltas
+    # The restored manager keeps rotating correctly from here.
+    before = em2.current_epoch
+    em2.rotate()
+    assert em2.current_epoch == before + 1
+
+
+def test_checkpoint_refuses_to_clobber_without_overwrite(collector,
+                                                         tmp_path):
+    path = str(tmp_path / "ckpt")
+    write_checkpoint(collector, path)
+    with pytest.raises(CheckpointError):
+        write_checkpoint(collector, path)
+    write_checkpoint(collector, path, overwrite=True)     # explicit ok
+
+
+def _corrupt_truncate_region(path: str) -> None:
+    target = os.path.join(path, "keywrite.bin")
+    size = os.path.getsize(target)
+    with open(target, "r+b") as handle:
+        handle.truncate(size // 2)
+
+
+def _corrupt_bit_flip(path: str) -> None:
+    target = os.path.join(path, "append.bin")
+    with open(target, "r+b") as handle:
+        handle.seek(5)
+        byte = handle.read(1)
+        handle.seek(5)
+        handle.write(bytes([byte[0] ^ 0x40]))
+
+
+def _corrupt_version_bump(path: str) -> None:
+    target = os.path.join(path, MANIFEST_NAME)
+    with open(target, encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    manifest["schema"] = "repro-ckpt/2"
+    with open(target, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle)
+
+
+def _corrupt_missing_region(path: str) -> None:
+    os.unlink(os.path.join(path, "sketch.bin"))
+
+
+def _corrupt_manifest_json(path: str) -> None:
+    target = os.path.join(path, MANIFEST_NAME)
+    size = os.path.getsize(target)
+    with open(target, "r+b") as handle:
+        handle.truncate(size - 7)
+
+
+def _corrupt_crc_record(path: str) -> None:
+    target = os.path.join(path, MANIFEST_NAME)
+    with open(target, encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    manifest["regions"][0]["crc32"] ^= 0x1
+    with open(target, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle)
+
+
+@pytest.mark.parametrize("corrupt", [
+    _corrupt_truncate_region,
+    _corrupt_bit_flip,
+    _corrupt_version_bump,
+    _corrupt_missing_region,
+    _corrupt_manifest_json,
+    _corrupt_crc_record,
+], ids=["truncated-region", "bit-flip", "version-bump",
+        "missing-region", "manifest-truncated", "crc-mismatch"])
+def test_damaged_checkpoints_reject_cleanly(collector, tmp_path,
+                                            corrupt):
+    _drive_all_five(collector)
+    path = str(tmp_path / "ckpt")
+    write_checkpoint(collector, path)
+    corrupt(path)
+
+    # The target already holds unrelated data: rejection must leave
+    # every byte of it alone (no partial restore, ever).
+    twin = _twin()
+    tr = Translator()
+    twin.connect_translator(tr)
+    rep = Reporter("pre", 1, transmit=tr.handle_report)
+    rep.key_write(b"preexisting", b"\xaa\xbb\xcc\xdd", redundancy=2)
+    before = store_digest(twin)
+
+    with pytest.raises(CheckpointError):
+        restore_checkpoint(twin, path)
+    assert store_digest(twin) == before
+    assert twin.keywrite.query(b"preexisting", redundancy=2).value == \
+        b"\xaa\xbb\xcc\xdd"
+
+
+def test_restore_rejects_geometry_and_store_set_mismatch(collector,
+                                                         tmp_path):
+    _drive_all_five(collector)
+    path = str(tmp_path / "ckpt")
+    write_checkpoint(collector, path)
+
+    partial = Collector()
+    partial.serve_keywrite(slots=4096, data_bytes=4)
+    with pytest.raises(CheckpointError):
+        restore_checkpoint(partial, path)
+
+    resized_full = Collector()
+    resized_full.serve_keywrite(slots=2048, data_bytes=4)   # wrong size
+    resized_full.serve_postcarding(chunks=1024, value_set=range(256),
+                                   cache_slots=256)
+    resized_full.serve_append(lists=8, capacity=128, data_bytes=4,
+                              batch_size=4)
+    resized_full.serve_keyincrement(slots_per_row=512, rows=4)
+    resized_full.serve_sketch(width=32, depth=4, expected_reporters=2,
+                              batch_columns=8)
+    with pytest.raises(CheckpointError):
+        restore_checkpoint(resized_full, path)

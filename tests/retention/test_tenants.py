@@ -1,0 +1,128 @@
+"""Tenant keyspace partitions and meter-enforced ingest quotas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.reporter import Reporter
+from repro.core.translator import Translator
+from repro.retention.manager import RetentionManager
+from repro.retention.tenants import TenantSpec, TenantTable
+from repro.switch.meters import MeterColor, MeterConfig
+
+WIDE_OPEN = MeterConfig(committed_rate=1e9, committed_burst=1e9,
+                        peak_rate=1e9, peak_burst=1e9)
+#: Two committed units, two more peak units, no refill: reports 1-2
+#: GREEN, 3-4 YELLOW, everything after RED.
+TINY = MeterConfig(committed_rate=0.0, committed_burst=2.0,
+                   peak_rate=0.0, peak_burst=4.0)
+
+
+def test_longest_prefix_wins_and_duplicates_rejected():
+    table = TenantTable([
+        TenantSpec("acme", b"acme/", WIDE_OPEN),
+        TenantSpec("acme-gold", b"acme/gold/", WIDE_OPEN),
+        TenantSpec("zeta", b"z", WIDE_OPEN),
+    ])
+    assert table.tenant_of(b"acme/flow1") == "acme"
+    assert table.tenant_of(b"acme/gold/flow1") == "acme-gold"
+    assert table.tenant_of(b"zebra") == "zeta"
+    assert table.tenant_of(b"unclaimed") is None
+    assert table.tenant_of(None) is None
+    with pytest.raises(ValueError):
+        TenantTable([TenantSpec("a", b"x", WIDE_OPEN),
+                     TenantSpec("b", b"x", WIDE_OPEN)])
+
+
+def test_quota_meter_colors_and_strictness():
+    table = TenantTable([TenantSpec("acme", b"acme/", TINY)])
+    colors = [table.admit(b"acme/k", 0.0) for _ in range(5)]
+    assert colors == [MeterColor.GREEN, MeterColor.GREEN,
+                      MeterColor.YELLOW, MeterColor.YELLOW,
+                      MeterColor.RED]
+    assert table.marked("acme")[MeterColor.RED] == 1
+    # Unclaimed keys: admitted unmetered by default...
+    assert table.admit(b"other", 0.0) is MeterColor.GREEN
+    # ...rejected outright under strict partitioning.
+    strict = TenantTable([TenantSpec("acme", b"acme/", TINY)],
+                         strict=True)
+    assert strict.admit(b"other", 0.0) is MeterColor.RED
+    assert strict.stats.unmatched == 1
+
+
+def _tenant_deployment(collector, specs, **table_kwargs):
+    tr = Translator()
+    collector.connect_translator(tr)
+    table = TenantTable(specs, **table_kwargs)
+    manager = RetentionManager(collector, translator=tr, tenants=table)
+    rep = Reporter("tn", 1, transmit=tr.handle_report)
+    return tr, table, manager, rep
+
+
+def test_over_quota_essential_reports_defer_to_cpu_backlog(collector):
+    tr, table, _manager, rep = _tenant_deployment(
+        collector, [TenantSpec("acme", b"acme/", TINY)])
+    for i in range(6):
+        rep.key_write(f"acme/k{i}".encode(), bytes([i] * 4),
+                      redundancy=2, essential=True)
+    # 2 GREEN + 2 YELLOW-deferred + 2 RED (RED defers essentials too).
+    assert table.stats.admitted == 2
+    assert table.stats.deferred == 4
+    assert len(tr.cpu_backlog) == 4
+    assert tr.stats.rerouted_to_cpu == 4
+    # Admitted reports landed; deferred ones have not (yet).
+    assert collector.keywrite.query(b"acme/k0", redundancy=2).found
+    assert not collector.keywrite.query(b"acme/k5", redundancy=2).found
+
+
+def test_over_quota_low_priority_reports_shed(collector):
+    tr, table, _manager, rep = _tenant_deployment(
+        collector, [TenantSpec("acme", b"acme/", TINY)])
+    for i in range(6):
+        rep.key_write(f"acme/k{i}".encode(), bytes([i] * 4),
+                      redundancy=2)
+    assert table.stats.rejected == 4
+    assert tr.stats.low_priority_dropped == 4
+    assert len(tr.cpu_backlog) == 0
+
+
+def test_tenants_partition_quota_blame(collector):
+    """One tenant blowing its quota never throttles its neighbour."""
+    tr, table, _manager, rep = _tenant_deployment(
+        collector, [TenantSpec("noisy", b"noisy/", TINY),
+                    TenantSpec("quiet", b"quiet/", WIDE_OPEN)])
+    for i in range(8):
+        rep.key_write(f"noisy/k{i}".encode(), bytes([i] * 4),
+                      redundancy=2)
+    for i in range(8):
+        rep.key_write(f"quiet/k{i}".encode(), bytes([i] * 4),
+                      redundancy=2)
+    assert table.marked("noisy")[MeterColor.RED] > 0
+    assert table.marked("quiet")[MeterColor.GREEN] == 8
+    for i in range(8):
+        assert collector.keywrite.query(f"quiet/k{i}".encode(),
+                                        redundancy=2).found
+
+
+def test_tenant_table_requires_translator(collector):
+    with pytest.raises(ValueError):
+        RetentionManager(collector, tenants=TenantTable(
+            [TenantSpec("acme", b"acme/", WIDE_OPEN)]))
+
+
+def test_deferred_reports_reinject_after_meter_cools(collector):
+    """The backlog drains through the same quota path once the meter
+    refills — composition with the PR 4 switch-CPU re-injection."""
+    refill = MeterConfig(committed_rate=100.0, committed_burst=2.0,
+                         peak_rate=100.0, peak_burst=2.0)
+    tr, table, _manager, rep = _tenant_deployment(
+        collector, [TenantSpec("acme", b"acme/", refill)])
+    for i in range(4):
+        rep.key_write(f"acme/k{i}".encode(), bytes([i] * 4),
+                      redundancy=2, essential=True)
+    assert len(tr.cpu_backlog) == 2
+    drained = tr.reinject_cpu_backlog(now=1.0)
+    assert drained == 2
+    for i in range(4):
+        assert collector.keywrite.query(f"acme/k{i}".encode(),
+                                        redundancy=2).found

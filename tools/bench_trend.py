@@ -8,13 +8,16 @@ number with no context.
 
 ``repro serve``/``repro deploy`` documents (schema ``repro-serve/*``)
 land in the same history file; their socket-lane throughput shows up
-as the synthetic ``repro-serve`` lane in every mode.
+as the synthetic ``repro-serve`` lane in every mode.  ``repro retain``
+documents (schema ``repro-retain/*``) likewise surface as the
+synthetic ``repro-retain`` lane (rotation-smoke ingest throughput).
 
 Usage::
 
     python tools/bench_trend.py                      # all lanes
     python tools/bench_trend.py --lane key_increment
     python tools/bench_trend.py --lane repro-serve   # deployment lane
+    python tools/bench_trend.py --lane repro-retain  # retention lane
     python tools/bench_trend.py --mode vectorized --last 10
 """
 
@@ -26,6 +29,9 @@ import sys
 
 #: Synthetic lane name for deployment-lane (``repro serve``) records.
 SERVE_LANE = "repro-serve"
+
+#: Synthetic lane name for retention-smoke (``repro retain``) records.
+RETAIN_LANE = "repro-retain"
 
 
 def load_history(path: str) -> list[dict]:
@@ -51,10 +57,18 @@ def _is_serve(record: dict) -> bool:
     return str(record.get("schema", "")).startswith("repro-serve")
 
 
+def _is_retain(record: dict) -> bool:
+    return str(record.get("schema", "")).startswith("repro-retain")
+
+
 def _cell_rps(record: dict, lane: str, mode: str):
     if lane == SERVE_LANE:
         if _is_serve(record):
             return record.get("socket", {}).get("reports_per_sec")
+        return None
+    if lane == RETAIN_LANE:
+        if _is_retain(record):
+            return record.get("retain", {}).get("reports_per_sec")
         return None
     cell = record.get("results", {}).get(lane, {}).get(mode)
     return cell.get("reports_per_sec") if cell else None
@@ -68,6 +82,8 @@ def render_trend(records: list[dict], *, lane: str | None = None,
                     for name in record.get("results", {})})
     if any(_is_serve(record) for record in records):
         lanes.append(SERVE_LANE)
+    if any(_is_retain(record) for record in records):
+        lanes.append(RETAIN_LANE)
     if lane:
         if lane not in lanes:
             return (f"lane '{lane}' not in history "
